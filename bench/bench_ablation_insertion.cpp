@@ -1,0 +1,33 @@
+// A2 — Ablation: insertion-based slot search vs end-of-queue placement, for
+// both HEFT and ILS, across the CCR axis.  Insertion matters most when
+// communication gaps open idle holes.
+#include "common.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "A2";
+    config.title = "ablation: insertion-based vs end-of-queue placement (n=100, P=8)";
+    config.axis = "CCR";
+    config.algos = {"heft", "heft-noins", "ils", "ils-noins"};
+    apply_common_flags(config, args);
+
+    const auto ccrs = args.get_double_list("ccr", {0.5, 1.0, 2.0, 5.0, 10.0});
+    std::vector<SweepPoint> points;
+    for (const double ccr : ccrs) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 0.5;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.1f", ccr);
+        points.push_back({label, params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

@@ -1,0 +1,34 @@
+// A1 — Ablation: ILS components (variance rank, OCT selection) and the
+// classic HEFT rank variants, across the CCR axis.  Answers "which of the
+// ILS changes buys the improvement, and where".
+#include "common.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "A1";
+    config.title = "ablation: ILS components and HEFT rank variants vs CCR (n=100, P=8)";
+    config.axis = "CCR";
+    config.algos = {"ils", "ils-novar", "ils-nola", "ils-k2",
+                    "heft", "heft-median", "heft-worst", "heft-best"};
+    apply_common_flags(config, args);
+
+    const auto ccrs = args.get_double_list("ccr", {0.5, 1.0, 2.0, 5.0, 10.0});
+    std::vector<SweepPoint> points;
+    for (const double ccr : ccrs) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 1.0;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.1f", ccr);
+        points.push_back({label, params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

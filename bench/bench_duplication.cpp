@@ -1,0 +1,62 @@
+// E11 — Duplication study: how much task duplication buys (makespan) and
+// costs (extra placements) on communication-dominated graphs, comparing the
+// duplication family (ILS-D, DSH, BTDH) against their non-duplicating
+// peers.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E11";
+    config.title = "duplication study: SLR and duplicate count at high CCR (P=6)";
+    config.axis = "workload";
+    config.algos = {"ils", "ils-d", "heft", "dsh", "btdh"};
+    config.trials = 15;
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 8.0);
+
+    std::vector<SweepPoint> points;
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kForkJoin;
+        params.size = 12;  // 12-wide fork-join, 4 stages
+        params.num_procs = 6;
+        params.ccr = ccr;
+        params.beta = 0.5;
+        points.push_back({"forkjoin w=12", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kOutTree;
+        params.size = 4;  // fanout-3 tree, depth 4
+        params.num_procs = 6;
+        params.ccr = ccr;
+        params.beta = 0.5;
+        points.push_back({"outtree d=4", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 80;
+        params.num_procs = 6;
+        params.ccr = ccr;
+        params.beta = 0.5;
+        points.push_back({"random n=80", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 80;
+        params.num_procs = 6;
+        params.ccr = 1.0;  // control point: duplication should stay modest
+        params.beta = 0.5;
+        points.push_back({"random n=80 ccr=1", params});
+    }
+    run_sweep(config, points, {Metric::kSlr, Metric::kDuplicates, Metric::kSchedTimeMs});
+    return 0;
+}

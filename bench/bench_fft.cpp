@@ -1,0 +1,34 @@
+// E7 — FFT butterfly application graphs: average SLR and speedup vs input
+// size.  FFT graphs have fixed structure per size, so only the cost
+// randomization varies across trials.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E7";
+    config.title = "FFT graphs: SLR and speedup vs input points (P=8)";
+    config.axis = "points";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+
+    std::vector<SweepPoint> points;
+    for (const auto n : args.get_int_list("points", {8, 16, 32, 64})) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kFft;
+        params.size = static_cast<std::size_t>(n);
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        points.push_back({std::to_string(n), params});
+    }
+    run_sweep(config, points, {Metric::kSlr, Metric::kSpeedup});
+    return 0;
+}

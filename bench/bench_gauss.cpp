@@ -1,0 +1,53 @@
+// E6 — Gaussian elimination application graphs: average SLR vs matrix size
+// and vs processor count (two sub-tables, matching the paper-style
+// application-graph figures).
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E6";
+    config.title = "Gaussian elimination graphs: SLR vs matrix size (P=8) and vs P (m=15)";
+    config.axis = "matrix size m";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+
+    // Sub-figure (a): SLR vs matrix dimension at P = 8.
+    std::vector<SweepPoint> size_points;
+    for (const auto m : args.get_int_list("sizes", {5, 10, 15, 20})) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kGauss;
+        params.size = static_cast<std::size_t>(m);
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        // n = (m^2 + m - 2)/2 tasks.
+        const auto n = (static_cast<std::size_t>(m) * static_cast<std::size_t>(m) +
+                        static_cast<std::size_t>(m) - 2) / 2;
+        size_points.push_back({std::to_string(m) + " (n=" + std::to_string(n) + ")", params});
+    }
+    run_sweep(config, size_points, {Metric::kSlr});
+
+    // Sub-figure (b): SLR vs processor count at m = 15.
+    BenchConfig proc_config = config;
+    proc_config.axis = "procs";
+    std::vector<SweepPoint> proc_points;
+    for (const auto p : args.get_int_list("procs", {2, 4, 8, 16})) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kGauss;
+        params.size = 15;
+        params.num_procs = static_cast<std::size_t>(p);
+        params.ccr = ccr;
+        params.beta = beta;
+        proc_points.push_back({std::to_string(p), params});
+    }
+    run_sweep(proc_config, proc_points, {Metric::kSlr});
+    return 0;
+}

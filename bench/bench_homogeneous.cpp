@@ -1,0 +1,63 @@
+// E9 — Homogeneous systems (the paper's title covers both worlds): beta = 0
+// so every processor runs every task at the same speed.  The classic
+// homogeneous heuristics (MCP, ETF, HLFET) join the comparison, and the
+// contribution must specialise cleanly (ILS's rank reduces to rank_u).
+//
+// Three workload families: random layered, Gaussian elimination, FFT.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E9";
+    config.title = "homogeneous systems (beta=0): SLR across workload families (P=8)";
+    config.axis = "workload";
+    config.algos = {"ils", "ils-d", "heft", "cpop", "mcp", "etf", "hlfet", "dls"};
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 1.0);
+
+    std::vector<SweepPoint> points;
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 0.0;
+        points.push_back({"random n=100", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kGauss;
+        params.size = 15;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 0.0;
+        points.push_back({"gauss m=15", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kFft;
+        params.size = 32;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 0.0;
+        points.push_back({"fft 32", params});
+    }
+    {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLaplace;
+        params.size = 10;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = 0.0;
+        points.push_back({"laplace g=10", params});
+    }
+    run_sweep(config, points, {Metric::kSlr, Metric::kSpeedup});
+    return 0;
+}

@@ -1,0 +1,34 @@
+// E8 — Laplace equation (2-D wavefront) application graphs: average SLR vs
+// grid size.  Wavefront graphs have long dependence chains with narrow
+// parallelism, stressing the processor-selection policies.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E8";
+    config.title = "Laplace wavefront graphs: SLR vs grid size (P=8)";
+    config.axis = "grid g (n=g*g)";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+
+    std::vector<SweepPoint> points;
+    for (const auto g : args.get_int_list("grids", {5, 8, 12, 16})) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLaplace;
+        params.size = static_cast<std::size_t>(g);
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        points.push_back({std::to_string(g), params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

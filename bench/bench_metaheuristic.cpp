@@ -1,0 +1,37 @@
+// E12 — Heuristics vs search: how much schedule quality the search-based
+// methods (local-search refinement, genetic algorithm) buy over the
+// one-shot list heuristics, and at what scheduling-time cost.  The classic
+// "GA beats list scheduling given 100x the time" trade-off table.
+#include "common.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E12";
+    config.title = "heuristics vs search-based schedulers: quality and cost (P=8)";
+    config.axis = "workload";
+    config.algos = {"heft", "heft+ls", "ils", "ils+ls", "ga"};
+    config.trials = 10;
+    apply_common_flags(config, args);
+
+    std::vector<SweepPoint> points;
+    for (const double ccr : args.get_double_list("ccr", {1.0, 5.0})) {
+        for (const auto n : args.get_int_list("sizes", {50, 100})) {
+            workload::InstanceParams params;
+            params.shape = workload::Shape::kLayered;
+            params.size = static_cast<std::size_t>(n);
+            params.num_procs = 8;
+            params.ccr = ccr;
+            params.beta = 0.5;
+            char label[48];
+            std::snprintf(label, sizeof(label), "n=%lld ccr=%.1f",
+                          static_cast<long long>(n), ccr);
+            points.push_back({label, params});
+        }
+    }
+    run_sweep(config, points, {Metric::kSlr, Metric::kSchedTimeMs});
+    return 0;
+}

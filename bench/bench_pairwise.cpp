@@ -1,0 +1,83 @@
+// E5 — Pairwise comparison table ("% of better / equal / worse schedules"):
+// the head-to-head table the HEFT-family papers report.
+//
+// Trials pool three CCR regimes (0.5 / 1 / 5) over random layered DAGs with
+// n = 100, P = 8, beta = 0.5; per-regime grids plus a pooled grid.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/registry.hpp"
+#include "metrics/pairwise.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E5";
+    config.title = "pairwise better/equal/worse comparison (random graphs, n=100, P=8)";
+    config.axis = "ccr";
+    config.algos = default_comparison_set();
+    config.trials = 50;
+    apply_common_flags(config, args);
+    print_banner(config);
+
+    const auto ccrs = args.get_double_list("ccr", {0.5, 1.0, 5.0});
+    const auto schedulers = make_schedulers(config.algos);
+
+    // Pooled counters across regimes.
+    std::vector<std::size_t> better(config.algos.size() * config.algos.size(), 0);
+    std::vector<std::size_t> equal(config.algos.size() * config.algos.size(), 0);
+    std::size_t total_trials = 0;
+
+    for (std::size_t ci = 0; ci < ccrs.size(); ++ci) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccrs[ci];
+        params.beta = 0.5;
+        const PointResult result =
+            run_point(params, schedulers, config.trials, mix_seed(config.seed, ci));
+        std::cout << "-- CCR = " << ccrs[ci] << " --\n";
+        result.pairwise.to_grid().print(std::cout);
+        std::cout << '\n';
+        for (std::size_t a = 0; a < config.algos.size(); ++a) {
+            for (std::size_t b = 0; b < config.algos.size(); ++b) {
+                better[a * config.algos.size() + b] += result.pairwise.better(a, b);
+                equal[a * config.algos.size() + b] += result.pairwise.equal(a, b);
+            }
+        }
+        total_trials += result.trials;
+    }
+
+    std::cout << "-- pooled over all CCR regimes (" << total_trials << " trials) --\n";
+    std::vector<std::string> headers{"A \\ B (better/equal/worse %)"};
+    headers.insert(headers.end(), config.algos.begin(), config.algos.end());
+    Table pooled(std::move(headers));
+    for (std::size_t a = 0; a < config.algos.size(); ++a) {
+        pooled.new_row().add(config.algos[a]);
+        for (std::size_t b = 0; b < config.algos.size(); ++b) {
+            if (a == b) {
+                pooled.add("-");
+                continue;
+            }
+            const auto bb = better[a * config.algos.size() + b];
+            const auto ee = equal[a * config.algos.size() + b];
+            const auto ww = total_trials - bb - ee;
+            char cell[48];
+            std::snprintf(cell, sizeof(cell), "%.0f/%.0f/%.0f",
+                          100.0 * static_cast<double>(bb) / static_cast<double>(total_trials),
+                          100.0 * static_cast<double>(ee) / static_cast<double>(total_trials),
+                          100.0 * static_cast<double>(ww) / static_cast<double>(total_trials));
+            pooled.add(std::string(cell));
+        }
+    }
+    pooled.print(std::cout);
+    if (!config.csv_path.empty() && !pooled.write_csv(config.csv_path)) {
+        std::cerr << "warning: could not write " << config.csv_path << '\n';
+    }
+    std::cout << '\n';
+    return 0;
+}

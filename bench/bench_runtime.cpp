@@ -1,0 +1,60 @@
+// E10 — Scheduler running time (the "scheduling cost" table), via
+// google-benchmark: wall-clock time to compute one schedule as a function of
+// DAG size, per algorithm.
+//
+// The cheap list schedulers run up to n = 400; the clone-based duplication
+// algorithms (ils-d, dsh, btdh) are quadratic-ish and stop at n = 200.
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "workload/instance.hpp"
+
+namespace {
+
+using namespace tsched;
+
+void run_scheduler(benchmark::State& state, const std::string& name, std::size_t n) {
+    workload::InstanceParams params;
+    params.shape = workload::Shape::kLayered;
+    params.size = n;
+    params.num_procs = 8;
+    params.ccr = 1.0;
+    params.beta = 0.5;
+    const Problem problem = workload::make_instance(params, 2007);
+    const auto scheduler = make_scheduler(name);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler->schedule(problem).makespan());
+    }
+    state.SetLabel(name + " n=" + std::to_string(n));
+}
+
+void register_all() {
+    const std::vector<std::string> fast{"ils", "heft", "cpop", "hcpt", "dls", "etf", "mcp"};
+    const std::vector<std::string> heavy{"ils-d", "dsh", "btdh"};
+    for (const auto& name : fast) {
+        for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+            benchmark::RegisterBenchmark(
+                (name + "/" + std::to_string(n)).c_str(),
+                [name, n](benchmark::State& state) { run_scheduler(state, name, n); })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    for (const auto& name : heavy) {
+        for (const std::size_t n : {50u, 100u, 200u}) {
+            benchmark::RegisterBenchmark(
+                (name + "/" + std::to_string(n)).c_str(),
+                [name, n](benchmark::State& state) { run_scheduler(state, name, n); })
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    register_all();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,39 @@
+// E3 — Average SLR vs heterogeneity factor beta (the "SLR vs range
+// percentage of computation costs" figure).  beta = 0 is the homogeneous
+// extreme; beta -> 2 makes the same task up to ~3x faster on its best
+// processor than its worst.
+//
+// Random layered DAGs, n = 100, P = 8, CCR = 1.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E3";
+    config.title = "average SLR vs heterogeneity beta (random layered graphs, n=100, P=8)";
+    config.axis = "beta";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const auto betas = args.get_double_list("beta", {0.1, 0.25, 0.5, 0.75, 1.0, 1.5});
+    const double ccr = args.get_double("ccr", 1.0);
+
+    std::vector<SweepPoint> points;
+    for (const double beta : betas) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.2f", beta);
+        points.push_back({label, params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

@@ -1,0 +1,37 @@
+// E2 — Average SLR vs CCR (the "SLR vs communication-to-computation ratio"
+// figure): where list schedulers separate most clearly.
+//
+// Random layered DAGs, n = 100, P = 8, beta = 0.5.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E2";
+    config.title = "average SLR vs CCR (random layered graphs, n=100, P=8)";
+    config.axis = "CCR";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const auto ccrs = args.get_double_list("ccr", {0.1, 0.5, 1.0, 2.0, 5.0, 10.0});
+    const double beta = args.get_double("beta", 0.5);
+
+    std::vector<SweepPoint> points;
+    for (const double ccr : ccrs) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.1f", ccr);
+        points.push_back({label, params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

@@ -1,0 +1,36 @@
+// E1 — Average SLR vs DAG size (the "SLR vs number of tasks" figure).
+//
+// Random layered DAGs, P = 8, CCR fixed (default 1.0, override with --ccr),
+// beta = 0.5.  Columns: the default comparison set.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E1";
+    config.title = "average SLR vs DAG size (random layered graphs, P=8)";
+    config.axis = "tasks";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+    const auto sizes = args.get_int_list("sizes", {20, 40, 60, 80, 100, 150, 200});
+
+    std::vector<SweepPoint> points;
+    for (const auto n : sizes) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = static_cast<std::size_t>(n);
+        params.num_procs = 8;
+        params.ccr = ccr;
+        params.beta = beta;
+        points.push_back({std::to_string(n), params});
+    }
+    run_sweep(config, points, {Metric::kSlr});
+    return 0;
+}

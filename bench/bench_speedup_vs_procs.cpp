@@ -1,0 +1,36 @@
+// E4 — Average speedup and efficiency vs processor count (the "speedup vs
+// number of processors" figure).
+//
+// Random layered DAGs, n = 100, CCR = 1, beta = 0.5.
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E4";
+    config.title = "average speedup & efficiency vs processors (random graphs, n=100)";
+    config.axis = "procs";
+    config.algos = default_comparison_set();
+    apply_common_flags(config, args);
+
+    const auto procs = args.get_int_list("procs", {2, 4, 8, 16, 32});
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+
+    std::vector<SweepPoint> points;
+    for (const auto p : procs) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = static_cast<std::size_t>(p);
+        params.ccr = ccr;
+        params.beta = beta;
+        points.push_back({std::to_string(p), params});
+    }
+    run_sweep(config, points, {Metric::kSpeedup, Metric::kEfficiency});
+    return 0;
+}

@@ -1,0 +1,72 @@
+// E14 — Survey table: every scheduler in the registry on a common grid of
+// regimes (heterogeneous low/high CCR, homogeneous), with scheduling time —
+// the bird's-eye table a release README quotes.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/registry.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E14";
+    config.title = "survey: all schedulers across regimes (random graphs, n=100, P=8)";
+    config.axis = "scheduler";
+    config.algos = scheduler_names();
+    config.trials = 10;
+    apply_common_flags(config, args);
+    print_banner(config);
+
+    struct Regime {
+        const char* label;
+        double ccr;
+        double beta;
+    };
+    const std::vector<Regime> regimes = {
+        {"het ccr=1", 1.0, 1.0},
+        {"het ccr=5", 5.0, 1.0},
+        {"homog ccr=1", 1.0, 0.0},
+    };
+
+    const auto schedulers = make_schedulers(config.algos);
+    std::vector<PointResult> results;
+    for (std::size_t r = 0; r < regimes.size(); ++r) {
+        workload::InstanceParams params;
+        params.shape = workload::Shape::kLayered;
+        params.size = 100;
+        params.num_procs = 8;
+        params.ccr = regimes[r].ccr;
+        params.beta = regimes[r].beta;
+        results.push_back(
+            run_point(params, schedulers, config.trials, mix_seed(config.seed, r)));
+        if (results.back().invalid_schedules > 0) {
+            std::cerr << "ERROR: invalid schedules in regime " << regimes[r].label << '\n';
+            return 1;
+        }
+    }
+
+    std::vector<std::string> headers{config.axis};
+    for (const auto& regime : regimes) headers.push_back(std::string("SLR ") + regime.label);
+    headers.push_back("time ms");
+    Table table(std::move(headers));
+    for (const auto& algo : config.algos) {
+        table.new_row().add(algo);
+        double time_ms = 0.0;
+        for (std::size_t r = 0; r < regimes.size(); ++r) {
+            const auto& agg = results[r].agg.at(algo);
+            table.add(agg.slr.mean(), 3);
+            time_ms += agg.sched_time_ms.mean();
+        }
+        table.add(time_ms / static_cast<double>(regimes.size()), 3);
+    }
+    std::cout << "-- mean SLR per regime + mean scheduling time --\n";
+    table.print(std::cout);
+    if (!config.csv_path.empty() && !table.write_csv(config.csv_path)) {
+        std::cerr << "warning: could not write " << config.csv_path << '\n';
+    }
+    std::cout << '\n';
+    return 0;
+}

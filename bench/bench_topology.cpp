@@ -1,0 +1,91 @@
+// E13 — Interconnect topology study: the *same* problems (identical DAGs,
+// execution costs, and edge volumes) bound to different interconnects.
+// Store-and-forward per-hop costs make sparse topologies progressively more
+// expensive; the table reports how much each scheduler's makespan inflates
+// relative to the full crossbar.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/registry.hpp"
+#include "sched/validate.hpp"
+
+using namespace tsched;
+using namespace tsched::bench;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    BenchConfig config;
+    config.experiment = "E13";
+    config.title = "topology study: makespan vs interconnect (same problems, P=8)";
+    config.axis = "network";
+    config.algos = {"ils", "ils-d", "heft", "cpop"};
+    config.trials = 15;
+    apply_common_flags(config, args);
+    print_banner(config);
+
+    const double latency = args.get_double("latency", 0.5);
+    const double bandwidth = args.get_double("bandwidth", 1.0);
+    const double ccr = args.get_double("ccr", 3.0);
+    const auto schedulers = make_schedulers(config.algos);
+
+    struct Net {
+        const char* label;
+        LinkModelPtr links;
+    };
+    const std::vector<Net> nets = {
+        {"crossbar", TopologyLinkModel::fully_connected(8, latency, bandwidth)},
+        {"hypercube", TopologyLinkModel::hypercube(3, latency, bandwidth)},
+        {"mesh 2x4", TopologyLinkModel::mesh2d(2, 4, latency, bandwidth)},
+        {"star", TopologyLinkModel::star(8, latency, bandwidth)},
+        {"ring", TopologyLinkModel::ring(8, latency, bandwidth)},
+    };
+
+    std::vector<std::string> headers{config.axis, "diameter"};
+    for (const auto& algo : config.algos) headers.push_back(algo + " makespan");
+    Table table(std::move(headers));
+
+    std::vector<double> crossbar_means(schedulers.size(), 0.0);
+    for (const auto& net : nets) {
+        std::vector<RunningStats> makespans(schedulers.size());
+        for (std::size_t trial = 0; trial < config.trials; ++trial) {
+            // The base instance fixes DAG + costs; only the links swap.
+            workload::InstanceParams params;
+            params.shape = workload::Shape::kLayered;
+            params.size = 80;
+            params.num_procs = 8;
+            params.ccr = ccr;
+            params.beta = 0.5;
+            params.latency = latency;
+            params.bandwidth = bandwidth;
+            const Problem base = workload::make_instance(params, mix_seed(config.seed, trial));
+            const Problem problem(std::make_shared<const Dag>(base.dag()),
+                                  std::make_shared<const Machine>(
+                                      Machine::homogeneous(8, net.links)),
+                                  std::make_shared<const CostMatrix>(base.costs()));
+            for (std::size_t s = 0; s < schedulers.size(); ++s) {
+                const Schedule schedule = schedulers[s]->schedule(problem);
+                if (!validate(schedule, problem)) {
+                    std::cerr << "ERROR: invalid schedule from " << config.algos[s] << '\n';
+                    return 1;
+                }
+                makespans[s].add(schedule.makespan());
+            }
+        }
+        const auto* topo = dynamic_cast<const TopologyLinkModel*>(net.links.get());
+        table.new_row().add(net.label).add(topo != nullptr ? topo->diameter() : 1);
+        for (std::size_t s = 0; s < schedulers.size(); ++s) {
+            if (std::string(net.label) == "crossbar") crossbar_means[s] = makespans[s].mean();
+            char cell[64];
+            std::snprintf(cell, sizeof(cell), "%.1f (x%.2f)", makespans[s].mean(),
+                          makespans[s].mean() / crossbar_means[s]);
+            table.add(std::string(cell));
+        }
+    }
+    std::cout << "-- mean makespan (inflation vs crossbar) --\n";
+    table.print(std::cout);
+    if (!config.csv_path.empty() && !table.write_csv(config.csv_path)) {
+        std::cerr << "warning: could not write " << config.csv_path << '\n';
+    }
+    std::cout << '\n';
+    return 0;
+}

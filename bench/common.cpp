@@ -1,0 +1,118 @@
+#include "common.hpp"
+
+#include <iostream>
+
+#include "core/registry.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tsched::bench {
+
+const char* metric_name(Metric metric) noexcept {
+    switch (metric) {
+        case Metric::kSlr: return "SLR";
+        case Metric::kSpeedup: return "speedup";
+        case Metric::kEfficiency: return "efficiency";
+        case Metric::kMakespan: return "makespan";
+        case Metric::kSchedTimeMs: return "sched time [ms]";
+        case Metric::kDuplicates: return "duplicates";
+    }
+    return "?";
+}
+
+void apply_common_flags(BenchConfig& config, const Args& args) {
+    config.trials = static_cast<std::size_t>(
+        args.get_int("trials", static_cast<std::int64_t>(config.trials)));
+    config.seed = static_cast<std::uint64_t>(
+        args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+    config.algos = args.get_string_list("algos", config.algos);
+    config.csv_path = args.get_string("csv", config.csv_path);
+}
+
+void print_banner(const BenchConfig& config) {
+    std::cout << "== " << config.experiment << ": " << config.title << " ==\n";
+    std::cout << "   trials/point=" << config.trials << "  seed=" << config.seed
+              << "  schedulers=";
+    for (std::size_t i = 0; i < config.algos.size(); ++i) {
+        if (i) std::cout << ',';
+        std::cout << config.algos[i];
+    }
+    std::cout << "\n\n";
+}
+
+namespace {
+const RunningStats& pick(const SchedulerAggregate& agg, Metric metric) {
+    switch (metric) {
+        case Metric::kSlr: return agg.slr;
+        case Metric::kSpeedup: return agg.speedup;
+        case Metric::kEfficiency: return agg.efficiency;
+        case Metric::kMakespan: return agg.makespan;
+        case Metric::kSchedTimeMs: return agg.sched_time_ms;
+        case Metric::kDuplicates: return agg.duplicates;
+    }
+    return agg.slr;
+}
+}  // namespace
+
+Table sweep_table(const BenchConfig& config, const std::vector<SweepPoint>& points,
+                  const std::vector<PointResult>& results, Metric metric) {
+    std::vector<std::string> headers{config.axis};
+    for (const auto& algo : config.algos) headers.push_back(algo);
+    Table table(std::move(headers));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        table.new_row().add(points[i].label);
+        for (const auto& algo : config.algos) {
+            const RunningStats& stats = pick(results[i].agg.at(algo), metric);
+            char cell[64];
+            std::snprintf(cell, sizeof(cell), "%.3f +-%.3f", stats.mean(),
+                          stats.ci95_halfwidth());
+            table.add(std::string(cell));
+        }
+    }
+    return table;
+}
+
+std::vector<PointResult> run_sweep(const BenchConfig& config,
+                                   const std::vector<SweepPoint>& points,
+                                   const std::vector<Metric>& metrics) {
+    print_banner(config);
+    const auto schedulers = make_schedulers(config.algos);
+
+    Stopwatch watch;
+    std::vector<PointResult> results;
+    results.reserve(points.size());
+    std::size_t invalid = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        results.push_back(run_point(points[i].params, schedulers, config.trials,
+                                    mix_seed(config.seed, i)));
+        invalid += results.back().invalid_schedules;
+    }
+
+    for (const Metric metric : metrics) {
+        std::cout << "-- mean " << metric_name(metric) << " (+-95% CI) --\n";
+        const Table table = sweep_table(config, points, results, metric);
+        table.print(std::cout);
+        std::cout << '\n';
+        if (!config.csv_path.empty()) {
+            std::string path = config.csv_path;
+            if (metrics.size() > 1) {
+                const auto dot = path.rfind('.');
+                const std::string suffix = std::string("_") + metric_name(metric);
+                if (dot == std::string::npos) {
+                    path += suffix;
+                } else {
+                    path.insert(dot, suffix);
+                }
+            }
+            if (!table.write_csv(path)) {
+                std::cerr << "warning: could not write " << path << '\n';
+            }
+        }
+    }
+    if (invalid > 0) {
+        std::cerr << "ERROR: " << invalid << " schedules failed validation\n";
+    }
+    std::cout << "(sweep wall time: " << watch.elapsed_seconds() << " s)\n\n";
+    return results;
+}
+
+}  // namespace tsched::bench

@@ -1,0 +1,185 @@
+#include "core/ils.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "graph/algorithms.hpp"
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+
+namespace tsched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+
+/// DSH-style improvement pass reused by ILS-D (kept local: the sched/
+/// duplication baselines own their variant; ILS-D deliberately uses the
+/// cheaper single-parent version).
+void duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max_dups) {
+    const Problem& problem = trial.problem();
+    const Dag& dag = problem.dag();
+    const LinkModel& links = problem.machine().links();
+    for (std::size_t round = 0; round < max_dups; ++round) {
+        const double ready = trial.data_ready(v, p);
+        if (ready <= 0.0) return;
+        // Binding remote predecessor.
+        TaskId binding = kInvalidTask;
+        double worst = -1.0;
+        for (const AdjEdge& e : dag.predecessors(v)) {
+            const double avail = trial.partial().data_available(e.task, p, e.data, links);
+            if (avail > worst) {
+                worst = avail;
+                binding = e.task;
+            }
+        }
+        if (binding == kInvalidTask) return;
+        bool local = false;
+        for (const Placement& pl : trial.partial().placements(binding)) {
+            if (pl.proc == p && pl.finish <= worst + kEps) local = true;
+        }
+        if (local) return;
+        const double u_ready = trial.data_ready(binding, p);
+        const double u_cost = problem.exec_time(binding, p);
+        const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps, true);
+        if (!slot) return;
+        trial.place_duplicate_at(binding, p, *slot);
+        if (trial.data_ready(v, p) >= ready - kEps) return;
+    }
+}
+
+/// Predecessor-affinity key: finish time of the latest-finishing predecessor
+/// placement hosted on p (-inf when none) — larger is better.
+double affinity(const ScheduleBuilder& builder, TaskId v, ProcId p) {
+    const Dag& dag = builder.problem().dag();
+    double best = -kInf;
+    for (const AdjEdge& e : dag.predecessors(v)) {
+        for (const Placement& pl : builder.partial().placements(e.task)) {
+            if (pl.proc == p) best = std::max(best, pl.finish);
+        }
+    }
+    return best;
+}
+}  // namespace
+
+std::vector<double> IlsScheduler::ils_rank(const Problem& problem, bool variance_rank) {
+    const Dag& dag = problem.dag();
+    std::vector<double> rank(dag.num_tasks(), 0.0);
+    const auto order = topological_order(dag);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const TaskId v = *it;
+        double best = 0.0;
+        for (const AdjEdge& e : dag.successors(v)) {
+            best = std::max(best, problem.mean_comm_data(e.data) +
+                                      rank[static_cast<std::size_t>(e.task)]);
+        }
+        const double w = problem.costs().mean(v) +
+                         (variance_rank ? problem.costs().stddev(v) : 0.0);
+        rank[static_cast<std::size_t>(v)] = w + best;
+    }
+    return rank;
+}
+
+std::vector<double> IlsScheduler::optimistic_cost_table(const Problem& problem) {
+    return tsched::optimistic_cost_table(problem);
+}
+
+std::string IlsScheduler::name() const {
+    std::string n = config_.duplication ? "ils-d" : "ils";
+    if (!config_.variance_rank) n += "-novar";
+    if (!config_.lookahead) n += "-nola";
+    if (!config_.insertion) n += "-noins";
+    if (config_.lookahead && config_.lookahead_k > 0) {
+        n += "-k" + std::to_string(config_.lookahead_k);
+    }
+    return n;
+}
+
+Schedule IlsScheduler::schedule(const Problem& problem) const {
+    // Greedy-EFT pass (mean upward rank, plain EFT selection): the baseline
+    // mode ILS can always fall back on.
+    Schedule greedy = run_pass(problem, /*use_oct=*/false);
+    if (!config_.lookahead) return greedy;
+    // Downstream-aware pass; keep whichever schedule is shorter.  The
+    // dual-mode structure makes ILS never worse than its own HEFT-equivalent
+    // mode on any instance while capturing the OCT mode's wins on
+    // communication-dominated graphs.
+    Schedule aware = run_pass(problem, /*use_oct=*/true);
+    return aware.makespan() <= greedy.makespan() ? std::move(aware) : std::move(greedy);
+}
+
+Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct) const {
+    const std::size_t procs = problem.num_procs();
+    // The greedy pass uses HEFT's mean rank so that it reproduces classic
+    // behaviour exactly; the OCT pass uses the variance-aware rank.
+    const auto rank = ils_rank(problem, use_oct && config_.variance_rank);
+    const auto oct = use_oct ? optimistic_cost_table(problem) : std::vector<double>{};
+
+    ScheduleBuilder builder(problem);
+    for (const TaskId v : order_by_decreasing(rank)) {
+        // Per-processor first-level evaluation.  For ILS-D the duplication
+        // pass runs on a clone before the EFT is measured, so every
+        // candidate is judged with its duplicates in place.
+        std::vector<double> eft_of(procs, kInf);
+        std::vector<std::optional<ScheduleBuilder>> state_of(procs);  // ILS-D clones
+        for (std::size_t pi = 0; pi < procs; ++pi) {
+            const auto p = static_cast<ProcId>(pi);
+            if (config_.duplication) {
+                ScheduleBuilder trial = builder;
+                duplicate_parents(trial, v, p, config_.max_dups_per_task);
+                eft_of[pi] = trial.eft(v, p, config_.insertion);
+                state_of[pi].emplace(std::move(trial));
+            } else {
+                eft_of[pi] = builder.eft(v, p, config_.insertion);
+            }
+        }
+        // Candidate set: the top-k processors by plain EFT (k = all by
+        // default); among them the downstream-aware score decides.
+        std::vector<std::size_t> cand(procs);
+        std::iota(cand.begin(), cand.end(), 0);
+        std::sort(cand.begin(), cand.end(), [&](std::size_t a, std::size_t b) {
+            if (eft_of[a] != eft_of[b]) return eft_of[a] < eft_of[b];
+            return a < b;
+        });
+        const std::size_t k =
+            use_oct ? (config_.lookahead_k == 0 ? cand.size()
+                                                : std::min(config_.lookahead_k, cand.size()))
+                    : 1;
+
+        std::size_t best_pi = cand[0];
+        double best_score = kInf;
+        double best_eft = kInf;
+        double best_affinity = -kInf;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t pi = cand[i];
+            const auto p = static_cast<ProcId>(pi);
+            const double score =
+                use_oct ? eft_of[pi] + oct[static_cast<std::size_t>(v) * procs + pi]
+                        : eft_of[pi];
+            const double aff = affinity(builder, v, p);
+            const bool better =
+                score < best_score - kEps ||
+                (score <= best_score + kEps &&
+                 (eft_of[pi] < best_eft - kEps ||
+                  (eft_of[pi] <= best_eft + kEps &&
+                   (aff > best_affinity + kEps ||
+                    (aff >= best_affinity - kEps && pi < best_pi)))));
+            if (i == 0 || better) {
+                best_pi = pi;
+                best_score = score;
+                best_eft = eft_of[pi];
+                best_affinity = aff;
+            }
+        }
+
+        if (state_of[best_pi]) {
+            builder = std::move(*state_of[best_pi]);
+        }
+        builder.place(v, static_cast<ProcId>(best_pi), config_.insertion);
+    }
+    return std::move(builder).take();
+}
+
+}  // namespace tsched

@@ -1,0 +1,113 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/ils.hpp"
+#include "opt/genetic.hpp"
+#include "opt/local_search.hpp"
+#include "sched/clustering.hpp"
+#include "sched/contention_aware.hpp"
+#include "sched/cpop.hpp"
+#include "sched/dls.hpp"
+#include "sched/duplication.hpp"
+#include "sched/hcpt.hpp"
+#include "sched/heft.hpp"
+#include "sched/list_baselines.hpp"
+#include "sched/lookahead_heft.hpp"
+#include "sched/optimal.hpp"
+#include "sched/peft.hpp"
+
+namespace tsched {
+
+std::vector<std::string> scheduler_names() {
+    return {
+        "ils",  "ils-d",                                    // contribution
+        "heft", "heft-median", "heft-worst", "heft-best",   // HEFT + rank variants
+        "heft-noins", "cpop", "hcpt", "dls", "etf", "mcp", "hlfet",
+        "minmin", "maxmin", "random",                       // other baselines
+        "peft", "lheft", "lc", "ca-heft",                   // later/clustering/contention
+        "dsh", "btdh",                                      // duplication baselines
+        "ga", "heft+ls", "ils+ls",                          // search-based schedulers
+    };
+}
+
+std::vector<std::string> default_comparison_set() {
+    return {"ils", "ils-d", "heft", "cpop", "hcpt", "dls", "etf", "mcp"};
+}
+
+SchedulerPtr make_scheduler(const std::string& name) {
+    // --- search-based wrappers: "<base>+ls" refines any base scheduler ---
+    if (const auto plus = name.rfind("+ls"); plus != std::string::npos &&
+                                             plus == name.size() - 3 && plus > 0) {
+        return std::make_unique<opt::RefinedScheduler>(make_scheduler(name.substr(0, plus)));
+    }
+    if (name == "ga") return std::make_unique<opt::GaScheduler>();
+
+    // --- contribution + ablation variants ---
+    if (name.rfind("ils", 0) == 0) {
+        IlsConfig config;
+        std::string rest = name.substr(3);
+        if (rest.rfind("-d", 0) == 0) {
+            config.duplication = true;
+            rest = rest.substr(2);
+        }
+        while (!rest.empty()) {
+            if (rest.rfind("-novar", 0) == 0) {
+                config.variance_rank = false;
+                rest = rest.substr(6);
+            } else if (rest.rfind("-nola", 0) == 0) {
+                config.lookahead = false;
+                rest = rest.substr(5);
+            } else if (rest.rfind("-noins", 0) == 0) {
+                config.insertion = false;
+                rest = rest.substr(6);
+            } else if (rest.rfind("-k", 0) == 0) {
+                std::size_t consumed = 0;
+                config.lookahead_k = std::stoul(rest.substr(2), &consumed);
+                rest = rest.substr(2 + consumed);
+            } else {
+                throw std::invalid_argument("unknown scheduler '" + name + "'");
+            }
+        }
+        return std::make_unique<IlsScheduler>(config);
+    }
+
+    // --- HEFT family ---
+    if (name == "heft") return std::make_unique<HeftScheduler>();
+    if (name == "heft-median") return std::make_unique<HeftScheduler>(RankCost::kMedian);
+    if (name == "heft-worst") return std::make_unique<HeftScheduler>(RankCost::kWorst);
+    if (name == "heft-best") return std::make_unique<HeftScheduler>(RankCost::kBest);
+    if (name == "heft-noins") {
+        return std::make_unique<HeftScheduler>(RankCost::kMean, /*insertion=*/false);
+    }
+
+    if (name == "cpop") return std::make_unique<CpopScheduler>();
+    if (name == "hcpt") return std::make_unique<HcptScheduler>();
+    if (name == "dls") return std::make_unique<DlsScheduler>();
+    if (name == "etf") return std::make_unique<EtfScheduler>();
+    if (name == "mcp") return std::make_unique<McpScheduler>();
+    if (name == "hlfet") return std::make_unique<HlfetScheduler>();
+    if (name == "minmin") return std::make_unique<MinMinScheduler>();
+    if (name == "maxmin") return std::make_unique<MaxMinScheduler>();
+    if (name == "random") return std::make_unique<RandomScheduler>();
+    if (name == "dsh") return std::make_unique<DshScheduler>();
+    if (name == "btdh") return std::make_unique<BtdhScheduler>();
+    if (name == "peft") return std::make_unique<PeftScheduler>();
+    if (name == "lheft") return std::make_unique<LookaheadHeftScheduler>();
+    if (name == "lc") return std::make_unique<LinearClusteringScheduler>();
+    if (name == "ca-heft") return std::make_unique<CaHeftScheduler>();
+    // Exact search — resolvable by name but deliberately absent from
+    // scheduler_names(): exponential, for small instances only (see E15).
+    if (name == "bnb") return std::make_unique<BnbScheduler>();
+
+    throw std::invalid_argument("unknown scheduler '" + name + "'");
+}
+
+std::vector<SchedulerPtr> make_schedulers(std::span<const std::string> names) {
+    std::vector<SchedulerPtr> out;
+    out.reserve(names.size());
+    for (const auto& name : names) out.push_back(make_scheduler(name));
+    return out;
+}
+
+}  // namespace tsched

@@ -1,0 +1,33 @@
+// Scheduler registry: string name -> Scheduler instance.
+//
+// The single place that knows every algorithm in the library; the benchmark
+// harness, examples, and tests all resolve schedulers through it so a new
+// algorithm becomes available everywhere by adding one factory entry here.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+/// Canonical names of all registered schedulers (the order used in result
+/// tables: contribution first, then the list baselines, then duplication).
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+/// Names of the default comparison set used by the paper-style experiments
+/// (contribution + the main heterogeneous baselines).
+[[nodiscard]] std::vector<std::string> default_comparison_set();
+
+/// Instantiate a scheduler by name (including ablation variants such as
+/// "heft-median" or "ils-nola"); throws std::invalid_argument for unknown
+/// names.
+[[nodiscard]] SchedulerPtr make_scheduler(const std::string& name);
+
+/// Instantiate several schedulers at once.
+[[nodiscard]] std::vector<SchedulerPtr> make_schedulers(std::span<const std::string> names);
+
+}  // namespace tsched

@@ -1,0 +1,59 @@
+// Pure-structure DAG algorithms shared by generators, schedulers and metrics.
+//
+// Algorithms here operate only on the graph (work/data weights), never on a
+// platform: cost-model-aware quantities (upward rank, SLR lower bound, ...)
+// live in sched/ and metrics/.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace tsched {
+
+/// Deterministic topological order (Kahn, ties broken by ascending TaskId).
+/// Throws std::invalid_argument if the graph has a cycle.
+[[nodiscard]] std::vector<TaskId> topological_order(const Dag& dag);
+
+/// top_level[v] = length of the longest edge-count path from any source to v
+/// (sources have level 0).
+[[nodiscard]] std::vector<int> top_levels(const Dag& dag);
+
+/// bottom_level[v] = length of the longest edge-count path from v to any sink
+/// (sinks have level 0).
+[[nodiscard]] std::vector<int> bottom_levels(const Dag& dag);
+
+/// Height of the DAG: number of node layers on the longest path (empty -> 0).
+[[nodiscard]] int height(const Dag& dag);
+
+/// Weighted longest path from any source to any sink, counting task work on
+/// nodes and, when `include_edge_data` is set, data volumes on edges.
+/// This is the classic "critical path" of the abstract graph.
+[[nodiscard]] double critical_path_length(const Dag& dag, bool include_edge_data);
+
+/// Tasks of one longest (work + optional data) path, source to sink order.
+[[nodiscard]] std::vector<TaskId> critical_path(const Dag& dag, bool include_edge_data);
+
+/// reachable[u*n + v] == true iff there is a directed path u ->* v (u != v).
+/// Bit-packed transitive closure; O(n * m / 64).
+[[nodiscard]] std::vector<bool> transitive_closure(const Dag& dag);
+
+/// True iff there is a directed path u ->* v (u != v) — one-off query,
+/// O(n + m) DFS; use transitive_closure for many queries.
+[[nodiscard]] bool reaches(const Dag& dag, TaskId u, TaskId v);
+
+/// Copy of `dag` with every transitively redundant edge removed (edge u->v is
+/// redundant when a longer path u ->* v exists).  Task ids and weights are
+/// preserved; removed edges' data is dropped.
+[[nodiscard]] Dag transitive_reduction(const Dag& dag);
+
+/// Number of weakly connected components.
+[[nodiscard]] std::size_t weakly_connected_components(const Dag& dag);
+
+/// All ancestors of v (excluding v), ascending by id.
+[[nodiscard]] std::vector<TaskId> ancestors(const Dag& dag, TaskId v);
+
+/// All descendants of v (excluding v), ascending by id.
+[[nodiscard]] std::vector<TaskId> descendants(const Dag& dag, TaskId v);
+
+}  // namespace tsched

@@ -1,0 +1,108 @@
+// Task-graph container.
+//
+// A Dag models an application as a directed acyclic graph: nodes are tasks
+// carrying an abstract work amount (scaled into per-processor execution times
+// by the platform's cost matrix), edges carry the data volume communicated
+// from producer to consumer (scaled into communication times by the
+// platform's link model).
+//
+// The container is append-only (tasks and edges can be added, never removed)
+// which keeps TaskIds stable; structural transformations (e.g. transitive
+// reduction) produce new Dags.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsched {
+
+/// Dense task index; valid ids are [0, num_tasks).
+using TaskId = std::int32_t;
+inline constexpr TaskId kInvalidTask = -1;
+
+/// One adjacency entry: the neighbour task and the data volume on the edge.
+struct AdjEdge {
+    TaskId task = kInvalidTask;
+    double data = 0.0;
+
+    friend bool operator==(const AdjEdge&, const AdjEdge&) = default;
+};
+
+class Dag {
+public:
+    Dag() = default;
+    /// Pre-create `n` tasks with unit work and empty names.
+    explicit Dag(std::size_t n) { tasks_.resize(n); }
+
+    /// Add a task; returns its id. `work` is the abstract computation amount.
+    TaskId add_task(double work = 1.0, std::string name = {});
+
+    /// Add a directed edge u -> v carrying `data` volume.
+    /// Throws std::invalid_argument on out-of-range ids, self-loops, or
+    /// duplicate edges. Cycle creation is detected lazily by validate().
+    void add_edge(TaskId u, TaskId v, double data = 0.0);
+
+    [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+    [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+    [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+    [[nodiscard]] double work(TaskId v) const { return tasks_.at(check(v)).work; }
+    void set_work(TaskId v, double w) { tasks_.at(check(v)).work = w; }
+
+    [[nodiscard]] const std::string& name(TaskId v) const { return tasks_.at(check(v)).name; }
+    void set_name(TaskId v, std::string name) { tasks_.at(check(v)).name = std::move(name); }
+
+    /// Successors of v with edge data, in insertion order.
+    [[nodiscard]] std::span<const AdjEdge> successors(TaskId v) const {
+        return tasks_.at(check(v)).succs;
+    }
+    /// Predecessors of v with edge data, in insertion order.
+    [[nodiscard]] std::span<const AdjEdge> predecessors(TaskId v) const {
+        return tasks_.at(check(v)).preds;
+    }
+
+    [[nodiscard]] std::size_t out_degree(TaskId v) const { return successors(v).size(); }
+    [[nodiscard]] std::size_t in_degree(TaskId v) const { return predecessors(v).size(); }
+
+    [[nodiscard]] bool has_edge(TaskId u, TaskId v) const;
+    /// Data volume on edge u -> v; throws std::out_of_range if absent.
+    [[nodiscard]] double edge_data(TaskId u, TaskId v) const;
+    /// Overwrite the data volume of an existing edge (used by the CCR
+    /// calibration in workload/); throws std::out_of_range if absent.
+    void set_edge_data(TaskId u, TaskId v, double data);
+
+    /// Tasks with no predecessors / successors, ascending by id.
+    [[nodiscard]] std::vector<TaskId> sources() const;
+    [[nodiscard]] std::vector<TaskId> sinks() const;
+
+    /// Sum of all task work / all edge data.
+    [[nodiscard]] double total_work() const noexcept;
+    [[nodiscard]] double total_data() const noexcept;
+
+    /// True when the edge set is acyclic (a Dag built only through add_edge
+    /// can still encode a cycle; generators call this as a postcondition).
+    [[nodiscard]] bool is_acyclic() const;
+
+    /// Check invariants (acyclicity, non-negative work/data); returns an
+    /// empty string when valid, otherwise a diagnostic.
+    [[nodiscard]] std::string validate() const;
+
+    friend bool operator==(const Dag& a, const Dag& b);
+
+private:
+    struct TaskNode {
+        double work = 1.0;
+        std::string name;
+        std::vector<AdjEdge> succs;
+        std::vector<AdjEdge> preds;
+    };
+
+    [[nodiscard]] std::size_t check(TaskId v) const;
+
+    std::vector<TaskNode> tasks_;
+    std::size_t num_edges_ = 0;
+};
+
+}  // namespace tsched

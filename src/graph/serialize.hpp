@@ -1,0 +1,43 @@
+// DAG serialization.
+//
+// Three formats:
+//   * DOT        — for visual inspection with graphviz (write-only);
+//   * TSG        — "task scheduling graph", a line-oriented text format that
+//                  round-trips exactly (write + read), used by tests and to
+//                  archive generated experiment graphs;
+//   * JSON       — a write-only export for downstream tooling.
+//
+// TSG grammar (one record per line, '#' starts a comment):
+//   tsg <num_tasks> <num_edges>
+//   t <id> <work> [name]
+//   e <src> <dst> <data>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace tsched {
+
+/// Graphviz DOT representation (node label: "name (work)" or id).
+[[nodiscard]] std::string to_dot(const Dag& dag, const std::string& graph_name = "dag");
+
+/// TSG text representation; round-trips through read_tsg.
+[[nodiscard]] std::string to_tsg(const Dag& dag);
+void write_tsg(std::ostream& os, const Dag& dag);
+
+/// Parse a TSG document.  Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] Dag read_tsg(std::istream& is);
+[[nodiscard]] Dag read_tsg_string(const std::string& text);
+
+/// Save/load helpers; throw std::runtime_error when the file cannot be
+/// opened.
+void save_tsg(const std::string& path, const Dag& dag);
+[[nodiscard]] Dag load_tsg(const std::string& path);
+
+/// JSON export: {"tasks": [{"id","work","name"}...], "edges": [...]}.
+[[nodiscard]] std::string to_json(const Dag& dag);
+
+}  // namespace tsched

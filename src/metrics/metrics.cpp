@@ -1,0 +1,31 @@
+#include "metrics/metrics.hpp"
+
+#include <limits>
+
+namespace tsched {
+
+double slr(const Schedule& schedule, const Problem& problem) {
+    const double bound = problem.cp_lower_bound();
+    const double ms = schedule.makespan();
+    if (bound <= 0.0) return ms > 0.0 ? std::numeric_limits<double>::infinity() : 1.0;
+    return ms / bound;
+}
+
+double speedup(const Schedule& schedule, const Problem& problem) {
+    const double ms = schedule.makespan();
+    if (ms <= 0.0) return 1.0;
+    return problem.costs().best_serial_time() / ms;
+}
+
+double efficiency(const Schedule& schedule, const Problem& problem) {
+    return speedup(schedule, problem) / static_cast<double>(problem.num_procs());
+}
+
+double utilization(const Schedule& schedule) {
+    const double ms = schedule.makespan();
+    if (ms <= 0.0) return 1.0;
+    const double capacity = ms * static_cast<double>(schedule.num_procs());
+    return (capacity - schedule.total_idle_time()) / capacity;
+}
+
+}  // namespace tsched

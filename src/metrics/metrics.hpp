@@ -1,0 +1,25 @@
+// Schedule-quality metrics of the static-scheduling literature.
+//
+// Definitions follow Topcuoglu et al. (TPDS 2002):
+//   SLR        = makespan / Σ_{v ∈ CP_min} min_p w(v, p)
+//                (the denominator is the communication-free critical path
+//                over per-task minimum costs — an absolute lower bound, so
+//                SLR >= 1 always);
+//   speedup    = (min_p Σ_v w(v, p)) / makespan
+//                (serial time of the single best processor);
+//   efficiency = speedup / P.
+#pragma once
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+[[nodiscard]] double slr(const Schedule& schedule, const Problem& problem);
+[[nodiscard]] double speedup(const Schedule& schedule, const Problem& problem);
+[[nodiscard]] double efficiency(const Schedule& schedule, const Problem& problem);
+
+/// Fraction of [0, makespan] x P that is busy (1 - normalised idle time).
+[[nodiscard]] double utilization(const Schedule& schedule);
+
+}  // namespace tsched

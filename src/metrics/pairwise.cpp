@@ -1,0 +1,103 @@
+#include "metrics/pairwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched {
+
+PairwiseMatrix::PairwiseMatrix(std::vector<std::string> names, double rel_eps)
+    : names_(std::move(names)), rel_eps_(rel_eps) {
+    if (names_.empty()) throw std::invalid_argument("PairwiseMatrix: need at least one name");
+    better_.assign(names_.size() * names_.size(), 0);
+    equal_.assign(names_.size() * names_.size(), 0);
+}
+
+std::size_t PairwiseMatrix::idx(std::size_t a, std::size_t b) const {
+    if (a >= names_.size() || b >= names_.size()) {
+        throw std::out_of_range("PairwiseMatrix: scheduler index out of range");
+    }
+    return a * names_.size() + b;
+}
+
+void PairwiseMatrix::add_trial(std::span<const double> makespans) {
+    if (makespans.size() != names_.size()) {
+        throw std::invalid_argument("PairwiseMatrix::add_trial: size mismatch");
+    }
+    ++trials_;
+    for (std::size_t a = 0; a < names_.size(); ++a) {
+        for (std::size_t b = 0; b < names_.size(); ++b) {
+            if (a == b) continue;
+            const double scale = std::max({std::abs(makespans[a]), std::abs(makespans[b]), 1.0});
+            if (std::abs(makespans[a] - makespans[b]) <= rel_eps_ * scale) {
+                ++equal_[idx(a, b)];
+            } else if (makespans[a] < makespans[b]) {
+                ++better_[idx(a, b)];
+            }
+        }
+    }
+}
+
+std::size_t PairwiseMatrix::better(std::size_t a, std::size_t b) const {
+    return better_[idx(a, b)];
+}
+std::size_t PairwiseMatrix::equal(std::size_t a, std::size_t b) const { return equal_[idx(a, b)]; }
+std::size_t PairwiseMatrix::worse(std::size_t a, std::size_t b) const {
+    return trials_ - better(a, b) - equal(a, b);
+}
+
+namespace {
+double pct(std::size_t count, std::size_t total) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(count) / static_cast<double>(total);
+}
+}  // namespace
+
+double PairwiseMatrix::better_pct(std::size_t a, std::size_t b) const {
+    return pct(better(a, b), trials_);
+}
+double PairwiseMatrix::equal_pct(std::size_t a, std::size_t b) const {
+    return pct(equal(a, b), trials_);
+}
+double PairwiseMatrix::worse_pct(std::size_t a, std::size_t b) const {
+    return pct(worse(a, b), trials_);
+}
+
+Table PairwiseMatrix::to_table() const {
+    Table table({"A", "B", "A better %", "equal %", "A worse %"});
+    for (std::size_t a = 0; a < names_.size(); ++a) {
+        for (std::size_t b = 0; b < names_.size(); ++b) {
+            if (a == b) continue;
+            table.new_row()
+                .add(names_[a])
+                .add(names_[b])
+                .add(better_pct(a, b), 1)
+                .add(equal_pct(a, b), 1)
+                .add(worse_pct(a, b), 1);
+        }
+    }
+    return table;
+}
+
+Table PairwiseMatrix::to_grid() const {
+    std::vector<std::string> headers{"A \\ B (better/equal/worse %)"};
+    headers.insert(headers.end(), names_.begin(), names_.end());
+    Table table(headers);
+    for (std::size_t a = 0; a < names_.size(); ++a) {
+        table.new_row().add(names_[a]);
+        for (std::size_t b = 0; b < names_.size(); ++b) {
+            if (a == b) {
+                table.add("-");
+                continue;
+            }
+            std::ostringstream cell;
+            cell.precision(0);
+            cell << std::fixed << better_pct(a, b) << "/" << equal_pct(a, b) << "/"
+                 << worse_pct(a, b);
+            table.add(cell.str());
+        }
+    }
+    return table;
+}
+
+}  // namespace tsched

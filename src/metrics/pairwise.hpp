@@ -1,0 +1,56 @@
+// Pairwise scheduler comparison — the "% better / equal / worse" tables of
+// the HEFT-family evaluations.
+//
+// For every ordered pair (A, B) the matrix counts over all trials how often
+// A's makespan was better than, equal to (within a relative tolerance), or
+// worse than B's.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace tsched {
+
+class PairwiseMatrix {
+public:
+    /// `names[i]` labels scheduler i; `rel_eps` is the relative makespan
+    /// tolerance under which two results count as equal.
+    explicit PairwiseMatrix(std::vector<std::string> names, double rel_eps = 1e-9);
+
+    /// Record one trial: makespans[i] belongs to scheduler i.
+    void add_trial(std::span<const double> makespans);
+
+    [[nodiscard]] std::size_t num_schedulers() const noexcept { return names_.size(); }
+    [[nodiscard]] std::size_t num_trials() const noexcept { return trials_; }
+    [[nodiscard]] const std::vector<std::string>& names() const noexcept { return names_; }
+
+    [[nodiscard]] std::size_t better(std::size_t a, std::size_t b) const;
+    [[nodiscard]] std::size_t equal(std::size_t a, std::size_t b) const;
+    [[nodiscard]] std::size_t worse(std::size_t a, std::size_t b) const;
+
+    [[nodiscard]] double better_pct(std::size_t a, std::size_t b) const;
+    [[nodiscard]] double equal_pct(std::size_t a, std::size_t b) const;
+    [[nodiscard]] double worse_pct(std::size_t a, std::size_t b) const;
+
+    /// Render the full matrix: one row per pair with %better/%equal/%worse.
+    [[nodiscard]] Table to_table() const;
+
+    /// Render the paper-style compact grid: cell (row A, col B) =
+    /// "better/equal/worse" percentages of A against B.
+    [[nodiscard]] Table to_grid() const;
+
+private:
+    [[nodiscard]] std::size_t idx(std::size_t a, std::size_t b) const;
+
+    std::vector<std::string> names_;
+    double rel_eps_;
+    std::size_t trials_ = 0;
+    std::vector<std::size_t> better_;  // (a, b) -> count a strictly better
+    std::vector<std::size_t> equal_;
+};
+
+}  // namespace tsched

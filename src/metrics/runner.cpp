@@ -1,0 +1,65 @@
+#include "metrics/runner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+#include "sched/validate.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tsched {
+
+PointResult run_point(const workload::InstanceParams& params,
+                      std::span<const Scheduler* const> schedulers, std::size_t trials,
+                      std::uint64_t base_seed) {
+    if (schedulers.empty()) throw std::invalid_argument("run_point: no schedulers");
+
+    std::vector<std::string> names;
+    names.reserve(schedulers.size());
+    for (const Scheduler* s : schedulers) names.push_back(s->name());
+
+    PointResult result{names, {}, PairwiseMatrix(names), trials, 0};
+    for (const auto& name : names) result.agg.emplace(name, SchedulerAggregate{});
+
+    std::vector<double> makespans(schedulers.size());
+    for (std::size_t t = 0; t < trials; ++t) {
+        const Problem problem = workload::make_instance(params, mix_seed(base_seed, t));
+        for (std::size_t s = 0; s < schedulers.size(); ++s) {
+            Stopwatch watch;
+            const Schedule schedule = schedulers[s]->schedule(problem);
+            const double elapsed_ms = watch.elapsed_ms();
+
+            const ValidationResult valid = validate(schedule, problem);
+            if (!valid) {
+                ++result.invalid_schedules;
+                TSCHED_ERROR << "invalid schedule from " << names[s] << " (trial " << t
+                             << "): " << valid.message();
+                makespans[s] = std::numeric_limits<double>::infinity();
+                continue;
+            }
+            makespans[s] = schedule.makespan();
+            SchedulerAggregate& agg = result.agg.at(names[s]);
+            agg.slr.add(slr(schedule, problem));
+            agg.speedup.add(speedup(schedule, problem));
+            agg.efficiency.add(efficiency(schedule, problem));
+            agg.makespan.add(schedule.makespan());
+            agg.sched_time_ms.add(elapsed_ms);
+            agg.duplicates.add(static_cast<double>(schedule.num_duplicates()));
+        }
+        result.pairwise.add_trial(makespans);
+    }
+    return result;
+}
+
+PointResult run_point(const workload::InstanceParams& params,
+                      std::span<const SchedulerPtr> schedulers, std::size_t trials,
+                      std::uint64_t base_seed) {
+    std::vector<const Scheduler*> raw;
+    raw.reserve(schedulers.size());
+    for (const auto& s : schedulers) raw.push_back(s.get());
+    return run_point(params, raw, trials, base_seed);
+}
+
+}  // namespace tsched

@@ -1,0 +1,53 @@
+// Experiment runner: the loop every benchmark binary shares.
+//
+// An experiment point = (InstanceParams, trial count, scheduler set).  The
+// runner generates `trials` independent problems (seeded deterministically
+// from base_seed + trial index), runs every scheduler on each, validates the
+// schedules, and aggregates SLR / speedup / efficiency / scheduling time per
+// scheduler plus the pairwise win matrix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/pairwise.hpp"
+#include "sched/scheduler.hpp"
+#include "util/stats.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+
+struct SchedulerAggregate {
+    RunningStats slr;
+    RunningStats speedup;
+    RunningStats efficiency;
+    RunningStats makespan;
+    RunningStats sched_time_ms;  ///< wall-clock scheduling time
+    RunningStats duplicates;     ///< duplicate placements per schedule
+};
+
+struct PointResult {
+    /// Keyed by scheduler name, iteration order = input scheduler order.
+    std::vector<std::string> names;
+    std::map<std::string, SchedulerAggregate> agg;
+    PairwiseMatrix pairwise;
+    std::size_t trials = 0;
+    std::size_t invalid_schedules = 0;  ///< validator failures (should be 0)
+};
+
+/// Run one experiment point.  Throws std::invalid_argument on an empty
+/// scheduler set.  Schedules failing validation are counted in
+/// `invalid_schedules` and excluded from the aggregates.
+[[nodiscard]] PointResult run_point(const workload::InstanceParams& params,
+                                    std::span<const Scheduler* const> schedulers,
+                                    std::size_t trials, std::uint64_t base_seed);
+
+/// Convenience overload for owning pointers.
+[[nodiscard]] PointResult run_point(const workload::InstanceParams& params,
+                                    std::span<const SchedulerPtr> schedulers, std::size_t trials,
+                                    std::uint64_t base_seed);
+
+}  // namespace tsched

@@ -1,0 +1,56 @@
+#include "opt/decoder.hpp"
+
+#include <stdexcept>
+
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+
+namespace tsched::opt {
+
+Schedule decode(const Problem& problem, std::span<const ProcId> assignment,
+                std::span<const double> priority) {
+    const Dag& dag = problem.dag();
+    const std::size_t n = problem.num_tasks();
+    if (assignment.size() != n || priority.size() != n) {
+        throw std::invalid_argument("decode: chromosome size mismatch");
+    }
+    ScheduleBuilder builder(problem);
+    std::vector<std::size_t> pending(n);
+    std::vector<TaskId> ready;
+    for (std::size_t v = 0; v < n; ++v) {
+        pending[v] = dag.in_degree(static_cast<TaskId>(v));
+        if (pending[v] == 0) ready.push_back(static_cast<TaskId>(v));
+    }
+    while (!ready.empty()) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+            const auto a = static_cast<std::size_t>(ready[i]);
+            const auto b = static_cast<std::size_t>(ready[best]);
+            if (priority[a] > priority[b] ||
+                (priority[a] == priority[b] && ready[i] < ready[best])) {
+                best = i;
+            }
+        }
+        const TaskId v = ready[best];
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+        builder.place(v, assignment[static_cast<std::size_t>(v)], /*insertion=*/true);
+        for (const AdjEdge& e : dag.successors(v)) {
+            if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
+        }
+    }
+    return std::move(builder).take();
+}
+
+std::vector<ProcId> extract_assignment(const Schedule& schedule) {
+    std::vector<ProcId> assignment(schedule.num_tasks(), 0);
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        assignment[v] = schedule.primary(static_cast<TaskId>(v)).proc;
+    }
+    return assignment;
+}
+
+std::vector<double> default_priority(const Problem& problem) {
+    return upward_rank(problem, RankCost::kMean);
+}
+
+}  // namespace tsched::opt

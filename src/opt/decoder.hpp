@@ -1,0 +1,34 @@
+// Chromosome decoder shared by the search-based schedulers (GA, local
+// search, simulated annealing).
+//
+// A candidate solution is (processor assignment, task priority vector); the
+// decoder turns it into a concrete schedule deterministically: ready-list
+// list scheduling where the highest-priority ready task is placed on its
+// assigned processor at its insertion-based earliest start.  Every
+// (assignment, priority) pair decodes to a *valid* schedule, which is what
+// makes blind search moves safe.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched::opt {
+
+/// Decode (assignment, priority) into a schedule.
+/// `assignment[v]` must be a valid processor id; `priority` any real vector
+/// (higher = earlier among ready tasks; ties by lower TaskId).
+[[nodiscard]] Schedule decode(const Problem& problem, std::span<const ProcId> assignment,
+                              std::span<const double> priority);
+
+/// The primary-placement processor of every task — the assignment a schedule
+/// encodes (duplicates are dropped; search operates on duplication-free
+/// solutions).
+[[nodiscard]] std::vector<ProcId> extract_assignment(const Schedule& schedule);
+
+/// Default priorities: HEFT's mean upward rank.
+[[nodiscard]] std::vector<double> default_priority(const Problem& problem);
+
+}  // namespace tsched::opt

@@ -1,0 +1,123 @@
+#include "opt/genetic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "opt/decoder.hpp"
+#include "sched/heft.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::opt {
+
+namespace {
+struct Individual {
+    std::vector<ProcId> assignment;
+    std::vector<double> priority;
+    double fitness = std::numeric_limits<double>::infinity();  // makespan
+};
+}  // namespace
+
+GaScheduler::GaScheduler(GaParams params) : params_(params) {
+    if (params_.population < 2) throw std::invalid_argument("GaScheduler: population >= 2");
+    if (!(params_.crossover_rate >= 0.0 && params_.crossover_rate <= 1.0)) {
+        throw std::invalid_argument("GaScheduler: crossover_rate in [0, 1]");
+    }
+}
+
+Schedule GaScheduler::schedule(const Problem& problem) const {
+    const std::size_t n = problem.num_tasks();
+    const auto procs = static_cast<std::int64_t>(problem.num_procs());
+    Rng rng(params_.seed);
+    const double mutation =
+        params_.mutation_rate > 0.0
+            ? params_.mutation_rate
+            : std::min(0.5, 2.0 / static_cast<double>(std::max<std::size_t>(n, 1)));
+
+    const auto base_priority = default_priority(problem);
+    auto evaluate = [&](Individual& ind) {
+        ind.fitness = decode(problem, ind.assignment, ind.priority).makespan();
+    };
+
+    // Seed: the HEFT solution, then perturbations of it, then random.
+    std::vector<Individual> population(params_.population);
+    {
+        const Schedule heft = HeftScheduler().schedule(problem);
+        population[0].assignment = extract_assignment(heft);
+        population[0].priority = base_priority;
+        evaluate(population[0]);
+    }
+    for (std::size_t i = 1; i < population.size(); ++i) {
+        Individual& ind = population[i];
+        ind.priority = base_priority;
+        if (i < population.size() / 2) {
+            ind.assignment = population[0].assignment;
+            for (auto& p : ind.assignment) {
+                if (rng.bernoulli(0.2)) p = static_cast<ProcId>(rng.uniform_int(0, procs - 1));
+            }
+        } else {
+            ind.assignment.resize(n);
+            for (auto& p : ind.assignment) {
+                p = static_cast<ProcId>(rng.uniform_int(0, procs - 1));
+            }
+        }
+        for (auto& pr : ind.priority) pr *= rng.uniform(0.9, 1.1);
+        evaluate(ind);
+    }
+
+    auto best_of = [&](const std::vector<Individual>& pop) -> const Individual& {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < pop.size(); ++i) {
+            if (pop[i].fitness < pop[best].fitness) best = i;
+        }
+        return pop[best];
+    };
+    auto tournament = [&](const std::vector<Individual>& pop) -> const Individual& {
+        const auto a = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pop.size() - 1)));
+        const auto b = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pop.size() - 1)));
+        return pop[a].fitness <= pop[b].fitness ? pop[a] : pop[b];
+    };
+
+    for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(population.size());
+        next.push_back(best_of(population));  // elitism
+        while (next.size() < population.size()) {
+            const Individual& mother = tournament(population);
+            const Individual& father = tournament(population);
+            Individual child;
+            child.assignment.resize(n);
+            child.priority.resize(n);
+            const bool cross = rng.bernoulli(params_.crossover_rate);
+            for (std::size_t v = 0; v < n; ++v) {
+                if (cross) {
+                    child.assignment[v] =
+                        rng.bernoulli(0.5) ? mother.assignment[v] : father.assignment[v];
+                    const double mix = rng.uniform();
+                    child.priority[v] =
+                        mix * mother.priority[v] + (1.0 - mix) * father.priority[v];
+                } else {
+                    child.assignment[v] = mother.assignment[v];
+                    child.priority[v] = mother.priority[v];
+                }
+                if (rng.bernoulli(mutation)) {
+                    child.assignment[v] = static_cast<ProcId>(rng.uniform_int(0, procs - 1));
+                }
+                if (rng.bernoulli(mutation)) {
+                    child.priority[v] *= rng.uniform(0.8, 1.2);
+                }
+            }
+            evaluate(child);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+
+    const Individual& winner = best_of(population);
+    return decode(problem, winner.assignment, winner.priority);
+}
+
+}  // namespace tsched::opt

@@ -1,0 +1,85 @@
+#include "opt/local_search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "opt/decoder.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::opt {
+
+Schedule local_search(const Problem& problem, const Schedule& initial,
+                      const LocalSearchParams& params) {
+    const std::size_t n = problem.num_tasks();
+    const auto procs = static_cast<std::int64_t>(problem.num_procs());
+    if (n == 0 || procs == 1) return initial;
+
+    Rng rng(params.seed);
+
+    std::vector<ProcId> current = extract_assignment(initial);
+    std::vector<double> current_priority = default_priority(problem);
+    // Re-decode the extracted assignment: it may differ slightly from the
+    // input schedule (duplicates dropped, priority order normalised); keep
+    // whichever is better as the incumbent.
+    Schedule current_schedule = decode(problem, current, current_priority);
+    double current_cost = current_schedule.makespan();
+
+    Schedule best_schedule =
+        initial.makespan() <= current_cost ? initial : current_schedule;
+    double best_cost = best_schedule.makespan();
+
+    double temperature = params.initial_temperature * current_cost;
+    for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+        std::vector<ProcId> candidate = current;
+        std::vector<double> candidate_priority = current_priority;
+        const double move = rng.uniform();
+        const auto v = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n - 1)));
+        if (move < 0.45) {
+            // Reassign one random task to a random other processor.
+            candidate[v] = static_cast<ProcId>(rng.uniform_int(0, procs - 1));
+        } else if (move < 0.70 && n >= 2) {
+            // Swap the processors of two random tasks.
+            const auto b = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(n - 1)));
+            std::swap(candidate[v], candidate[b]);
+        } else {
+            // Jitter one task's priority: reorders it within the ready set.
+            candidate_priority[v] *= rng.uniform(0.7, 1.3);
+        }
+
+        const Schedule schedule = decode(problem, candidate, candidate_priority);
+        const double cost = schedule.makespan();
+        const double delta = cost - current_cost;
+        bool accept = delta < 0.0;
+        if (!accept && params.annealing && temperature > 1e-12) {
+            accept = rng.uniform() < std::exp(-delta / temperature);
+        }
+        if (accept) {
+            current = std::move(candidate);
+            current_priority = std::move(candidate_priority);
+            current_cost = cost;
+            temperature *= params.cooling;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_schedule = schedule;
+            }
+        }
+    }
+    return best_schedule;
+}
+
+RefinedScheduler::RefinedScheduler(SchedulerPtr base, LocalSearchParams params)
+    : base_(std::move(base)), params_(params) {
+    if (!base_) throw std::invalid_argument("RefinedScheduler: base must not be null");
+}
+
+std::string RefinedScheduler::name() const { return base_->name() + "+ls"; }
+
+Schedule RefinedScheduler::schedule(const Problem& problem) const {
+    return local_search(problem, base_->schedule(problem), params_);
+}
+
+}  // namespace tsched::opt

@@ -1,0 +1,49 @@
+// Schedule post-optimization by stochastic local search.
+//
+// Starting from any schedule (typically a list scheduler's), the search
+// perturbs the processor assignment — single-task reassignments and
+// two-task swaps — and re-decodes; moves are accepted greedily (hill
+// climbing) or by the Metropolis criterion (simulated annealing with a
+// geometric cooling schedule).  The best schedule ever seen is returned, so
+// the result never regresses below the input.
+//
+// RefinedScheduler wraps any base scheduler with a search pass, giving the
+// "heuristic + X iterations of refinement" rows of the metaheuristic
+// trade-off experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace tsched::opt {
+
+struct LocalSearchParams {
+    std::size_t iterations = 2000;  ///< move evaluations
+    bool annealing = true;          ///< false = pure hill climbing
+    double initial_temperature = 0.05;  ///< fraction of the initial makespan
+    double cooling = 0.995;         ///< geometric factor per accepted move
+    std::uint64_t seed = 1;
+};
+
+/// Improve `initial` for `problem`; returns the best schedule found
+/// (never worse than `initial`).
+[[nodiscard]] Schedule local_search(const Problem& problem, const Schedule& initial,
+                                    const LocalSearchParams& params);
+
+/// A Scheduler that runs `base` and then refines its output.
+/// Name: "<base>+ls".
+class RefinedScheduler final : public Scheduler {
+public:
+    RefinedScheduler(SchedulerPtr base, LocalSearchParams params = {});
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+
+private:
+    SchedulerPtr base_;
+    LocalSearchParams params_;
+};
+
+}  // namespace tsched::opt

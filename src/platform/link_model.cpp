@@ -1,0 +1,206 @@
+#include "platform/link_model.hpp"
+
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched {
+
+double LinkModel::mean_comm_time(double data, std::size_t num_procs) const {
+    if (num_procs < 2) return 0.0;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t p = 0; p < num_procs; ++p) {
+        for (std::size_t q = 0; q < num_procs; ++q) {
+            if (p == q) continue;
+            sum += comm_time(data, static_cast<ProcId>(p), static_cast<ProcId>(q));
+            ++pairs;
+        }
+    }
+    return sum / static_cast<double>(pairs);
+}
+
+UniformLinkModel::UniformLinkModel(double latency, double bandwidth)
+    : latency_(latency), bandwidth_(bandwidth) {
+    if (!(latency >= 0.0) || !std::isfinite(latency)) {
+        throw std::invalid_argument("UniformLinkModel: latency must be >= 0");
+    }
+    if (!(bandwidth > 0.0) || !std::isfinite(bandwidth)) {
+        throw std::invalid_argument("UniformLinkModel: bandwidth must be > 0");
+    }
+}
+
+double UniformLinkModel::comm_time(double data, ProcId src, ProcId dst) const {
+    if (src == dst) return 0.0;
+    return latency_ + data / bandwidth_;
+}
+
+double UniformLinkModel::mean_comm_time(double data, std::size_t num_procs) const {
+    if (num_procs < 2) return 0.0;
+    return latency_ + data / bandwidth_;
+}
+
+std::string UniformLinkModel::describe() const {
+    std::ostringstream os;
+    os << "uniform(latency=" << latency_ << ", bandwidth=" << bandwidth_ << ")";
+    return os.str();
+}
+
+BusLinkModel::BusLinkModel(double latency, double bandwidth, std::size_t num_procs, double share)
+    : latency_(latency), num_procs_(num_procs) {
+    if (!(latency >= 0.0)) throw std::invalid_argument("BusLinkModel: latency must be >= 0");
+    if (!(bandwidth > 0.0)) throw std::invalid_argument("BusLinkModel: bandwidth must be > 0");
+    if (!(share >= 0.0 && share <= 1.0)) {
+        throw std::invalid_argument("BusLinkModel: share must be in [0, 1]");
+    }
+    if (num_procs == 0) throw std::invalid_argument("BusLinkModel: num_procs must be > 0");
+    const double contention = 1.0 + share * static_cast<double>(num_procs - 1);
+    effective_bandwidth_ = bandwidth / contention;
+}
+
+double BusLinkModel::comm_time(double data, ProcId src, ProcId dst) const {
+    if (src == dst) return 0.0;
+    return latency_ + data / effective_bandwidth_;
+}
+
+double BusLinkModel::mean_comm_time(double data, std::size_t num_procs) const {
+    if (num_procs < 2) return 0.0;
+    return latency_ + data / effective_bandwidth_;
+}
+
+std::string BusLinkModel::describe() const {
+    std::ostringstream os;
+    os << "bus(latency=" << latency_ << ", eff_bandwidth=" << effective_bandwidth_
+       << ", procs=" << num_procs_ << ")";
+    return os.str();
+}
+
+TopologyLinkModel::TopologyLinkModel(std::vector<std::vector<ProcId>> adjacency,
+                                     double per_hop_latency, double bandwidth, std::string name)
+    : n_(adjacency.size()),
+      per_hop_latency_(per_hop_latency),
+      bandwidth_(bandwidth),
+      name_(std::move(name)) {
+    if (n_ == 0) throw std::invalid_argument("TopologyLinkModel: empty topology");
+    if (!(per_hop_latency >= 0.0)) {
+        throw std::invalid_argument("TopologyLinkModel: latency must be >= 0");
+    }
+    if (!(bandwidth > 0.0)) throw std::invalid_argument("TopologyLinkModel: bandwidth must be > 0");
+
+    // Symmetrize the adjacency (edges may be listed on either endpoint).
+    std::vector<std::vector<ProcId>> adj(n_);
+    for (std::size_t p = 0; p < n_; ++p) {
+        for (const ProcId q : adjacency[p]) {
+            if (q < 0 || static_cast<std::size_t>(q) >= n_) {
+                throw std::invalid_argument("TopologyLinkModel: neighbour out of range");
+            }
+            if (static_cast<std::size_t>(q) == p) {
+                throw std::invalid_argument("TopologyLinkModel: self-loop");
+            }
+            adj[p].push_back(q);
+            adj[static_cast<std::size_t>(q)].push_back(static_cast<ProcId>(p));
+        }
+    }
+
+    // All-pairs BFS hop counts.
+    hops_.assign(n_ * n_, -1);
+    for (std::size_t start = 0; start < n_; ++start) {
+        std::queue<std::size_t> frontier;
+        hops_[start * n_ + start] = 0;
+        frontier.push(start);
+        while (!frontier.empty()) {
+            const std::size_t cur = frontier.front();
+            frontier.pop();
+            for (const ProcId next : adj[cur]) {
+                const auto ni = static_cast<std::size_t>(next);
+                if (hops_[start * n_ + ni] < 0) {
+                    hops_[start * n_ + ni] = hops_[start * n_ + cur] + 1;
+                    frontier.push(ni);
+                }
+            }
+        }
+    }
+    for (const int h : hops_) {
+        if (h < 0) throw std::invalid_argument("TopologyLinkModel: topology is disconnected");
+        diameter_ = std::max(diameter_, h);
+    }
+}
+
+int TopologyLinkModel::hops(ProcId src, ProcId dst) const {
+    if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= n_ ||
+        static_cast<std::size_t>(dst) >= n_) {
+        throw std::out_of_range("TopologyLinkModel::hops: processor out of range");
+    }
+    return hops_[static_cast<std::size_t>(src) * n_ + static_cast<std::size_t>(dst)];
+}
+
+double TopologyLinkModel::comm_time(double data, ProcId src, ProcId dst) const {
+    if (src == dst) return 0.0;
+    const int h = hops(src, dst);
+    // Store-and-forward: the message pays the transfer once per hop.
+    return static_cast<double>(h) * (per_hop_latency_ + data / bandwidth_);
+}
+
+std::string TopologyLinkModel::describe() const {
+    std::ostringstream os;
+    os << name_ << "(procs=" << n_ << ", diameter=" << diameter_
+       << ", hop_latency=" << per_hop_latency_ << ", bandwidth=" << bandwidth_ << ")";
+    return os.str();
+}
+
+std::shared_ptr<TopologyLinkModel> TopologyLinkModel::ring(std::size_t p, double latency,
+                                                           double bandwidth) {
+    if (p == 0) throw std::invalid_argument("ring: p must be > 0");
+    std::vector<std::vector<ProcId>> adj(p);
+    for (std::size_t i = 0; i + 1 < p; ++i) adj[i].push_back(static_cast<ProcId>(i + 1));
+    if (p > 2) adj[p - 1].push_back(0);
+    return std::make_shared<TopologyLinkModel>(std::move(adj), latency, bandwidth, "ring");
+}
+
+std::shared_ptr<TopologyLinkModel> TopologyLinkModel::mesh2d(std::size_t rows, std::size_t cols,
+                                                             double latency, double bandwidth) {
+    if (rows == 0 || cols == 0) throw std::invalid_argument("mesh2d: empty mesh");
+    std::vector<std::vector<ProcId>> adj(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t i = r * cols + c;
+            if (c + 1 < cols) adj[i].push_back(static_cast<ProcId>(i + 1));
+            if (r + 1 < rows) adj[i].push_back(static_cast<ProcId>(i + cols));
+        }
+    }
+    return std::make_shared<TopologyLinkModel>(std::move(adj), latency, bandwidth, "mesh2d");
+}
+
+std::shared_ptr<TopologyLinkModel> TopologyLinkModel::hypercube(std::size_t dims, double latency,
+                                                                double bandwidth) {
+    const std::size_t p = static_cast<std::size_t>(1) << dims;
+    std::vector<std::vector<ProcId>> adj(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t d = 0; d < dims; ++d) {
+            const std::size_t j = i ^ (static_cast<std::size_t>(1) << d);
+            if (j > i) adj[i].push_back(static_cast<ProcId>(j));
+        }
+    }
+    return std::make_shared<TopologyLinkModel>(std::move(adj), latency, bandwidth, "hypercube");
+}
+
+std::shared_ptr<TopologyLinkModel> TopologyLinkModel::star(std::size_t p, double latency,
+                                                           double bandwidth) {
+    if (p == 0) throw std::invalid_argument("star: p must be > 0");
+    std::vector<std::vector<ProcId>> adj(p);
+    for (std::size_t i = 1; i < p; ++i) adj[0].push_back(static_cast<ProcId>(i));
+    return std::make_shared<TopologyLinkModel>(std::move(adj), latency, bandwidth, "star");
+}
+
+std::shared_ptr<TopologyLinkModel> TopologyLinkModel::fully_connected(std::size_t p, double latency,
+                                                                      double bandwidth) {
+    if (p == 0) throw std::invalid_argument("fully_connected: p must be > 0");
+    std::vector<std::vector<ProcId>> adj(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = i + 1; j < p; ++j) adj[i].push_back(static_cast<ProcId>(j));
+    }
+    return std::make_shared<TopologyLinkModel>(std::move(adj), latency, bandwidth, "crossbar");
+}
+
+}  // namespace tsched

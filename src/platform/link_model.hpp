@@ -1,0 +1,136 @@
+// Interconnect models.
+//
+// A LinkModel converts (data volume, source processor, destination processor)
+// into a communication time.  All models are contention-free — the standard
+// assumption of the static list-scheduling literature (HEFT et al.): each
+// processor has a dedicated communication subsystem, so transfers neither
+// queue on links nor block computation.
+//
+// Three concrete models:
+//   * UniformLinkModel  — full crossbar with a single latency/bandwidth pair;
+//                         the model used in HEFT-family evaluations.
+//   * BusLinkModel      — a shared medium: same arithmetic as uniform but
+//                         with a multiplicative slowdown proportional to the
+//                         number of processors sharing the bus (coarse,
+//                         contention-free approximation).
+//   * TopologyLinkModel — arbitrary interconnection graph (ring, mesh,
+//                         hypercube, ...) with per-hop latency and the
+//                         narrowest-link bandwidth along a shortest route.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tsched {
+
+/// Dense processor index; valid ids are [0, num_procs).
+using ProcId = std::int32_t;
+inline constexpr ProcId kInvalidProc = -1;
+
+class LinkModel {
+public:
+    virtual ~LinkModel() = default;
+
+    /// Time to move `data` volume units from processor `src` to `dst`.
+    /// Must return 0 when src == dst and a finite non-negative value
+    /// otherwise.
+    [[nodiscard]] virtual double comm_time(double data, ProcId src, ProcId dst) const = 0;
+
+    /// Mean of comm_time over all ordered pairs src != dst for the given
+    /// data volume (used by mean-based ranking).  The default averages
+    /// comm_time explicitly; concrete models override with closed forms.
+    [[nodiscard]] virtual double mean_comm_time(double data, std::size_t num_procs) const;
+
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using LinkModelPtr = std::shared_ptr<const LinkModel>;
+
+/// Full crossbar: comm = latency + data / bandwidth for any distinct pair.
+class UniformLinkModel final : public LinkModel {
+public:
+    /// `latency` >= 0 (per-message startup), `bandwidth` > 0 (volume/time).
+    UniformLinkModel(double latency, double bandwidth);
+
+    [[nodiscard]] double comm_time(double data, ProcId src, ProcId dst) const override;
+    [[nodiscard]] double mean_comm_time(double data, std::size_t num_procs) const override;
+    [[nodiscard]] std::string describe() const override;
+
+    [[nodiscard]] double latency() const noexcept { return latency_; }
+    [[nodiscard]] double bandwidth() const noexcept { return bandwidth_; }
+
+private:
+    double latency_;
+    double bandwidth_;
+};
+
+/// Shared bus: effective bandwidth is divided by a contention factor that
+/// grows with the processor count (bw_eff = bandwidth / (1 + share*(P-1))).
+class BusLinkModel final : public LinkModel {
+public:
+    /// `share` in [0,1]: 0 degenerates to the uniform model, 1 models full
+    /// serialization of the medium across P processors.
+    BusLinkModel(double latency, double bandwidth, std::size_t num_procs, double share = 0.5);
+
+    [[nodiscard]] double comm_time(double data, ProcId src, ProcId dst) const override;
+    [[nodiscard]] double mean_comm_time(double data, std::size_t num_procs) const override;
+    [[nodiscard]] std::string describe() const override;
+
+    [[nodiscard]] double effective_bandwidth() const noexcept { return effective_bandwidth_; }
+
+private:
+    double latency_;
+    double effective_bandwidth_;
+    std::size_t num_procs_;
+};
+
+/// Arbitrary interconnection topology.  Hop counts come from BFS shortest
+/// paths over an undirected processor graph; comm = hops * per_hop_latency +
+/// data / (bandwidth / hops) — i.e. store-and-forward along the route.
+class TopologyLinkModel final : public LinkModel {
+public:
+    /// `adjacency[p]` lists the neighbours of processor p (undirected edges
+    /// may be listed on either side).  Throws std::invalid_argument when the
+    /// graph is disconnected.
+    TopologyLinkModel(std::vector<std::vector<ProcId>> adjacency, double per_hop_latency,
+                      double bandwidth, std::string name = "topology");
+
+    [[nodiscard]] double comm_time(double data, ProcId src, ProcId dst) const override;
+    [[nodiscard]] std::string describe() const override;
+
+    [[nodiscard]] std::size_t num_procs() const noexcept { return n_; }
+    [[nodiscard]] int hops(ProcId src, ProcId dst) const;
+    [[nodiscard]] int diameter() const noexcept { return diameter_; }
+
+    // Topology builders.
+    [[nodiscard]] static std::shared_ptr<TopologyLinkModel> ring(std::size_t p, double latency,
+                                                                 double bandwidth);
+    /// rows*cols 2-D mesh (no wraparound).
+    [[nodiscard]] static std::shared_ptr<TopologyLinkModel> mesh2d(std::size_t rows,
+                                                                   std::size_t cols,
+                                                                   double latency,
+                                                                   double bandwidth);
+    /// 2^dims-node hypercube.
+    [[nodiscard]] static std::shared_ptr<TopologyLinkModel> hypercube(std::size_t dims,
+                                                                      double latency,
+                                                                      double bandwidth);
+    /// Hub-and-spoke: processor 0 is the hub.
+    [[nodiscard]] static std::shared_ptr<TopologyLinkModel> star(std::size_t p, double latency,
+                                                                 double bandwidth);
+    /// Every pair connected (hops == 1), equivalent to uniform.
+    [[nodiscard]] static std::shared_ptr<TopologyLinkModel> fully_connected(std::size_t p,
+                                                                            double latency,
+                                                                            double bandwidth);
+
+private:
+    std::size_t n_;
+    std::vector<int> hops_;  // n_ x n_ shortest-path hop counts
+    double per_hop_latency_;
+    double bandwidth_;
+    int diameter_ = 0;
+    std::string name_;
+};
+
+}  // namespace tsched

@@ -1,0 +1,58 @@
+#include "platform/machine.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched {
+
+Machine::Machine(std::vector<double> speeds, LinkModelPtr links)
+    : speeds_(std::move(speeds)), links_(std::move(links)) {
+    if (speeds_.empty()) throw std::invalid_argument("Machine: need at least one processor");
+    if (!links_) throw std::invalid_argument("Machine: link model must not be null");
+    for (const double s : speeds_) {
+        if (!(s > 0.0) || !std::isfinite(s)) {
+            throw std::invalid_argument("Machine: speeds must be finite and > 0");
+        }
+    }
+}
+
+Machine Machine::homogeneous(std::size_t p, LinkModelPtr links) {
+    return Machine(std::vector<double>(p, 1.0), std::move(links));
+}
+
+Machine Machine::heterogeneous(std::size_t p, double spread, LinkModelPtr links) {
+    if (p == 0) throw std::invalid_argument("Machine::heterogeneous: p must be > 0");
+    if (!(spread >= 0.0) || spread >= 2.0) {
+        throw std::invalid_argument("Machine::heterogeneous: spread must be in [0, 2)");
+    }
+    std::vector<double> speeds(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        const double frac = p == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(p - 1);
+        speeds[i] = 1.0 - spread / 2.0 + spread * frac;
+    }
+    return Machine(std::move(speeds), std::move(links));
+}
+
+double Machine::speed(ProcId p) const {
+    if (p < 0 || static_cast<std::size_t>(p) >= speeds_.size()) {
+        throw std::out_of_range("Machine::speed: processor out of range");
+    }
+    return speeds_[static_cast<std::size_t>(p)];
+}
+
+bool Machine::is_homogeneous() const noexcept {
+    for (const double s : speeds_) {
+        if (s != speeds_.front()) return false;
+    }
+    return true;
+}
+
+std::string Machine::describe() const {
+    std::ostringstream os;
+    os << num_procs() << " procs, " << (is_homogeneous() ? "homogeneous" : "heterogeneous")
+       << ", links=" << links_->describe();
+    return os.str();
+}
+
+}  // namespace tsched

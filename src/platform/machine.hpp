@@ -1,0 +1,44 @@
+// Machine description: a set of processors with relative speeds plus the
+// interconnect.  A Machine is DAG-independent; binding a Dag's work amounts
+// to concrete per-processor execution times happens in CostMatrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/link_model.hpp"
+
+namespace tsched {
+
+class Machine {
+public:
+    /// `speeds[p]` > 0 is the relative speed of processor p: a task with
+    /// work `w` takes `w / speeds[p]` time units on p when costs are derived
+    /// from speeds ("consistent"/related heterogeneity).
+    Machine(std::vector<double> speeds, LinkModelPtr links);
+
+    /// P identical unit-speed processors.
+    [[nodiscard]] static Machine homogeneous(std::size_t p, LinkModelPtr links);
+
+    /// P processors with speeds spread uniformly in
+    /// [1 - spread/2, 1 + spread/2] deterministically (evenly spaced), so a
+    /// given (p, spread) always describes the same machine.
+    [[nodiscard]] static Machine heterogeneous(std::size_t p, double spread, LinkModelPtr links);
+
+    [[nodiscard]] std::size_t num_procs() const noexcept { return speeds_.size(); }
+    [[nodiscard]] double speed(ProcId p) const;
+    [[nodiscard]] const std::vector<double>& speeds() const noexcept { return speeds_; }
+    [[nodiscard]] const LinkModel& links() const noexcept { return *links_; }
+    [[nodiscard]] const LinkModelPtr& links_ptr() const noexcept { return links_; }
+
+    /// True when all speeds are equal (the "homogeneous systems" case).
+    [[nodiscard]] bool is_homogeneous() const noexcept;
+
+    [[nodiscard]] std::string describe() const;
+
+private:
+    std::vector<double> speeds_;
+    LinkModelPtr links_;
+};
+
+}  // namespace tsched

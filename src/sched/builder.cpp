@@ -1,0 +1,134 @@
+#include "sched/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tsched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+ScheduleBuilder::ScheduleBuilder(const Problem& problem)
+    : problem_(&problem),
+      schedule_(problem.num_tasks(), problem.num_procs()),
+      busy_(problem.num_procs()),
+      placed_(problem.num_tasks(), false) {}
+
+bool ScheduleBuilder::is_placed(TaskId v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= placed_.size()) {
+        throw std::out_of_range("ScheduleBuilder::is_placed: task out of range");
+    }
+    return placed_[static_cast<std::size_t>(v)];
+}
+
+double ScheduleBuilder::finish_time(TaskId v) const { return schedule_.primary(v).finish; }
+
+double ScheduleBuilder::data_ready(TaskId v, ProcId p) const {
+    const Dag& dag = problem_->dag();
+    const LinkModel& links = problem_->machine().links();
+    double ready = 0.0;
+    for (const AdjEdge& e : dag.predecessors(v)) {
+        if (!placed_[static_cast<std::size_t>(e.task)]) return kInf;
+        ready = std::max(ready, schedule_.data_available(e.task, p, e.data, links));
+    }
+    return ready;
+}
+
+double ScheduleBuilder::data_ready_partial(TaskId v, ProcId p) const {
+    const Dag& dag = problem_->dag();
+    const LinkModel& links = problem_->machine().links();
+    double ready = 0.0;
+    for (const AdjEdge& e : dag.predecessors(v)) {
+        if (!placed_[static_cast<std::size_t>(e.task)]) continue;
+        ready = std::max(ready, schedule_.data_available(e.task, p, e.data, links));
+    }
+    return ready;
+}
+
+double ScheduleBuilder::earliest_start(ProcId p, double ready, double duration,
+                                       bool insertion) const {
+    const auto& timeline = busy_.at(static_cast<std::size_t>(p));
+    if (!insertion) {
+        const double avail = timeline.empty() ? 0.0 : timeline.back().finish;
+        return std::max(avail, ready);
+    }
+    // Scan the gaps (including the leading one) for the first fit.
+    double gap_start = 0.0;
+    for (const Interval& iv : timeline) {
+        const double candidate = std::max(gap_start, ready);
+        if (candidate + duration <= iv.start) return candidate;
+        gap_start = iv.finish;
+    }
+    return std::max(gap_start, ready);
+}
+
+double ScheduleBuilder::eft(TaskId v, ProcId p, bool insertion) const {
+    const double ready = data_ready(v, p);
+    if (!std::isfinite(ready)) return kInf;
+    const double w = problem_->exec_time(v, p);
+    return earliest_start(p, ready, w, insertion) + w;
+}
+
+std::optional<double> ScheduleBuilder::find_slot_before(ProcId p, double ready, double duration,
+                                                        double deadline, bool insertion) const {
+    const double start = earliest_start(p, ready, duration, insertion);
+    if (start + duration <= deadline) return start;
+    return std::nullopt;
+}
+
+double ScheduleBuilder::proc_available(ProcId p) const {
+    const auto& timeline = busy_.at(static_cast<std::size_t>(p));
+    return timeline.empty() ? 0.0 : timeline.back().finish;
+}
+
+Placement ScheduleBuilder::place(TaskId v, ProcId p, bool insertion) {
+    if (is_placed(v)) {
+        throw std::logic_error("ScheduleBuilder::place: task already placed");
+    }
+    const double ready = data_ready(v, p);
+    if (!std::isfinite(ready)) {
+        throw std::logic_error("ScheduleBuilder::place: a predecessor is unplaced");
+    }
+    const double start = earliest_start(p, ready, problem_->exec_time(v, p), insertion);
+    return commit(v, p, start, /*duplicate=*/false);
+}
+
+Placement ScheduleBuilder::place_at(TaskId v, ProcId p, double start) {
+    if (is_placed(v)) {
+        throw std::logic_error("ScheduleBuilder::place_at: task already placed");
+    }
+    return commit(v, p, start, /*duplicate=*/false);
+}
+
+Placement ScheduleBuilder::place_duplicate_at(TaskId v, ProcId p, double start) {
+    if (!is_placed(v)) {
+        throw std::logic_error("ScheduleBuilder::place_duplicate_at: task not yet placed");
+    }
+    return commit(v, p, start, /*duplicate=*/true);
+}
+
+Placement ScheduleBuilder::commit(TaskId v, ProcId p, double start, bool duplicate) {
+    const double w = problem_->exec_time(v, p);
+    const Placement pl{v, p, start, start + w};
+    schedule_.add(v, p, pl.start, pl.finish);
+    insert_interval(p, {pl.start, pl.finish});
+    if (!duplicate) placed_[static_cast<std::size_t>(v)] = true;
+    makespan_ = std::max(makespan_, pl.finish);
+    ++num_placements_;
+    return pl;
+}
+
+void ScheduleBuilder::insert_interval(ProcId p, Interval iv) {
+    auto& timeline = busy_.at(static_cast<std::size_t>(p));
+    const auto pos = std::lower_bound(
+        timeline.begin(), timeline.end(), iv,
+        [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    timeline.insert(pos, iv);
+}
+
+Schedule ScheduleBuilder::take() && { return std::move(schedule_); }
+
+}  // namespace tsched

@@ -1,0 +1,106 @@
+// ScheduleBuilder: the shared machinery of every list scheduler in the
+// library — data-ready times, insertion-based earliest-start computation over
+// per-processor busy timelines, and placement commits (including duplicates).
+//
+// All algorithms (HEFT, CPOP, DLS, ETF, MCP, DSH, BTDH, ILS, ...) are thin
+// priority/selection policies over this class, which keeps their code close
+// to the papers' pseudocode and concentrates the tricky interval bookkeeping
+// in one tested place.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+class ScheduleBuilder {
+public:
+    explicit ScheduleBuilder(const Problem& problem);
+
+    [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
+
+    /// Read-only view of the partial schedule built so far (duplication
+    /// heuristics inspect per-predecessor data availability through it).
+    [[nodiscard]] const Schedule& partial() const noexcept { return schedule_; }
+
+    // ---- queries (no mutation) -------------------------------------------
+
+    [[nodiscard]] bool is_placed(TaskId v) const;
+
+    /// Finish time of the primary placement of v; throws if unplaced.
+    [[nodiscard]] double finish_time(TaskId v) const;
+
+    /// Earliest time all of v's inputs are available on processor p, taking
+    /// the best placement (original or duplicate) of each predecessor.
+    /// Unplaced predecessors yield +inf.  Tasks without predecessors: 0.
+    [[nodiscard]] double data_ready(TaskId v, ProcId p) const;
+
+    /// Like data_ready but *ignoring* unplaced predecessors (their arrival
+    /// counts as 0).  Used by lookahead policies that must estimate a
+    /// successor's start while some of its inputs are still unscheduled.
+    [[nodiscard]] double data_ready_partial(TaskId v, ProcId p) const;
+
+    /// Earliest start on p at or after `ready` for a task of length
+    /// `duration`.  With `insertion` the first sufficient idle gap between
+    /// existing placements is used (HEFT's insertion-based policy); without
+    /// it the task goes after the last placement.
+    [[nodiscard]] double earliest_start(ProcId p, double ready, double duration,
+                                        bool insertion) const;
+
+    /// Earliest finish time of v on p = earliest_start(data_ready) + w(v,p).
+    /// +inf when some predecessor is unplaced.
+    [[nodiscard]] double eft(TaskId v, ProcId p, bool insertion) const;
+
+    /// Earliest start on p for `duration` that both begins at/after `ready`
+    /// and finishes by `deadline`; nullopt when no such slot exists.  Used by
+    /// the duplication heuristics to fill idle holes.
+    [[nodiscard]] std::optional<double> find_slot_before(ProcId p, double ready, double duration,
+                                                         double deadline, bool insertion) const;
+
+    /// Latest finish currently scheduled on p (0 when idle).
+    [[nodiscard]] double proc_available(ProcId p) const;
+
+    /// Current partial makespan.
+    [[nodiscard]] double current_makespan() const noexcept { return makespan_; }
+
+    // ---- commits ----------------------------------------------------------
+
+    /// Place v on p at its earliest feasible time; returns the placement.
+    /// Precondition: all predecessors placed, v not yet placed.
+    Placement place(TaskId v, ProcId p, bool insertion);
+
+    /// Place v on p exactly at `start` (caller guarantees feasibility —
+    /// the validator will catch violations).  Used by duplication code that
+    /// has already located a slot via find_slot_before.
+    Placement place_at(TaskId v, ProcId p, double start);
+
+    /// Add a *duplicate* of an already-placed task at `start` on p.
+    Placement place_duplicate_at(TaskId v, ProcId p, double start);
+
+    /// Number of placements committed so far (duplicates included).
+    [[nodiscard]] std::size_t num_placements() const noexcept { return num_placements_; }
+
+    /// Move the finished schedule out; the builder must not be used after.
+    [[nodiscard]] Schedule take() &&;
+
+private:
+    struct Interval {
+        double start = 0.0;
+        double finish = 0.0;
+    };
+
+    Placement commit(TaskId v, ProcId p, double start, bool duplicate);
+    void insert_interval(ProcId p, Interval iv);
+
+    const Problem* problem_;
+    Schedule schedule_;
+    std::vector<std::vector<Interval>> busy_;  // per proc, sorted by start
+    std::vector<bool> placed_;
+    double makespan_ = 0.0;
+    std::size_t num_placements_ = 0;
+};
+
+}  // namespace tsched

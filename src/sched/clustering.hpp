@@ -1,0 +1,25 @@
+// Linear-clustering scheduler (Kim, Browne; 1988 lineage) — the classic
+// clustering-based alternative to list scheduling, strongest on homogeneous
+// systems.
+//
+// Phase 1 (clustering): repeatedly extract the critical path of the not-yet-
+// clustered subgraph (mean execution costs on nodes, mean communication
+// costs on edges) into a new cluster; communication inside a cluster is free
+// because its tasks share a processor.
+// Phase 2 (mapping): clusters are LPT-packed onto the P processors by total
+// work (largest cluster first onto the least-loaded processor).
+// Phase 3 (ordering): tasks are placed in decreasing upward-rank order on
+// their cluster's processor with insertion-based earliest start.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class LinearClusteringScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "lc"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

@@ -1,0 +1,28 @@
+// Contention-aware HEFT (the Sinnen & Sousa one-port lineage).
+//
+// Classic list schedulers assume unlimited concurrent transfers; experiment
+// E16 shows that assumption costs 3–7x realised makespan on a one-port
+// network.  CaHeft fixes the model inside the scheduler: while building the
+// schedule it books every cross-processor transfer on the sender's outbound
+// and receiver's inbound port (FIFO), so each task's start time already
+// includes the communication serialization the network will impose.
+//
+// Priorities are HEFT's mean upward rank; placement is append-based (ports
+// make hole-filling ill-defined).  The emitted schedule is also valid under
+// the contention-free validator — contention only delays starts — but its
+// makespan is an *executable* one-port makespan, which is the number to
+// compare against simulate_contended() replays of contention-blind
+// schedules.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class CaHeftScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "ca-heft"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

@@ -1,0 +1,20 @@
+// CPOP — Critical Path On a Processor (Topcuoglu, Hariri, Wu; TPDS 2002).
+//
+// Task priority is rank_u + rank_d.  The tasks whose priority equals the
+// critical-path length form the (mean-cost) critical path; all of them are
+// pinned to the single processor that minimises the path's total execution
+// time.  Remaining tasks use insertion-based EFT.  Scheduling is ready-list
+// driven (highest priority ready task first).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class CpopScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "cpop"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

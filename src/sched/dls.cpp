@@ -1,0 +1,54 @@
+#include "sched/dls.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+
+namespace tsched {
+
+Schedule DlsScheduler::schedule(const Problem& problem) const {
+    const Dag& dag = problem.dag();
+    const std::size_t n = problem.num_tasks();
+    const auto sl = static_level(problem, RankCost::kMean);
+
+    ScheduleBuilder builder(problem);
+    std::vector<std::size_t> pending(n);
+    std::vector<TaskId> ready;
+    for (std::size_t v = 0; v < n; ++v) {
+        pending[v] = dag.in_degree(static_cast<TaskId>(v));
+        if (pending[v] == 0) ready.push_back(static_cast<TaskId>(v));
+    }
+
+    while (!ready.empty()) {
+        TaskId best_task = kInvalidTask;
+        ProcId best_proc = kInvalidProc;
+        double best_dl = -std::numeric_limits<double>::infinity();
+        for (const TaskId v : ready) {
+            const double mean_w = problem.mean_exec(v);
+            for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+                const auto proc = static_cast<ProcId>(p);
+                const double da = builder.data_ready(v, proc);
+                const double tf = builder.proc_available(proc);
+                const double delta = mean_w - problem.exec_time(v, proc);
+                const double dl = sl[static_cast<std::size_t>(v)] - std::max(da, tf) + delta;
+                if (dl > best_dl || (dl == best_dl && (v < best_task ||
+                                                       (v == best_task && proc < best_proc)))) {
+                    best_dl = dl;
+                    best_task = v;
+                    best_proc = proc;
+                }
+            }
+        }
+        builder.place(best_task, best_proc, /*insertion=*/false);
+        ready.erase(std::find(ready.begin(), ready.end(), best_task));
+        for (const AdjEdge& e : dag.successors(best_task)) {
+            if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
+        }
+    }
+    return std::move(builder).take();
+}
+
+}  // namespace tsched

@@ -1,0 +1,22 @@
+// DLS — Dynamic Level Scheduling (Sih, Lee; IEEE TPDS 1993), in its
+// heterogeneous formulation.
+//
+// At every step the pair (ready task, processor) maximising the dynamic
+// level  DL(v, p) = SL(v) − max(DA(v, p), TF(p)) + Δ(v, p)  is scheduled,
+// where SL is the communication-free static level over mean costs, DA the
+// data-ready time, TF the processor-free time, and Δ(v, p) = w̄(v) − w(v, p)
+// rewards placing a task on a processor that runs it faster than average.
+// Placement is non-insertion (end of the processor queue), as in the paper.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class DlsScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "dls"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

@@ -1,0 +1,132 @@
+#include "sched/duplication.hpp"
+
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+
+namespace tsched {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+/// The predecessor whose data arrival on p binds v's ready time, or
+/// kInvalidTask when v's start is not communication-bound (no predecessors,
+/// or the binding arrival already comes from a local placement).
+TaskId binding_remote_pred(const ScheduleBuilder& builder, TaskId v, ProcId p) {
+    const Problem& problem = builder.problem();
+    const Dag& dag = problem.dag();
+    const LinkModel& links = problem.machine().links();
+    TaskId binding = kInvalidTask;
+    double worst = -1.0;
+    for (const AdjEdge& e : dag.predecessors(v)) {
+        const double avail = builder.partial().data_available(e.task, p, e.data, links);
+        if (avail > worst) {
+            worst = avail;
+            binding = e.task;
+        }
+    }
+    if (binding == kInvalidTask || worst <= 0.0) return kInvalidTask;
+    // If some placement of the binding predecessor already sits on p and
+    // delivers at the binding time, a copy cannot help.
+    for (const Placement& pl : builder.partial().placements(binding)) {
+        if (pl.proc == p && pl.finish <= worst + kEps) return kInvalidTask;
+    }
+    return binding;
+}
+
+/// DSH inner loop: copy binding predecessors of v onto p while each single
+/// copy strictly lowers v's data-ready time.  Returns the number of copies.
+std::size_t duplicate_while_improving(ScheduleBuilder& trial, TaskId v, ProcId p,
+                                      std::size_t max_dups) {
+    const Problem& problem = trial.problem();
+    std::size_t dups = 0;
+    while (dups < max_dups) {
+        const double ready = trial.data_ready(v, p);
+        if (ready <= 0.0) break;
+        const TaskId u = binding_remote_pred(trial, v, p);
+        if (u == kInvalidTask) break;
+        const double u_ready = trial.data_ready(u, p);
+        const double u_cost = problem.exec_time(u, p);
+        // The copy must finish strictly before the current arrival to help.
+        const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps,
+                                                 /*insertion=*/true);
+        if (!slot) break;
+        trial.place_duplicate_at(u, p, *slot);
+        ++dups;
+        if (trial.data_ready(v, p) >= ready - kEps) break;  // no progress
+    }
+    return dups;
+}
+
+/// BTDH inner loop: before giving up on copying the binding predecessor u,
+/// recursively improve u's own readiness on p by copying *its* binding
+/// ancestors (these intermediate copies may not pay off immediately — the
+/// caller accepts or rejects the whole trial by final EFT).
+void duplicate_chain(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max_dups,
+                     std::size_t depth) {
+    const Problem& problem = trial.problem();
+    std::size_t dups = 0;
+    while (dups < max_dups) {
+        const double ready = trial.data_ready(v, p);
+        if (ready <= 0.0) break;
+        const TaskId u = binding_remote_pred(trial, v, p);
+        if (u == kInvalidTask) break;
+        if (depth > 0) duplicate_chain(trial, u, p, max_dups, depth - 1);
+        const double u_ready = trial.data_ready(u, p);
+        const double u_cost = problem.exec_time(u, p);
+        const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps, true);
+        if (!slot) break;
+        trial.place_duplicate_at(u, p, *slot);
+        ++dups;
+        if (trial.data_ready(v, p) >= ready - kEps) break;
+    }
+}
+
+/// Shared outer loop: decreasing static level (a topological order since all
+/// execution costs are positive); per task, evaluate every processor on a
+/// cloned builder with the given duplication strategy and keep the clone
+/// with the smallest finish time for the task.
+template <typename DuplicateFn>
+Schedule duplication_schedule(const Problem& problem, DuplicateFn&& duplicate) {
+    const auto sl = static_level(problem, RankCost::kMean);
+    ScheduleBuilder builder(problem);
+    for (const TaskId v : order_by_decreasing(sl)) {
+        std::optional<ScheduleBuilder> best;
+        double best_finish = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+            const auto proc = static_cast<ProcId>(p);
+            ScheduleBuilder trial = builder;
+            duplicate(trial, v, proc);
+            const Placement pl = trial.place(v, proc, /*insertion=*/true);
+            if (pl.finish < best_finish) {
+                best_finish = pl.finish;
+                best = std::move(trial);
+            }
+        }
+        builder = std::move(*best);
+    }
+    return std::move(builder).take();
+}
+}  // namespace
+
+Schedule DshScheduler::schedule(const Problem& problem) const {
+    return duplication_schedule(problem, [this](ScheduleBuilder& trial, TaskId v, ProcId p) {
+        duplicate_while_improving(trial, v, p, max_dups_);
+    });
+}
+
+Schedule BtdhScheduler::schedule(const Problem& problem) const {
+    return duplication_schedule(problem, [this](ScheduleBuilder& trial, TaskId v, ProcId p) {
+        // Evaluate the chain-duplication attempt against the plain placement
+        // and keep whichever finishes v earlier (BTDH's end-of-attempt test).
+        const double plain_eft = trial.eft(v, p, true);
+        ScheduleBuilder attempt = trial;
+        duplicate_chain(attempt, v, p, max_dups_, max_depth_);
+        if (attempt.eft(v, p, true) < plain_eft) trial = std::move(attempt);
+    });
+}
+
+}  // namespace tsched

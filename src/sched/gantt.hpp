@@ -1,0 +1,31 @@
+// Gantt-chart rendering of a schedule as a standalone SVG document — the
+// figure every scheduling paper draws.  One horizontal lane per processor,
+// one rectangle per placement (duplicates hatched lighter), a time axis with
+// round ticks, and the makespan marked.
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+struct GanttOptions {
+    int width_px = 960;        ///< drawing width (time axis scales to fit)
+    int lane_height_px = 28;
+    bool show_labels = true;   ///< task names (from dag) or ids inside bars
+    std::string title;         ///< optional chart title
+};
+
+/// Render `schedule` as SVG.  `dag` supplies task names for labels; pass
+/// nullptr to label by TaskId.
+[[nodiscard]] std::string to_svg(const Schedule& schedule, const Dag* dag = nullptr,
+                                 const GanttOptions& options = {});
+
+/// Write the SVG to `path`; throws std::runtime_error when the file cannot
+/// be written.
+void save_svg(const std::string& path, const Schedule& schedule, const Dag* dag = nullptr,
+              const GanttOptions& options = {});
+
+}  // namespace tsched

@@ -1,0 +1,20 @@
+// HCPT — Heterogeneous Critical Parent Trees (Hagras, Janecek; 2003).
+//
+// Listing phase: tasks with zero slack (ALST == AEST under mean costs) are
+// the critical tasks; they are pushed on a stack in decreasing-ALST order,
+// and each is emitted only after its unlisted parents (smallest-ALST parent
+// first), producing a precedence-closed priority list that follows critical
+// parent chains.  Machine assignment is insertion-based EFT.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class HcptScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "hcpt"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

@@ -1,0 +1,32 @@
+#include "sched/heft.hpp"
+
+#include "sched/builder.hpp"
+
+namespace tsched {
+
+std::string HeftScheduler::name() const {
+    std::string n = "heft";
+    if (rank_cost_ != RankCost::kMean) n += std::string("-") + rank_cost_name(rank_cost_);
+    if (!insertion_) n += "-noins";
+    return n;
+}
+
+Schedule HeftScheduler::schedule(const Problem& problem) const {
+    ScheduleBuilder builder(problem);
+    const auto ranks = upward_rank(problem, rank_cost_);
+    for (const TaskId v : order_by_decreasing(ranks)) {
+        ProcId best_proc = 0;
+        double best_eft = builder.eft(v, 0, insertion_);
+        for (std::size_t p = 1; p < problem.num_procs(); ++p) {
+            const double candidate = builder.eft(v, static_cast<ProcId>(p), insertion_);
+            if (candidate < best_eft) {
+                best_eft = candidate;
+                best_proc = static_cast<ProcId>(p);
+            }
+        }
+        builder.place(v, best_proc, insertion_);
+    }
+    return std::move(builder).take();
+}
+
+}  // namespace tsched

@@ -1,0 +1,29 @@
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu;
+// IEEE TPDS 2002).
+//
+// Phase 1 prioritises tasks by decreasing upward rank (computed over a
+// configurable scalarisation of the cost rows — the paper uses the mean;
+// median/worst/best are the classic rank-variant ablation).  Phase 2 places
+// each task on the processor minimising its earliest finish time, using
+// insertion-based slot search by default.
+#pragma once
+
+#include "sched/ranks.hpp"
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class HeftScheduler final : public Scheduler {
+public:
+    explicit HeftScheduler(RankCost rank_cost = RankCost::kMean, bool insertion = true)
+        : rank_cost_(rank_cost), insertion_(insertion) {}
+
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+
+private:
+    RankCost rank_cost_;
+    bool insertion_;
+};
+
+}  // namespace tsched

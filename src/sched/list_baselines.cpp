@@ -1,0 +1,210 @@
+#include "sched/list_baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+#include "util/rng.hpp"
+
+namespace tsched {
+
+namespace {
+/// Shared ready-set bookkeeping for the step-wise baselines.
+class ReadySet {
+public:
+    explicit ReadySet(const Dag& dag) : dag_(&dag), pending_(dag.num_tasks()) {
+        for (std::size_t v = 0; v < dag.num_tasks(); ++v) {
+            pending_[v] = dag.in_degree(static_cast<TaskId>(v));
+            if (pending_[v] == 0) ready_.push_back(static_cast<TaskId>(v));
+        }
+    }
+
+    [[nodiscard]] bool empty() const noexcept { return ready_.empty(); }
+    [[nodiscard]] const std::vector<TaskId>& tasks() const noexcept { return ready_; }
+
+    void complete(TaskId v) {
+        ready_.erase(std::find(ready_.begin(), ready_.end(), v));
+        for (const AdjEdge& e : dag_->successors(v)) {
+            if (--pending_[static_cast<std::size_t>(e.task)] == 0) ready_.push_back(e.task);
+        }
+    }
+
+private:
+    const Dag* dag_;
+    std::vector<std::size_t> pending_;
+    std::vector<TaskId> ready_;
+};
+
+}  // namespace
+
+Schedule EtfScheduler::schedule(const Problem& problem) const {
+    const auto sl = static_level(problem, RankCost::kMean);
+    ScheduleBuilder builder(problem);
+    ReadySet ready(problem.dag());
+    while (!ready.empty()) {
+        TaskId best_task = kInvalidTask;
+        ProcId best_proc = kInvalidProc;
+        double best_est = std::numeric_limits<double>::infinity();
+        for (const TaskId v : ready.tasks()) {
+            for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+                const auto proc = static_cast<ProcId>(p);
+                const double est = std::max(builder.data_ready(v, proc),
+                                            builder.proc_available(proc));
+                const bool better =
+                    est < best_est ||
+                    (est == best_est && best_task != kInvalidTask &&
+                     (sl[static_cast<std::size_t>(v)] > sl[static_cast<std::size_t>(best_task)] ||
+                      (sl[static_cast<std::size_t>(v)] == sl[static_cast<std::size_t>(best_task)] &&
+                       v < best_task)));
+                if (better) {
+                    best_est = est;
+                    best_task = v;
+                    best_proc = proc;
+                }
+            }
+        }
+        builder.place(best_task, best_proc, /*insertion=*/false);
+        ready.complete(best_task);
+    }
+    return std::move(builder).take();
+}
+
+Schedule McpScheduler::schedule(const Problem& problem) const {
+    const Dag& dag = problem.dag();
+    const std::size_t n = problem.num_tasks();
+    const auto alap = alap_start(problem, RankCost::kMean);
+
+    // MCP's priority: ascending ALAP; ties by the smallest successor ALAP
+    // (a bounded approximation of the paper's full descendant ALAP lists),
+    // then by id.  The order is topologically safe: alap(parent) < alap(child)
+    // whenever execution costs are positive.
+    std::vector<double> succ_alap(n, std::numeric_limits<double>::infinity());
+    for (std::size_t v = 0; v < n; ++v) {
+        for (const AdjEdge& e : dag.successors(static_cast<TaskId>(v))) {
+            succ_alap[v] = std::min(succ_alap[v], alap[static_cast<std::size_t>(e.task)]);
+        }
+    }
+    std::vector<TaskId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+        const auto ai = static_cast<std::size_t>(a);
+        const auto bi = static_cast<std::size_t>(b);
+        if (alap[ai] != alap[bi]) return alap[ai] < alap[bi];
+        if (succ_alap[ai] != succ_alap[bi]) return succ_alap[ai] < succ_alap[bi];
+        return a < b;
+    });
+
+    ScheduleBuilder builder(problem);
+    for (const TaskId v : order) {
+        // Earliest start (not finish) processor, insertion-based — MCP's rule.
+        ProcId best_proc = 0;
+        double best_start = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+            const auto proc = static_cast<ProcId>(p);
+            const double ready = builder.data_ready(v, proc);
+            const double start =
+                builder.earliest_start(proc, ready, problem.exec_time(v, proc), true);
+            if (start < best_start) {
+                best_start = start;
+                best_proc = proc;
+            }
+        }
+        builder.place(v, best_proc, true);
+    }
+    return std::move(builder).take();
+}
+
+Schedule HlfetScheduler::schedule(const Problem& problem) const {
+    const auto sl = static_level(problem, RankCost::kMean);
+    ScheduleBuilder builder(problem);
+    ReadySet ready(problem.dag());
+    while (!ready.empty()) {
+        // Highest static level among ready tasks.
+        TaskId best_task = ready.tasks().front();
+        for (const TaskId v : ready.tasks()) {
+            if (sl[static_cast<std::size_t>(v)] > sl[static_cast<std::size_t>(best_task)] ||
+                (sl[static_cast<std::size_t>(v)] == sl[static_cast<std::size_t>(best_task)] &&
+                 v < best_task)) {
+                best_task = v;
+            }
+        }
+        // Earliest-start processor, non-insertion.
+        ProcId best_proc = 0;
+        double best_est = std::numeric_limits<double>::infinity();
+        for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+            const auto proc = static_cast<ProcId>(p);
+            const double est =
+                std::max(builder.data_ready(best_task, proc), builder.proc_available(proc));
+            if (est < best_est) {
+                best_est = est;
+                best_proc = proc;
+            }
+        }
+        builder.place(best_task, best_proc, false);
+        ready.complete(best_task);
+    }
+    return std::move(builder).take();
+}
+
+namespace {
+Schedule min_or_max_min(const Problem& problem, bool min_variant) {
+    ScheduleBuilder builder(problem);
+    ReadySet ready(problem.dag());
+    while (!ready.empty()) {
+        TaskId best_task = kInvalidTask;
+        ProcId best_proc = kInvalidProc;
+        double best_key = min_variant ? std::numeric_limits<double>::infinity()
+                                      : -std::numeric_limits<double>::infinity();
+        for (const TaskId v : ready.tasks()) {
+            ProcId v_proc = 0;
+            double v_eft = builder.eft(v, 0, true);
+            for (std::size_t p = 1; p < problem.num_procs(); ++p) {
+                const double candidate = builder.eft(v, static_cast<ProcId>(p), true);
+                if (candidate < v_eft) {
+                    v_eft = candidate;
+                    v_proc = static_cast<ProcId>(p);
+                }
+            }
+            const bool better = min_variant ? v_eft < best_key : v_eft > best_key;
+            if (better || (v_eft == best_key && v < best_task)) {
+                best_key = v_eft;
+                best_task = v;
+                best_proc = v_proc;
+            }
+        }
+        builder.place(best_task, best_proc, true);
+        ready.complete(best_task);
+    }
+    return std::move(builder).take();
+}
+}  // namespace
+
+Schedule MinMinScheduler::schedule(const Problem& problem) const {
+    return min_or_max_min(problem, true);
+}
+
+Schedule MaxMinScheduler::schedule(const Problem& problem) const {
+    return min_or_max_min(problem, false);
+}
+
+Schedule RandomScheduler::schedule(const Problem& problem) const {
+    Rng rng(seed_);
+    ScheduleBuilder builder(problem);
+    ReadySet ready(problem.dag());
+    while (!ready.empty()) {
+        const auto& tasks = ready.tasks();
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(tasks.size() - 1)));
+        const TaskId v = tasks[pick];
+        const auto proc = static_cast<ProcId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(problem.num_procs() - 1)));
+        builder.place(v, proc, /*insertion=*/false);
+        ready.complete(v);
+    }
+    return std::move(builder).take();
+}
+
+}  // namespace tsched

@@ -1,0 +1,65 @@
+// Classic list-scheduling baselines beyond the HEFT family:
+//
+//   * ETF     — Earliest Task First (Hwang, Chow, Anger, Lee; 1989): among
+//               ready tasks pick the (task, processor) pair with the minimum
+//               earliest *start* time; static level breaks ties.
+//   * MCP     — Modified Critical Path (Wu, Gajski; 1990): tasks ordered by
+//               ALAP start time (ties by successors' ALAPs), insertion-based
+//               earliest-start placement.  Designed for homogeneous systems;
+//               mean costs generalise it to heterogeneous ones.
+//   * HLFET   — Highest Level First with Estimated Times (Adam, Chandy,
+//               Dickson; 1974): decreasing static level, earliest-start
+//               processor, non-insertion.
+//   * Min-Min / Max-Min — the classic independent-task batch heuristics
+//               applied to the ready set of the DAG.
+//   * Random  — seeded random ready-task / random processor baseline: the
+//               sanity floor every real heuristic must clear.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class EtfScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "etf"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+class McpScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "mcp"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+class HlfetScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "hlfet"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+class MinMinScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "minmin"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+class MaxMinScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "maxmin"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+class RandomScheduler final : public Scheduler {
+public:
+    explicit RandomScheduler(std::uint64_t seed = 0xbadc0ffeeULL) : seed_(seed) {}
+    [[nodiscard]] std::string name() const override { return "random"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+
+private:
+    std::uint64_t seed_;
+};
+
+}  // namespace tsched

@@ -1,0 +1,52 @@
+#include "sched/lookahead_heft.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/builder.hpp"
+#include "sched/ranks.hpp"
+
+namespace tsched {
+
+Schedule LookaheadHeftScheduler::schedule(const Problem& problem) const {
+    const Dag& dag = problem.dag();
+    const std::size_t procs = problem.num_procs();
+    const auto ranks = upward_rank(problem, RankCost::kMean);
+
+    ScheduleBuilder builder(problem);
+    for (const TaskId v : order_by_decreasing(ranks)) {
+        ProcId best_proc = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        double best_eft = std::numeric_limits<double>::infinity();
+        for (std::size_t pi = 0; pi < procs; ++pi) {
+            const auto p = static_cast<ProcId>(pi);
+            ScheduleBuilder trial = builder;
+            const Placement pl = trial.place(v, p, /*insertion=*/true);
+            // Score: the worst over v's children of their best achievable
+            // EFT given this tentative placement; childless tasks score by
+            // their own finish.
+            double score = pl.finish;
+            for (const AdjEdge& e : dag.successors(v)) {
+                double child_best = std::numeric_limits<double>::infinity();
+                for (std::size_t qi = 0; qi < procs; ++qi) {
+                    const auto q = static_cast<ProcId>(qi);
+                    const double ready = trial.data_ready_partial(e.task, q);
+                    const double w = problem.exec_time(e.task, q);
+                    const double est = trial.earliest_start(q, ready, w, true);
+                    child_best = std::min(child_best, est + w);
+                }
+                score = std::max(score, child_best);
+            }
+            if (score < best_score ||
+                (score == best_score && pl.finish < best_eft)) {
+                best_score = score;
+                best_eft = pl.finish;
+                best_proc = p;
+            }
+        }
+        builder.place(v, best_proc, true);
+    }
+    return std::move(builder).take();
+}
+
+}  // namespace tsched

@@ -1,0 +1,21 @@
+// Lookahead HEFT (Bittencourt, Sakellariou, Madeira; PDP 2010).
+//
+// HEFT's processor choice for v is re-scored by *tentatively committing* v
+// and measuring the earliest finish its children could then achieve: for
+// each candidate processor the schedule is cloned, v placed, and every child
+// evaluated at its best EFT (unplaced other parents contribute nothing —
+// the standard partial-ready estimate).  The candidate minimising the worst
+// child's finish wins.  Roughly P times HEFT's cost.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class LookaheadHeftScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "lheft"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

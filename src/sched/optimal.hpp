@@ -1,0 +1,50 @@
+// Exact branch-and-bound scheduler — the optimality reference for small
+// instances.
+//
+// The search enumerates semi-active schedules: at every node one (ready
+// task, processor) pair is committed at its earliest start (append
+// placement; enumerating ready orders makes insertion redundant).  Three
+// lower bounds prune the tree:
+//   * the current partial makespan;
+//   * the capacity bound: (total committed busy time + minimum remaining
+//     work) / P;
+//   * the chain bound: for each ready task, its earliest possible start
+//     plus the minimum-cost remaining path to an exit task.
+// The incumbent is seeded with HEFT's schedule, so the search degrades
+// gracefully: when the node budget is exhausted the best-found schedule
+// (never worse than HEFT) is returned and `Result::proven_optimal` is
+// false.
+//
+// Complexity is exponential — intended for n ≲ 12 tasks / small P, where it
+// certifies how far the heuristics are from optimal (experiment E15).
+#pragma once
+
+#include <cstddef>
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class BnbScheduler final : public Scheduler {
+public:
+    struct Result {
+        Schedule schedule;
+        bool proven_optimal = false;
+        std::size_t nodes_explored = 0;
+    };
+
+    /// `max_nodes` caps the search-tree size; beyond it the incumbent is
+    /// returned unproven.
+    explicit BnbScheduler(std::size_t max_nodes = 2'000'000) : max_nodes_(max_nodes) {}
+
+    [[nodiscard]] std::string name() const override { return "bnb"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+
+    /// Full search result including the optimality certificate.
+    [[nodiscard]] Result solve(const Problem& problem) const;
+
+private:
+    std::size_t max_nodes_;
+};
+
+}  // namespace tsched

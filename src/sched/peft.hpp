@@ -1,0 +1,20 @@
+// PEFT — Predict Earliest Finish Time (Arabnejad, Barbosa; IEEE TPDS 2014).
+//
+// Included as the strongest published HEFT-class successor: the optimistic
+// cost table OCT(v, p) predicts the best-case remaining chain after v on p.
+// Tasks are prioritised by their average OCT row (ready-list driven, highest
+// rank first) and placed on the processor minimising EFT(v, p) + OCT(v, p).
+// Same asymptotic cost as HEFT once the O(m·P²) table is built.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace tsched {
+
+class PeftScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::string name() const override { return "peft"; }
+    [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+};
+
+}  // namespace tsched

@@ -1,0 +1,137 @@
+#include "sched/ranks.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace tsched {
+
+const char* rank_cost_name(RankCost rc) noexcept {
+    switch (rc) {
+        case RankCost::kMean: return "mean";
+        case RankCost::kMedian: return "median";
+        case RankCost::kWorst: return "worst";
+        case RankCost::kBest: return "best";
+    }
+    return "?";
+}
+
+double scalar_cost(const Problem& problem, TaskId v, RankCost rc) {
+    const CostMatrix& costs = problem.costs();
+    switch (rc) {
+        case RankCost::kMean: return costs.mean(v);
+        case RankCost::kMedian: return costs.median(v);
+        case RankCost::kWorst: return costs.max(v);
+        case RankCost::kBest: return costs.min(v);
+    }
+    return costs.mean(v);
+}
+
+std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
+    const Dag& dag = problem.dag();
+    std::vector<double> rank(dag.num_tasks(), 0.0);
+    const auto order = topological_order(dag);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const TaskId v = *it;
+        double best = 0.0;
+        for (const AdjEdge& e : dag.successors(v)) {
+            best = std::max(best,
+                            problem.mean_comm_data(e.data) + rank[static_cast<std::size_t>(e.task)]);
+        }
+        rank[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
+    }
+    return rank;
+}
+
+std::vector<double> downward_rank(const Problem& problem, RankCost rc) {
+    const Dag& dag = problem.dag();
+    std::vector<double> rank(dag.num_tasks(), 0.0);
+    for (const TaskId v : topological_order(dag)) {
+        double best = 0.0;
+        for (const AdjEdge& e : dag.predecessors(v)) {
+            best = std::max(best, rank[static_cast<std::size_t>(e.task)] +
+                                      scalar_cost(problem, e.task, rc) +
+                                      problem.mean_comm_data(e.data));
+        }
+        rank[static_cast<std::size_t>(v)] = best;
+    }
+    return rank;
+}
+
+std::vector<double> static_level(const Problem& problem, RankCost rc) {
+    const Dag& dag = problem.dag();
+    std::vector<double> level(dag.num_tasks(), 0.0);
+    const auto order = topological_order(dag);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const TaskId v = *it;
+        double best = 0.0;
+        for (const AdjEdge& e : dag.successors(v)) {
+            best = std::max(best, level[static_cast<std::size_t>(e.task)]);
+        }
+        level[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
+    }
+    return level;
+}
+
+std::vector<double> alap_start(const Problem& problem, RankCost rc) {
+    std::vector<double> rank = upward_rank(problem, rc);
+    const double cp = rank.empty() ? 0.0 : *std::max_element(rank.begin(), rank.end());
+    for (double& r : rank) r = cp - r;
+    return rank;
+}
+
+std::vector<double> optimistic_cost_table(const Problem& problem) {
+    const Dag& dag = problem.dag();
+    const std::size_t n = dag.num_tasks();
+    const std::size_t procs = problem.num_procs();
+    const LinkModel& links = problem.machine().links();
+    std::vector<double> oct(n * procs, 0.0);
+    const auto order = topological_order(dag);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const TaskId v = *it;
+        const auto vi = static_cast<std::size_t>(v);
+        for (std::size_t pi = 0; pi < procs; ++pi) {
+            double worst_child = 0.0;
+            for (const AdjEdge& e : dag.successors(v)) {
+                const auto ci = static_cast<std::size_t>(e.task);
+                double best_q = std::numeric_limits<double>::infinity();
+                for (std::size_t qi = 0; qi < procs; ++qi) {
+                    const double via = links.comm_time(e.data, static_cast<ProcId>(pi),
+                                                       static_cast<ProcId>(qi)) +
+                                       problem.exec_time(e.task, static_cast<ProcId>(qi)) +
+                                       oct[ci * procs + qi];
+                    best_q = std::min(best_q, via);
+                }
+                worst_child = std::max(worst_child, best_q);
+            }
+            oct[vi * procs + pi] = worst_child;
+        }
+    }
+    return oct;
+}
+
+namespace {
+std::vector<TaskId> ordered(const std::vector<double>& key, bool decreasing) {
+    std::vector<TaskId> order(key.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+        const double ka = key[static_cast<std::size_t>(a)];
+        const double kb = key[static_cast<std::size_t>(b)];
+        if (ka != kb) return decreasing ? ka > kb : ka < kb;
+        return a < b;
+    });
+    return order;
+}
+}  // namespace
+
+std::vector<TaskId> order_by_decreasing(const std::vector<double>& key) {
+    return ordered(key, true);
+}
+
+std::vector<TaskId> order_by_increasing(const std::vector<double>& key) {
+    return ordered(key, false);
+}
+
+}  // namespace tsched

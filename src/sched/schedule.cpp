@@ -1,0 +1,121 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched {
+
+Schedule::Schedule(std::size_t num_tasks, std::size_t num_procs)
+    : num_tasks_(num_tasks), num_procs_(num_procs), by_task_(num_tasks) {
+    if (num_procs == 0) throw std::invalid_argument("Schedule: need at least one processor");
+}
+
+void Schedule::add(TaskId task, ProcId proc, double start, double finish) {
+    if (task < 0 || static_cast<std::size_t>(task) >= num_tasks_) {
+        throw std::invalid_argument("Schedule::add: task out of range");
+    }
+    if (proc < 0 || static_cast<std::size_t>(proc) >= num_procs_) {
+        throw std::invalid_argument("Schedule::add: processor out of range");
+    }
+    if (!(start >= 0.0) || !(finish >= start) || !std::isfinite(finish)) {
+        throw std::invalid_argument("Schedule::add: invalid time interval");
+    }
+    by_task_[static_cast<std::size_t>(task)].push_back({task, proc, start, finish});
+}
+
+std::span<const Placement> Schedule::placements(TaskId task) const {
+    if (task < 0 || static_cast<std::size_t>(task) >= num_tasks_) {
+        throw std::out_of_range("Schedule::placements: task out of range");
+    }
+    return by_task_[static_cast<std::size_t>(task)];
+}
+
+const Placement& Schedule::primary(TaskId task) const {
+    const auto p = placements(task);
+    if (p.empty()) throw std::out_of_range("Schedule::primary: task has no placement");
+    return p.front();
+}
+
+bool Schedule::complete() const noexcept {
+    return std::all_of(by_task_.begin(), by_task_.end(),
+                       [](const auto& v) { return !v.empty(); });
+}
+
+std::size_t Schedule::num_placements() const noexcept {
+    std::size_t count = 0;
+    for (const auto& v : by_task_) count += v.size();
+    return count;
+}
+
+std::size_t Schedule::num_duplicates() const noexcept {
+    std::size_t count = 0;
+    for (const auto& v : by_task_) {
+        if (!v.empty()) count += v.size() - 1;
+    }
+    return count;
+}
+
+double Schedule::makespan() const noexcept {
+    double latest = 0.0;
+    for (const auto& v : by_task_) {
+        for (const Placement& p : v) latest = std::max(latest, p.finish);
+    }
+    return latest;
+}
+
+std::vector<Placement> Schedule::processor_timeline(ProcId p) const {
+    if (p < 0 || static_cast<std::size_t>(p) >= num_procs_) {
+        throw std::out_of_range("Schedule::processor_timeline: processor out of range");
+    }
+    std::vector<Placement> out;
+    for (const auto& v : by_task_) {
+        for (const Placement& pl : v) {
+            if (pl.proc == p) out.push_back(pl);
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const Placement& a, const Placement& b) {
+        return a.start < b.start || (a.start == b.start && a.task < b.task);
+    });
+    return out;
+}
+
+double Schedule::data_available(TaskId task, ProcId p, double data,
+                                const LinkModel& links) const {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Placement& pl : placements(task)) {
+        best = std::min(best, pl.finish + links.comm_time(data, pl.proc, p));
+    }
+    return best;
+}
+
+double Schedule::total_idle_time() const {
+    const double horizon = makespan();
+    double idle = 0.0;
+    for (std::size_t p = 0; p < num_procs_; ++p) {
+        double busy = 0.0;
+        for (const Placement& pl : processor_timeline(static_cast<ProcId>(p))) {
+            busy += pl.duration();
+        }
+        idle += horizon - busy;
+    }
+    return idle;
+}
+
+std::string Schedule::to_string() const {
+    std::ostringstream os;
+    os << "schedule: makespan=" << makespan() << ", placements=" << num_placements()
+       << " (dups=" << num_duplicates() << ")\n";
+    for (std::size_t p = 0; p < num_procs_; ++p) {
+        os << "  P" << p << ":";
+        for (const Placement& pl : processor_timeline(static_cast<ProcId>(p))) {
+            os << "  [" << pl.start << ", " << pl.finish << ") t" << pl.task;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace tsched

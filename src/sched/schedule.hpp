@@ -1,0 +1,84 @@
+// Static schedule representation.
+//
+// A Schedule maps every task to one or more *placements* (processor, start,
+// finish).  More than one placement per task arises only from duplication
+// heuristics (DSH, BTDH, ILS-D): a consumer may read a task's output from
+// any placement, whichever makes its data available earliest.
+//
+// The schedule length (makespan) is the latest finish time over all
+// placements — the conservative, standard definition: even a useless
+// duplicate occupies its processor until it finishes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/link_model.hpp"
+
+namespace tsched {
+
+struct Placement {
+    TaskId task = kInvalidTask;
+    ProcId proc = kInvalidProc;
+    double start = 0.0;
+    double finish = 0.0;
+
+    [[nodiscard]] double duration() const noexcept { return finish - start; }
+    friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+class Schedule {
+public:
+    Schedule(std::size_t num_tasks, std::size_t num_procs);
+
+    [[nodiscard]] std::size_t num_tasks() const noexcept { return num_tasks_; }
+    [[nodiscard]] std::size_t num_procs() const noexcept { return num_procs_; }
+
+    /// Record a placement.  Throws std::invalid_argument for out-of-range
+    /// ids or negative/inverted times.  Overlap/precedence feasibility is
+    /// the validator's job, not enforced here.
+    void add(TaskId task, ProcId proc, double start, double finish);
+
+    /// All placements of `task` in insertion order (first is the "primary"
+    /// placement; duplicates follow).  Empty if the task was never placed.
+    [[nodiscard]] std::span<const Placement> placements(TaskId task) const;
+
+    /// The first-recorded placement of `task`; throws std::out_of_range when
+    /// the task has none.
+    [[nodiscard]] const Placement& primary(TaskId task) const;
+
+    /// True when every task has at least one placement.
+    [[nodiscard]] bool complete() const noexcept;
+
+    /// Total number of placements (>= num_tasks when complete; the excess is
+    /// the duplicate count).
+    [[nodiscard]] std::size_t num_placements() const noexcept;
+    [[nodiscard]] std::size_t num_duplicates() const noexcept;
+
+    /// Latest finish over all placements (0 for an empty schedule).
+    [[nodiscard]] double makespan() const noexcept;
+
+    /// Placements on processor p sorted by start time.
+    [[nodiscard]] std::vector<Placement> processor_timeline(ProcId p) const;
+
+    /// Earliest time task's output is available *on* processor p, i.e.
+    /// min over placements q of (finish + comm(data, q.proc, p)).
+    /// Returns +inf when the task has no placement.
+    [[nodiscard]] double data_available(TaskId task, ProcId p, double data,
+                                        const LinkModel& links) const;
+
+    /// Sum of idle time across all processors inside [0, makespan].
+    [[nodiscard]] double total_idle_time() const;
+
+    /// Human-readable multi-line rendering (one line per processor).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::size_t num_tasks_;
+    std::size_t num_procs_;
+    std::vector<std::vector<Placement>> by_task_;
+};
+
+}  // namespace tsched

@@ -1,0 +1,28 @@
+// Schedule persistence.
+//
+// TSS ("task schedule") text format — round-trips exactly, so a schedule
+// computed once can be archived, diffed, executed, or re-validated later:
+//   tss <num_tasks> <num_procs>
+//   p <task> <proc> <start> <finish>      # one line per placement,
+//                                         # duplicates simply repeat a task
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+void write_tss(std::ostream& os, const Schedule& schedule);
+[[nodiscard]] std::string to_tss(const Schedule& schedule);
+
+/// Parse a TSS document; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] Schedule read_tss(std::istream& is);
+[[nodiscard]] Schedule read_tss_string(const std::string& text);
+
+void save_tss(const std::string& path, const Schedule& schedule);
+[[nodiscard]] Schedule load_tss(const std::string& path);
+
+}  // namespace tsched

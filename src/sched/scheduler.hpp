@@ -1,0 +1,31 @@
+// Scheduler interface.
+//
+// A Scheduler is a pure function Problem -> Schedule plus a stable name used
+// by the registry (core/registry.hpp), the benchmark harness, and result
+// tables.  Implementations must be deterministic: any internal randomness is
+// seeded from construction parameters, never from global state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Stable identifier, e.g. "heft", "ils-d" (lower-case, no spaces).
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Compute a complete static schedule for the problem.  Postcondition
+    /// (checked by tests, not here): validate(result, problem) succeeds.
+    [[nodiscard]] virtual Schedule schedule(const Problem& problem) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+}  // namespace tsched

@@ -1,0 +1,90 @@
+#include "sched/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tsched {
+
+std::string ValidationResult::message() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i) os << '\n';
+        os << errors[i];
+    }
+    return os.str();
+}
+
+ValidationResult validate(const Schedule& schedule, const Problem& problem, double time_eps,
+                          std::size_t max_errors) {
+    ValidationResult result;
+    auto fail = [&](const std::string& msg) {
+        result.ok = false;
+        if (result.errors.size() < max_errors) result.errors.push_back(msg);
+    };
+
+    if (schedule.num_tasks() != problem.num_tasks() ||
+        schedule.num_procs() != problem.num_procs()) {
+        fail("schedule dimensions do not match problem");
+        return result;
+    }
+
+    const Dag& dag = problem.dag();
+    const std::size_t n = problem.num_tasks();
+
+    // 1. completeness & per-placement timing.
+    for (std::size_t vi = 0; vi < n; ++vi) {
+        const auto v = static_cast<TaskId>(vi);
+        const auto places = schedule.placements(v);
+        if (places.empty()) {
+            fail("task " + std::to_string(vi) + " has no placement");
+            continue;
+        }
+        for (const Placement& pl : places) {
+            const double expect = problem.exec_time(v, pl.proc);
+            if (std::abs(pl.duration() - expect) > time_eps) {
+                std::ostringstream os;
+                os << "task " << vi << " on P" << pl.proc << ": duration " << pl.duration()
+                   << " != cost " << expect;
+                fail(os.str());
+            }
+            if (pl.start < -time_eps) {
+                fail("task " + std::to_string(vi) + " starts before time 0");
+            }
+        }
+    }
+    if (!result.ok) return result;  // timing errors cascade; stop early
+
+    // 2. processor exclusivity.
+    for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+        const auto timeline = schedule.processor_timeline(static_cast<ProcId>(p));
+        for (std::size_t i = 1; i < timeline.size(); ++i) {
+            if (timeline[i].start < timeline[i - 1].finish - time_eps) {
+                std::ostringstream os;
+                os << "P" << p << ": task " << timeline[i].task << " [" << timeline[i].start
+                   << ", " << timeline[i].finish << ") overlaps task " << timeline[i - 1].task
+                   << " [" << timeline[i - 1].start << ", " << timeline[i - 1].finish << ")";
+                fail(os.str());
+            }
+        }
+    }
+
+    // 3. precedence with duplicate-aware communication.
+    const LinkModel& links = problem.machine().links();
+    for (std::size_t vi = 0; vi < n; ++vi) {
+        const auto v = static_cast<TaskId>(vi);
+        for (const Placement& pl : schedule.placements(v)) {
+            for (const AdjEdge& e : dag.predecessors(v)) {
+                const double avail = schedule.data_available(e.task, pl.proc, e.data, links);
+                if (avail > pl.start + time_eps) {
+                    std::ostringstream os;
+                    os << "task " << vi << " on P" << pl.proc << " starts at " << pl.start
+                       << " but data from task " << e.task << " arrives at " << avail;
+                    fail(os.str());
+                }
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace tsched

@@ -1,0 +1,36 @@
+// Independent schedule validator.
+//
+// Every scheduler's output is checked against three families of constraints
+// (this is what the tests' property suites run on every produced schedule):
+//   1. completeness & timing  — every task placed at least once; every
+//      placement's duration equals the cost matrix entry for (task, proc);
+//   2. processor exclusivity  — placements on one processor never overlap;
+//   3. precedence             — a placement of v on p may not start before
+//      every predecessor u has *some* placement whose output reaches p
+//      (finish + comm time) by v's start.  Duplicate-aware by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+struct ValidationResult {
+    bool ok = true;
+    std::vector<std::string> errors;
+
+    explicit operator bool() const noexcept { return ok; }
+    /// All errors joined with newlines ("" when ok).
+    [[nodiscard]] std::string message() const;
+};
+
+/// Validate `schedule` against `problem`.  `time_eps` absorbs floating-point
+/// noise in start/finish bookkeeping; constraint checks allow violations up
+/// to this amount.  Collects up to `max_errors` diagnostics before stopping.
+[[nodiscard]] ValidationResult validate(const Schedule& schedule, const Problem& problem,
+                                        double time_eps = 1e-6, std::size_t max_errors = 16);
+
+}  // namespace tsched

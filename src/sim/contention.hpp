@@ -1,0 +1,38 @@
+// Contention-aware execution of a static schedule.
+//
+// The scheduling cost model of the HEFT-family literature (and of every
+// scheduler in this library) is contention-free: any number of transfers
+// may overlap.  Real interconnects serialize: this simulator replays a
+// schedule's decisions under a one-port model — every processor has one
+// outbound and one inbound link (full-duplex NIC) and transfers occupy both
+// endpoints' ports FIFO — and measures the *realised* makespan.
+//
+// The gap between the contention-free and contended makespans quantifies
+// how badly a schedule oversubscribes the network (experiment E16);
+// duplication-based schedules, which convert transfers into local
+// recomputation, should degrade least.
+#pragma once
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+#include "sim/event_sim.hpp"
+
+namespace tsched::sim {
+
+struct ContentionResult {
+    double makespan = 0.0;
+    std::size_t transfers = 0;        ///< cross-processor transfers performed
+    double transfer_time_total = 0.0; ///< total port-busy time
+    double max_port_wait = 0.0;       ///< worst single transfer queueing delay
+};
+
+/// Execute the schedule's decisions under the one-port contention model.
+/// Each consumer pulls every input from the producer instance with the best
+/// *nominal* (contention-free) arrival; the chosen transfer then queues on
+/// the sender's outbound and the receiver's inbound port.  Same-processor
+/// data passes without occupying ports.  Throws std::invalid_argument for
+/// incomplete/deadlocked schedules (same conditions as sim::simulate).
+[[nodiscard]] ContentionResult simulate_contended(const Schedule& schedule,
+                                                  const Problem& problem);
+
+}  // namespace tsched::sim

@@ -1,0 +1,202 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace tsched::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Global placement table: task-major, insertion order per task (the order
+/// SimResult::finish_times uses), plus each processor's planned run order.
+struct PlacementTable {
+    struct Entry {
+        Placement planned;
+        std::size_t global_index = 0;
+    };
+    std::vector<Entry> entries;                       // global enumeration
+    std::vector<std::size_t> task_first;              // first entry of task v
+    std::vector<std::vector<std::size_t>> proc_order; // per proc: entry ids by planned start
+};
+
+PlacementTable build_table(const Schedule& schedule) {
+    PlacementTable table;
+    table.task_first.assign(schedule.num_tasks() + 1, 0);
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        const auto places = schedule.placements(static_cast<TaskId>(v));
+        if (places.empty()) {
+            throw std::invalid_argument("simulate: task " + std::to_string(v) +
+                                        " has no placement");
+        }
+        table.task_first[v] = table.entries.size();
+        for (const Placement& pl : places) {
+            table.entries.push_back({pl, table.entries.size()});
+        }
+    }
+    table.task_first[schedule.num_tasks()] = table.entries.size();
+
+    table.proc_order.assign(schedule.num_procs(), {});
+    for (const auto& e : table.entries) {
+        table.proc_order[static_cast<std::size_t>(e.planned.proc)].push_back(e.global_index);
+    }
+    for (auto& order : table.proc_order) {
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            const Placement& pa = table.entries[a].planned;
+            const Placement& pb = table.entries[b].planned;
+            if (pa.start != pb.start) return pa.start < pb.start;
+            return pa.task < pb.task;
+        });
+    }
+    return table;
+}
+
+/// Event-driven core shared by the exact and noisy runs.  `duration(e)` is
+/// the execution time of entry e on its processor; `comm(v, pred_idx, from,
+/// to)` the communication time of v's pred_idx-th input edge between the
+/// given processors.
+template <typename DurationFn, typename CommFn>
+SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& duration,
+              CommFn&& comm) {
+    const Dag& dag = problem.dag();
+    const PlacementTable table = build_table(schedule);
+    const std::size_t total = table.entries.size();
+    const std::size_t procs = schedule.num_procs();
+
+    SimResult result;
+    result.proc_busy.assign(procs, 0.0);
+    result.finish_times.assign(total, kInf);
+
+    std::vector<std::size_t> next_index(procs, 0);  // cursor into proc_order
+    std::vector<double> proc_free(procs, 0.0);
+    // Completed instances per task: (finish, proc).
+    std::vector<std::vector<std::pair<double, ProcId>>> done(schedule.num_tasks());
+
+    // Earliest time all of v's inputs are available on p from *completed*
+    // instances; +inf while some predecessor has no completed instance.
+    auto data_ready = [&](TaskId v, ProcId p) {
+        double ready = 0.0;
+        const auto preds = dag.predecessors(v);
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const auto& instances = done[static_cast<std::size_t>(preds[i].task)];
+            if (instances.empty()) return kInf;
+            double best = kInf;
+            for (const auto& [finish, from] : instances) {
+                best = std::min(best, finish + comm(v, i, from, p));
+            }
+            ready = std::max(ready, best);
+        }
+        return ready;
+    };
+
+    std::size_t completed = 0;
+    while (completed < total) {
+        // Pick the runnable head placement with the earliest start.
+        std::size_t best_proc = procs;
+        double best_start = kInf;
+        for (std::size_t p = 0; p < procs; ++p) {
+            if (next_index[p] >= table.proc_order[p].size()) continue;
+            const auto& entry = table.entries[table.proc_order[p][next_index[p]]];
+            const double ready = data_ready(entry.planned.task, static_cast<ProcId>(p));
+            if (ready == kInf) continue;
+            const double start = std::max(proc_free[p], ready);
+            if (start < best_start) {
+                best_start = start;
+                best_proc = p;
+            }
+        }
+        if (best_proc == procs) {
+            throw std::invalid_argument(
+                "simulate: schedule deadlocked (head placements wait on tasks queued behind "
+                "them)");
+        }
+        const std::size_t entry_id = table.proc_order[best_proc][next_index[best_proc]];
+        const auto& entry = table.entries[entry_id];
+        const double dur = duration(entry);
+        const double finish = best_start + dur;
+        result.finish_times[entry.global_index] = finish;
+        result.proc_busy[best_proc] += dur;
+        proc_free[best_proc] = finish;
+        done[static_cast<std::size_t>(entry.planned.task)].push_back(
+            {finish, static_cast<ProcId>(best_proc)});
+        ++next_index[best_proc];
+        ++completed;
+        result.makespan = std::max(result.makespan, finish);
+    }
+
+    // Communication accounting: which instance actually served each input of
+    // each primary placement (remote edges counted once per consumer).
+    const LinkModel& links = problem.machine().links();
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        const Placement& consumer = schedule.primary(static_cast<TaskId>(v));
+        for (const AdjEdge& e : dag.predecessors(static_cast<TaskId>(v))) {
+            double best = kInf;
+            ProcId best_from = consumer.proc;
+            for (const auto& [finish, from] : done[static_cast<std::size_t>(e.task)]) {
+                const double avail = finish + links.comm_time(e.data, from, consumer.proc);
+                if (avail < best) {
+                    best = avail;
+                    best_from = from;
+                }
+            }
+            if (best_from != consumer.proc) {
+                ++result.remote_messages;
+                result.comm_volume += e.data;
+            }
+        }
+    }
+    return result;
+}
+}  // namespace
+
+SimResult simulate(const Schedule& schedule, const Problem& problem) {
+    const LinkModel& links = problem.machine().links();
+    const Dag& dag = problem.dag();
+    return run(
+        schedule, problem,
+        [&](const auto& entry) {
+            return problem.exec_time(entry.planned.task, entry.planned.proc);
+        },
+        [&](TaskId v, std::size_t pred_idx, ProcId from, ProcId to) {
+            return links.comm_time(dag.predecessors(v)[pred_idx].data, from, to);
+        });
+}
+
+SimResult simulate_noisy(const Schedule& schedule, const Problem& problem, double noise,
+                         Rng& rng) {
+    if (!(noise >= 0.0 && noise < 1.0)) {
+        throw std::invalid_argument("simulate_noisy: noise must be in [0, 1)");
+    }
+    const Dag& dag = problem.dag();
+    const LinkModel& links = problem.machine().links();
+
+    // Pre-draw all factors in a fixed order so results depend only on the
+    // rng seed, not on event interleaving.
+    std::size_t total_placements = 0;
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        total_placements += schedule.placements(static_cast<TaskId>(v)).size();
+    }
+    std::vector<double> dur_factor(total_placements);
+    for (auto& f : dur_factor) f = rng.uniform(1.0 - noise, 1.0 + noise);
+    std::vector<std::vector<double>> comm_factor(schedule.num_tasks());
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        const auto preds = dag.predecessors(static_cast<TaskId>(v));
+        comm_factor[v].resize(preds.size());
+        for (auto& f : comm_factor[v]) f = rng.uniform(1.0 - noise, 1.0 + noise);
+    }
+
+    return run(
+        schedule, problem,
+        [&](const auto& entry) {
+            return problem.exec_time(entry.planned.task, entry.planned.proc) *
+                   dur_factor[entry.global_index];
+        },
+        [&](TaskId v, std::size_t pred_idx, ProcId from, ProcId to) {
+            return links.comm_time(dag.predecessors(v)[pred_idx].data, from, to) *
+                   comm_factor[static_cast<std::size_t>(v)][pred_idx];
+        });
+}
+
+}  // namespace tsched::sim

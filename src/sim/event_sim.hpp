@@ -1,0 +1,47 @@
+// Discrete-event execution of a static schedule.
+//
+// The simulator takes only the *decisions* of a schedule — which placements
+// exist and in what order each processor runs them — and re-derives all
+// start/finish times from scratch by propagating completion events through
+// the placement-constraint graph.  For a valid schedule under the static
+// cost model, the re-derived makespan must equal Schedule::makespan()
+// exactly; this gives the test suite an independent cross-check of every
+// scheduler's bookkeeping.
+//
+// The same engine runs the robustness experiments: execution and
+// communication times are perturbed multiplicatively and the *realised*
+// makespan of the unchanged static decisions is measured.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::sim {
+
+struct SimResult {
+    double makespan = 0.0;
+    std::vector<double> proc_busy;   ///< busy time per processor
+    std::size_t remote_messages = 0; ///< edges served across processors
+    double comm_volume = 0.0;        ///< total data moved across processors
+    /// Re-derived finish time per placement, in the same order as
+    /// enumerate_placements(schedule) (per task, insertion order).
+    std::vector<double> finish_times;
+};
+
+/// Execute the schedule's decisions under the problem's cost model.
+/// Throws std::invalid_argument when the schedule is structurally
+/// inconsistent (missing placements / circular constraints).
+[[nodiscard]] SimResult simulate(const Schedule& schedule, const Problem& problem);
+
+/// Like simulate, but every execution time is multiplied by a factor drawn
+/// from U(1 - noise, 1 + noise) and every communication time by an
+/// independent such factor (noise in [0, 1)).  Models runtime deviation from
+/// the static estimates while keeping the static decisions fixed.
+[[nodiscard]] SimResult simulate_noisy(const Schedule& schedule, const Problem& problem,
+                                       double noise, Rng& rng);
+
+}  // namespace tsched::sim

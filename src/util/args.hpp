@@ -1,0 +1,51 @@
+// Minimal command-line argument parser for the bench/example executables.
+//
+// Accepted syntax:  --key=value  |  --key value  |  --flag
+// Unknown keys are rejected only when the caller asks (strict mode), so every
+// bench binary can run with zero arguments under the repo-wide
+// `for b in build/bench/*; do $b; done` driver.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsched {
+
+class Args {
+public:
+    Args(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+
+    [[nodiscard]] std::string get_string(const std::string& key, std::string def) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+    [[nodiscard]] double get_double(const std::string& key, double def) const;
+    [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+    /// Comma-separated list of integers, e.g. --sizes=20,40,60.
+    [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& key,
+                                                         std::vector<std::int64_t> def) const;
+    /// Comma-separated list of doubles, e.g. --ccr=0.1,0.5,1,5.
+    [[nodiscard]] std::vector<double> get_double_list(const std::string& key,
+                                                      std::vector<double> def) const;
+    /// Comma-separated list of strings, e.g. --algos=heft,ils.
+    [[nodiscard]] std::vector<std::string> get_string_list(const std::string& key,
+                                                           std::vector<std::string> def) const;
+
+    /// Positional (non --key) arguments, in order.
+    [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+    /// Program name (argv[0]).
+    [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+private:
+    [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
+
+    std::string program_;
+    std::map<std::string, std::string> kv_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace tsched

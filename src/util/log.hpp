@@ -1,0 +1,49 @@
+// Leveled logging to stderr.  Kept deliberately tiny: experiments are the
+// primary output (stdout tables) and logs must never interleave with them.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn so bench
+/// output stays clean unless --verbose style flags raise it.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (thread-safe; a single write per call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { log_message(level_, os_.str()); }
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        os_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream os_;
+};
+}  // namespace detail
+
+#define TSCHED_LOG(level) \
+    if (static_cast<int>(level) < static_cast<int>(::tsched::log_level())) {} \
+    else ::tsched::detail::LogLine(level)
+
+#define TSCHED_DEBUG TSCHED_LOG(::tsched::LogLevel::kDebug)
+#define TSCHED_INFO TSCHED_LOG(::tsched::LogLevel::kInfo)
+#define TSCHED_WARN TSCHED_LOG(::tsched::LogLevel::kWarn)
+#define TSCHED_ERROR TSCHED_LOG(::tsched::LogLevel::kError)
+
+}  // namespace tsched

@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsched {
+
+double Rng::uniform() noexcept {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+    // Classic unbiased rejection sampling: draw until the value falls below
+    // the largest multiple of `range`; expected < 2 draws for any range.
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                (std::numeric_limits<std::uint64_t>::max() % range + 1) % range;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r <= limit) return lo + static_cast<std::int64_t>(r % range);
+    }
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_normal_;
+    }
+    // Box–Muller; u1 is kept away from 0 to avoid log(0).
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    spare_normal_ = radius * std::sin(theta);
+    has_spare_ = true;
+    return radius * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) noexcept {
+    assert(lambda > 0.0);
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / lambda;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < p;
+}
+
+}  // namespace tsched

@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tsched {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept {
+    return std::sqrt(variance());
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+    if (n_ < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+    assert(!sorted.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    if (sorted.size() == 1) return sorted[0];
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+    Summary s;
+    if (samples.empty()) return s;
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    RunningStats rs;
+    for (double x : sorted) rs.add(x);
+    s.count = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p25 = quantile_sorted(sorted, 0.25);
+    s.median = quantile_sorted(sorted, 0.5);
+    s.p75 = quantile_sorted(sorted, 0.75);
+    s.ci95 = rs.ci95_halfwidth();
+    return s;
+}
+
+double geometric_mean(std::span<const double> samples) {
+    assert(!samples.empty());
+    double log_sum = 0.0;
+    for (double x : samples) {
+        assert(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+std::string format_mean_ci(const Summary& s, int precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed << s.mean << " ±" << s.ci95;
+    return os.str();
+}
+
+}  // namespace tsched

@@ -1,0 +1,66 @@
+// Small statistics toolkit used by the metrics module and the benchmark
+// harness: single-pass accumulation (Welford) plus order statistics and
+// normal-approximation confidence intervals over trial sets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsched {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for the long accumulation runs the benchmark sweeps do.
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void merge(const RunningStats& other) noexcept;
+    void reset() noexcept { *this = RunningStats{}; }
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    [[nodiscard]] double variance() const noexcept;
+    [[nodiscard]] double stddev() const noexcept;
+    [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+    [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    /// Half-width of the ~95% normal-approximation confidence interval.
+    [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Summary of a full sample vector, including order statistics.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double p25 = 0.0;
+    double median = 0.0;
+    double p75 = 0.0;
+    double max = 0.0;
+    double ci95 = 0.0;  ///< half-width of the 95% CI of the mean
+};
+
+/// Compute a Summary over the samples (copies and sorts internally).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolation quantile of a *sorted* sample vector, q in [0, 1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Geometric mean; samples must be strictly positive.
+[[nodiscard]] double geometric_mean(std::span<const double> samples);
+
+/// Render "mean ± ci" with the given precision (for table cells).
+[[nodiscard]] std::string format_mean_ci(const Summary& s, int precision = 3);
+
+}  // namespace tsched

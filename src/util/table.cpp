@@ -1,0 +1,113 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("Table: headers must be non-empty");
+}
+
+Table& Table::new_row() {
+    cells_.emplace_back();
+    cells_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table& Table::add(std::string cell) {
+    if (cells_.empty()) new_row();
+    if (cells_.back().size() >= headers_.size()) {
+        throw std::logic_error("Table: row has more cells than headers");
+    }
+    cells_.back().push_back(std::move(cell));
+    return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+}
+
+Table& Table::add(std::int64_t value) { return add(std::to_string(value)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+    return cells_.at(row).at(col);
+}
+
+std::string Table::to_markdown() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : std::string{};
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : cells_) emit_row(row);
+    return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c) os << ',';
+        os << csv_escape(headers_[c]);
+    }
+    os << '\n';
+    for (const auto& row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << csv_escape(row[c]);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_markdown(); }
+
+bool Table::write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_csv();
+    return static_cast<bool>(out);
+}
+
+}  // namespace tsched

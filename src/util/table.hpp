@@ -1,0 +1,48 @@
+// Result-table rendering for the benchmark harness.
+//
+// Every experiment prints its figure/table as (a) an aligned Markdown table
+// for the console and (b) optionally a CSV file, so plots can be regenerated
+// downstream.  Cells are stored as strings; typed add helpers format numbers
+// consistently.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsched {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Start a new row; subsequent add() calls fill it left to right.
+    Table& new_row();
+
+    Table& add(std::string cell);
+    Table& add(const char* cell);
+    Table& add(double value, int precision = 3);
+    Table& add(std::int64_t value);
+    Table& add(std::size_t value);
+    Table& add(int value);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+    [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+    [[nodiscard]] const std::string& at(std::size_t row, std::size_t col) const;
+
+    /// Render as an aligned Markdown table.
+    [[nodiscard]] std::string to_markdown() const;
+    /// Render as RFC-4180-ish CSV (quotes cells containing separators).
+    [[nodiscard]] std::string to_csv() const;
+
+    void print(std::ostream& os) const;
+    /// Write CSV to `path`; returns false (and leaves no partial file
+    /// guarantee) if the file cannot be opened.
+    bool write_csv(const std::string& path) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace tsched

@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tsched {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) {
+        if (t.joinable()) t.join();
+    }
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    const std::size_t workers = pool.size();
+    const std::size_t chunks = std::min(count, workers * 4);
+    const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(count, begin + chunk_size);
+        if (begin >= end) break;
+        futures.push_back(pool.submit([&, begin, end] {
+            for (std::size_t i = begin; i < end && !failed.load(std::memory_order_relaxed); ++i) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard lock(error_mutex);
+                    if (!first_error) first_error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        }));
+    }
+    for (auto& f : futures) f.get();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tsched

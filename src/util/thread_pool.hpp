@@ -1,0 +1,67 @@
+// Fixed-size thread pool.
+//
+// Two consumers in this repository:
+//   * the benchmark harness, which fans independent trials out across cores
+//     via parallel_for;
+//   * sim::ThreadedExecutor, which pins one worker per simulated processor to
+//     actually run a static schedule's tasks as real closures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsched {
+
+class ThreadPool {
+public:
+    /// Create `num_threads` workers (>= 1).  0 means hardware_concurrency.
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task; the future reports completion / exceptions.
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Block until all currently enqueued tasks finish.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, count), chunked across the pool; blocks until done.
+/// Exceptions from iterations are propagated (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace tsched

@@ -1,0 +1,45 @@
+// Execution-cost randomization and CCR calibration.
+//
+// Follows the HEFT evaluation recipe:
+//   * each task gets a baseline mean cost w̄(v) (here derived from the DAG's
+//     abstract work, rescaled to the requested average);
+//   * per-processor costs are drawn from U(w̄(v)(1 - beta/2), w̄(v)(1 + beta/2))
+//     — beta is the heterogeneity factor; beta = 0 gives a homogeneous matrix;
+//   * edge data volumes are rescaled so the *mean* communication cost over
+//     the link model matches ccr * (mean execution cost), making CCR a
+//     directly controlled experiment axis.
+#pragma once
+
+#include "graph/dag.hpp"
+#include "platform/cost_matrix.hpp"
+#include "platform/link_model.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::workload {
+
+struct CostParams {
+    std::size_t num_procs = 8;
+    double avg_exec = 20.0;  ///< target mean of all w(v, p) entries (> 0)
+    double beta = 0.5;       ///< heterogeneity factor in [0, 2): spread of each row
+    bool consistent = false; ///< true: processors have fixed relative speeds
+                             ///< (related machines); false: fully unrelated (HEFT)
+};
+
+/// Build the execution-cost matrix for `dag`.
+///
+/// The task baseline w̄(v) preserves the relative work encoded in the DAG
+/// (heavy kernels stay heavy) but is rescaled so the matrix-wide mean equals
+/// `avg_exec`.  With `consistent`, one speed factor per processor is drawn
+/// from U(1 - beta/2, 1 + beta/2) and w(v,p) = w̄(v)/speed(p); otherwise each
+/// entry is drawn independently (unrelated machines, the HEFT default).
+[[nodiscard]] CostMatrix make_cost_matrix(const Dag& dag, const CostParams& params, Rng& rng);
+
+/// Rescale the DAG's edge data volumes in place so that the mean
+/// communication cost over `links` equals `ccr * avg_exec` while preserving
+/// the relative data sizes encoded by the generator.  Latency-dominated
+/// models may not be able to reach very small targets (comm time can never
+/// drop below the latency); the function clamps data at 0 in that case.
+void calibrate_ccr(Dag& dag, const LinkModel& links, std::size_t num_procs, double ccr,
+                   double avg_exec);
+
+}  // namespace tsched::workload

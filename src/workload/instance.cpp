@@ -1,0 +1,143 @@
+#include "workload/instance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsched::workload {
+
+const char* shape_name(Shape shape) noexcept {
+    switch (shape) {
+        case Shape::kLayered: return "layered";
+        case Shape::kGnp: return "gnp";
+        case Shape::kGauss: return "gauss";
+        case Shape::kFft: return "fft";
+        case Shape::kLaplace: return "laplace";
+        case Shape::kCholesky: return "cholesky";
+        case Shape::kLu: return "lu";
+        case Shape::kForkJoin: return "forkjoin";
+        case Shape::kOutTree: return "outtree";
+        case Shape::kInTree: return "intree";
+        case Shape::kChain: return "chain";
+        case Shape::kDiamond: return "diamond";
+        case Shape::kStencil: return "stencil";
+        case Shape::kMontage: return "montage";
+    }
+    return "?";
+}
+
+Shape shape_from_name(const std::string& name) {
+    for (const Shape s :
+         {Shape::kLayered, Shape::kGnp, Shape::kGauss, Shape::kFft, Shape::kLaplace,
+          Shape::kCholesky, Shape::kLu, Shape::kForkJoin, Shape::kOutTree, Shape::kInTree,
+          Shape::kChain, Shape::kDiamond, Shape::kStencil, Shape::kMontage}) {
+        if (name == shape_name(s)) return s;
+    }
+    throw std::invalid_argument("unknown shape '" + name + "'");
+}
+
+const char* net_name(Net net) noexcept {
+    switch (net) {
+        case Net::kUniform: return "uniform";
+        case Net::kBus: return "bus";
+        case Net::kRing: return "ring";
+        case Net::kMesh2d: return "mesh2d";
+        case Net::kHypercube: return "hypercube";
+        case Net::kStar: return "star";
+    }
+    return "?";
+}
+
+Net net_from_name(const std::string& name) {
+    for (const Net n : {Net::kUniform, Net::kBus, Net::kRing, Net::kMesh2d, Net::kHypercube,
+                        Net::kStar}) {
+        if (name == net_name(n)) return n;
+    }
+    throw std::invalid_argument("unknown net '" + name + "'");
+}
+
+Dag make_dag(const InstanceParams& params, Rng& rng) {
+    switch (params.shape) {
+        case Shape::kLayered: {
+            LayeredDagParams p;
+            p.n = params.size;
+            p.alpha = params.alpha;
+            p.max_out_degree = params.max_out_degree;
+            return layered_random(p, rng);
+        }
+        case Shape::kGnp: {
+            GnpDagParams p;
+            p.n = params.size;
+            p.edge_prob = params.edge_prob;
+            return gnp_random(p, rng);
+        }
+        case Shape::kGauss: return gaussian_elimination(params.size);
+        case Shape::kFft: return fft(params.size);
+        case Shape::kLaplace: return laplace(params.size);
+        case Shape::kCholesky: return cholesky(params.size);
+        case Shape::kLu: return lu(params.size);
+        case Shape::kForkJoin: return fork_join(params.size, 4);
+        case Shape::kOutTree: return out_tree(3, params.size);
+        case Shape::kInTree: return in_tree(3, params.size);
+        case Shape::kChain: return chain(params.size);
+        case Shape::kDiamond: return diamond(params.size, 3);
+        case Shape::kStencil:
+            return stencil_1d(params.size, std::max<std::size_t>(1, params.size / 2));
+        case Shape::kMontage: return montage_like(params.size);
+    }
+    throw std::logic_error("make_dag: unhandled shape");
+}
+
+namespace {
+LinkModelPtr make_links(const InstanceParams& params) {
+    const std::size_t p = params.num_procs;
+    switch (params.net) {
+        case Net::kUniform:
+            return std::make_shared<UniformLinkModel>(params.latency, params.bandwidth);
+        case Net::kBus:
+            return std::make_shared<BusLinkModel>(params.latency, params.bandwidth, p);
+        case Net::kRing:
+            return TopologyLinkModel::ring(p, params.latency, params.bandwidth);
+        case Net::kMesh2d: {
+            // Largest divisor <= sqrt(p) gives the squarest rows x cols split.
+            std::size_t rows = 1;
+            for (std::size_t r = 1; r * r <= p; ++r) {
+                if (p % r == 0) rows = r;
+            }
+            return TopologyLinkModel::mesh2d(rows, p / rows, params.latency, params.bandwidth);
+        }
+        case Net::kHypercube: {
+            if ((p & (p - 1)) != 0) {
+                throw std::invalid_argument("hypercube network needs a power-of-two proc count");
+            }
+            std::size_t dims = 0;
+            while ((static_cast<std::size_t>(1) << dims) < p) ++dims;
+            return TopologyLinkModel::hypercube(dims, params.latency, params.bandwidth);
+        }
+        case Net::kStar:
+            return TopologyLinkModel::star(p, params.latency, params.bandwidth);
+    }
+    throw std::logic_error("make_links: unhandled net");
+}
+}  // namespace
+
+Problem make_instance(const InstanceParams& params, std::uint64_t seed) {
+    if (params.num_procs == 0) throw std::invalid_argument("make_instance: num_procs >= 1");
+    Rng rng(mix_seed(seed, 0x7a5edULL + static_cast<unsigned>(params.shape)));
+
+    Dag dag = make_dag(params, rng);
+
+    CostParams cost_params;
+    cost_params.num_procs = params.num_procs;
+    cost_params.avg_exec = params.avg_exec;
+    cost_params.beta = params.beta;
+    cost_params.consistent = params.consistent;
+    CostMatrix costs = make_cost_matrix(dag, cost_params, rng);
+
+    LinkModelPtr links = make_links(params);
+    calibrate_ccr(dag, *links, params.num_procs, params.ccr, params.avg_exec);
+
+    Machine machine = Machine::homogeneous(params.num_procs, std::move(links));
+    return Problem(std::move(dag), std::move(machine), std::move(costs));
+}
+
+}  // namespace tsched::workload

@@ -1,0 +1,75 @@
+// One-call experiment instance factory.
+//
+// The benchmark harness describes each experiment point as an InstanceParams
+// value; make_instance deterministically expands (params, seed) into a full
+// Problem: DAG structure -> execution-cost matrix (beta heterogeneity) ->
+// edge-data calibration (CCR) -> machine with the chosen interconnect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/problem.hpp"
+#include "workload/costs.hpp"
+#include "workload/random_dag.hpp"
+#include "workload/structured.hpp"
+
+namespace tsched::workload {
+
+/// DAG family of an instance.
+enum class Shape {
+    kLayered,   ///< layered random (HEFT generator); `n`, `alpha`, `max_out_degree`
+    kGnp,       ///< G(n,p) random; `n`, `edge_prob`
+    kGauss,     ///< Gaussian elimination; `size` = matrix dimension m
+    kFft,       ///< FFT butterfly; `size` = points (power of two)
+    kLaplace,   ///< 2-D wavefront; `size` = grid side
+    kCholesky,  ///< tiled Cholesky; `size` = tile count
+    kLu,        ///< tiled LU; `size` = tile count
+    kForkJoin,  ///< fork-join; `size` = width, 4 stages
+    kOutTree,   ///< fanout-3 out-tree; `size` = depth
+    kInTree,    ///< fanout-3 in-tree; `size` = depth
+    kChain,     ///< linear chain; `size` = length
+    kDiamond,   ///< diamond; `size` = width, 3 layers
+    kStencil,   ///< 1-D stencil; `size` = cells, cells/2 steps
+    kMontage,   ///< Montage-like workflow; `size` = width
+};
+
+[[nodiscard]] const char* shape_name(Shape shape) noexcept;
+/// Inverse of shape_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] Shape shape_from_name(const std::string& name);
+
+/// Interconnect family of an instance.
+enum class Net { kUniform, kBus, kRing, kMesh2d, kHypercube, kStar };
+
+[[nodiscard]] const char* net_name(Net net) noexcept;
+[[nodiscard]] Net net_from_name(const std::string& name);
+
+struct InstanceParams {
+    // --- structure ---
+    Shape shape = Shape::kLayered;
+    std::size_t size = 100;          ///< tasks (random shapes) or size parameter (structured)
+    double alpha = 1.0;              ///< layered: shape factor
+    std::size_t max_out_degree = 4;  ///< layered: out-degree cap
+    double edge_prob = 0.1;          ///< gnp: edge probability
+
+    // --- platform ---
+    std::size_t num_procs = 8;
+    Net net = Net::kUniform;
+    double latency = 0.0;    ///< per-message (uniform/bus) or per-hop (topologies)
+    double bandwidth = 1.0;  ///< volume per time unit
+
+    // --- costs ---
+    double avg_exec = 20.0;  ///< mean execution cost
+    double beta = 0.5;       ///< heterogeneity in [0, 2); 0 = homogeneous
+    double ccr = 1.0;        ///< communication-to-computation ratio
+    bool consistent = false; ///< related-machine costs instead of unrelated
+};
+
+/// Deterministically build the Problem for (params, seed).
+[[nodiscard]] Problem make_instance(const InstanceParams& params, std::uint64_t seed);
+
+/// Build just the DAG structure of (params, seed) — used by tests and by
+/// callers that bind their own costs.
+[[nodiscard]] Dag make_dag(const InstanceParams& params, Rng& rng);
+
+}  // namespace tsched::workload

@@ -1,0 +1,49 @@
+// Parameterised random task graphs.
+//
+// `layered_random` follows the generator of the HEFT evaluation (Topcuoglu
+// et al., TPDS 2002) and its descendants (daggen, STG): the DAG is organised
+// in levels whose count/width derive from the shape parameter alpha, and
+// edges connect tasks to tasks in nearby later levels.
+//
+// `gnp_random` is the classic layerless construction: every pair (u, v) with
+// u < v becomes an edge with a fixed probability — denser, less structured
+// graphs that stress schedulers differently.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dag.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::workload {
+
+struct LayeredDagParams {
+    std::size_t n = 100;          ///< number of tasks (>= 1)
+    double alpha = 1.0;           ///< shape: height ~ sqrt(n)/alpha, width ~ alpha*sqrt(n)
+    std::size_t max_out_degree = 4;  ///< cap on successors drawn per task (>= 1)
+    std::size_t max_jump = 2;     ///< edges may skip up to this many levels (>= 1)
+    double work_min = 2.0;        ///< task work ~ U(work_min, work_max)
+    double work_max = 38.0;       ///< (HEFT draws w̄ from U(0, 2*avg); we keep it positive)
+    double data_min = 1.0;        ///< edge data ~ U(data_min, data_max) before CCR calibration
+    double data_max = 10.0;
+};
+
+/// Generate a layered random DAG.  Postconditions: acyclic; every non-level-0
+/// task has at least one predecessor; every non-terminal-level task at least
+/// one successor (so makespan is dominated by real chains, not stragglers).
+[[nodiscard]] Dag layered_random(const LayeredDagParams& params, Rng& rng);
+
+struct GnpDagParams {
+    std::size_t n = 100;     ///< number of tasks
+    double edge_prob = 0.1;  ///< probability of each forward pair (u < v) becoming an edge
+    double work_min = 2.0;
+    double work_max = 38.0;
+    double data_min = 1.0;
+    double data_max = 10.0;
+    bool connect_isolated = true;  ///< attach pred-less tasks (except task 0) to a random earlier task
+};
+
+/// Generate a G(n, p)-style DAG over a random topological order.
+[[nodiscard]] Dag gnp_random(const GnpDagParams& params, Rng& rng);
+
+}  // namespace tsched::workload

@@ -1,0 +1,75 @@
+// Structured application task graphs.
+//
+// These are the "real application" graphs of the static-scheduling
+// literature: their shapes are fixed by the algorithm they model, only the
+// size parameter varies.  Each generator documents its closed-form node/edge
+// counts, which the tests verify.
+//
+// Work amounts default to the relative operation counts of the modelled
+// kernels (so heavier kernels get proportionally longer tasks) and edge data
+// defaults to 1 volume unit; the workload cost pipeline rescales both.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dag.hpp"
+
+namespace tsched::workload {
+
+/// Gaussian elimination on an m x m matrix (Topcuoglu et al. shape).
+/// Tasks: one pivot task per step k plus one update task per (k, j), j > k.
+///   nodes = (m^2 + m - 2) / 2,  edges = m^2 - m - 1   (m >= 2).
+/// Pivot work = 1, update work = 2 (relative op counts).
+[[nodiscard]] Dag gaussian_elimination(std::size_t m);
+
+/// Radix-2 FFT butterfly on n = 2^k points: (k+1) ranks of n tasks.
+///   nodes = n * (log2(n) + 1),  edges = 2 * n * log2(n).
+/// All tasks unit work.
+[[nodiscard]] Dag fft(std::size_t n_points);
+
+/// Laplace equation / Gauss-Seidel 2-D wavefront on a g x g grid:
+/// task (i, j) depends on (i-1, j) and (i, j-1).
+///   nodes = g^2,  edges = 2 g (g - 1).
+[[nodiscard]] Dag laplace(std::size_t g);
+
+/// Tiled Cholesky factorization with t x t tiles (POTRF/TRSM/SYRK/GEMM).
+///   nodes = t (t + 1)(t + 2) / 6 ... derived; see tests for exact counts.
+/// Work: POTRF 1, TRSM 3, SYRK 3, GEMM 6 (relative flops per tile).
+[[nodiscard]] Dag cholesky(std::size_t tiles);
+
+/// Tiled LU factorization (no pivoting) with t x t tiles (GETRF/TRSM/GEMM).
+/// Work: GETRF 2, TRSM 3, GEMM 6.
+[[nodiscard]] Dag lu(std::size_t tiles);
+
+/// `stages` sequential fork-join sections of `width` parallel tasks:
+/// source -> width tasks -> join -> width tasks -> ... -> sink.
+///   nodes = stages * (width + 1) + 1,  edges = 2 * stages * width.
+[[nodiscard]] Dag fork_join(std::size_t width, std::size_t stages);
+
+/// Complete out-tree (root at top) of the given fanout and depth (depth = 1
+/// is a single node).   nodes = (fanout^depth - 1) / (fanout - 1).
+[[nodiscard]] Dag out_tree(std::size_t fanout, std::size_t depth);
+
+/// Complete in-tree (reduction): the out-tree with all edges reversed.
+[[nodiscard]] Dag in_tree(std::size_t fanout, std::size_t depth);
+
+/// Linear chain of n tasks.  nodes = n, edges = n - 1.
+[[nodiscard]] Dag chain(std::size_t n);
+
+/// Diamond: 1 source, `layers` middle layers of `width` tasks (fully
+/// connected between consecutive layers), 1 sink.
+[[nodiscard]] Dag diamond(std::size_t width, std::size_t layers);
+
+/// n independent tasks (no edges) — the embarrassingly parallel extreme.
+[[nodiscard]] Dag independent(std::size_t n);
+
+/// 1-D stencil iterated over time: task (t, i) depends on (t-1, i-1..i+1).
+///   nodes = steps * cells.
+[[nodiscard]] Dag stencil_1d(std::size_t cells, std::size_t steps);
+
+/// Montage-style astronomy workflow skeleton: w projection tasks -> pairwise
+/// overlap layer -> aggregation tree -> background correction (w tasks) ->
+/// final mosaic.  Width parameter w >= 2.
+[[nodiscard]] Dag montage_like(std::size_t w);
+
+}  // namespace tsched::workload

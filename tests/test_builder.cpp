@@ -1,0 +1,150 @@
+// Unit tests for ScheduleBuilder (sched/builder.hpp) — the insertion/EFT
+// machinery every scheduler relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/problem.hpp"
+#include "sched/builder.hpp"
+#include "sched/validate.hpp"
+
+namespace tsched {
+namespace {
+
+/// Fork: 0 -> 1, 0 -> 2 (data 4 each); constant exec cost 2 on 2 procs;
+/// uniform links latency 0 bandwidth 1.
+Problem fork_problem() {
+    Dag dag;
+    for (int i = 0; i < 3; ++i) dag.add_task(2.0);
+    dag.add_edge(0, 1, 4.0);
+    dag.add_edge(0, 2, 4.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    return Problem(std::move(dag), std::move(machine), std::move(costs));
+}
+
+TEST(Builder, DataReadyForEntryTaskIsZero) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_DOUBLE_EQ(builder.data_ready(0, 0), 0.0);
+}
+
+TEST(Builder, DataReadyInfiniteWhileParentUnplaced) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_TRUE(std::isinf(builder.data_ready(1, 0)));
+    EXPECT_DOUBLE_EQ(builder.data_ready_partial(1, 0), 0.0);  // partial skips it
+}
+
+TEST(Builder, DataReadyAfterParentPlaced) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place(0, 0, true);  // [0, 2) on P0
+    EXPECT_DOUBLE_EQ(builder.data_ready(1, 0), 2.0);        // local
+    EXPECT_DOUBLE_EQ(builder.data_ready(1, 1), 2.0 + 4.0);  // remote: + data/bw
+}
+
+TEST(Builder, EarliestStartNonInsertionAppends) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place_at(0, 0, 10.0);  // busy [10, 12)
+    EXPECT_DOUBLE_EQ(builder.earliest_start(0, 0.0, 2.0, /*insertion=*/false), 12.0);
+    // Insertion finds the leading hole [0, 10).
+    EXPECT_DOUBLE_EQ(builder.earliest_start(0, 0.0, 2.0, /*insertion=*/true), 0.0);
+}
+
+TEST(Builder, InsertionSkipsTooSmallHoles) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place_at(0, 0, 1.0);   // [1, 3): leading hole is [0,1) — too small
+    EXPECT_DOUBLE_EQ(builder.earliest_start(0, 0.0, 2.0, true), 3.0);
+}
+
+TEST(Builder, InsertionRespectsReadyTimeInsideHole) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place_at(0, 0, 8.0);  // hole [0, 8)
+    EXPECT_DOUBLE_EQ(builder.earliest_start(0, 3.0, 2.0, true), 3.0);
+    EXPECT_DOUBLE_EQ(builder.earliest_start(0, 7.0, 2.0, true), 10.0);  // 7+2 > 8
+}
+
+TEST(Builder, EftCombinesReadyAndSlot) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place(0, 0, true);  // [0, 2) on P0
+    EXPECT_DOUBLE_EQ(builder.eft(1, 0, true), 4.0);   // start 2, +2
+    EXPECT_DOUBLE_EQ(builder.eft(1, 1, true), 8.0);   // ready 6, +2
+    EXPECT_TRUE(std::isinf(builder.eft(1, 0, true)) == false);
+}
+
+TEST(Builder, FindSlotBeforeDeadline) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place_at(0, 0, 5.0);  // busy [5, 7)
+    const auto slot = builder.find_slot_before(0, 0.0, 2.0, 4.0, true);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_DOUBLE_EQ(*slot, 0.0);
+    EXPECT_FALSE(builder.find_slot_before(0, 3.5, 2.0, 5.0, true).has_value());
+}
+
+TEST(Builder, PlaceCommitsAndTracksState) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    const Placement pl = builder.place(0, 1, true);
+    EXPECT_EQ(pl.proc, 1);
+    EXPECT_DOUBLE_EQ(pl.start, 0.0);
+    EXPECT_DOUBLE_EQ(pl.finish, 2.0);
+    EXPECT_TRUE(builder.is_placed(0));
+    EXPECT_DOUBLE_EQ(builder.finish_time(0), 2.0);
+    EXPECT_DOUBLE_EQ(builder.proc_available(1), 2.0);
+    EXPECT_DOUBLE_EQ(builder.current_makespan(), 2.0);
+    EXPECT_EQ(builder.num_placements(), 1u);
+}
+
+TEST(Builder, PlaceRejectsDoublePlacementAndUnplacedPreds) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_THROW(builder.place(1, 0, true), std::logic_error);  // pred unplaced
+    builder.place(0, 0, true);
+    EXPECT_THROW(builder.place(0, 1, true), std::logic_error);  // already placed
+}
+
+TEST(Builder, DuplicateRequiresOriginal) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_THROW(builder.place_duplicate_at(0, 0, 0.0), std::logic_error);
+    builder.place(0, 0, true);
+    const Placement dup = builder.place_duplicate_at(0, 1, 0.0);
+    EXPECT_EQ(dup.proc, 1);
+    // Duplicate feeds consumers on its processor without comm.
+    EXPECT_DOUBLE_EQ(builder.data_ready(1, 1), 2.0);
+    EXPECT_EQ(builder.partial().num_duplicates(), 1u);
+}
+
+TEST(Builder, CopySemanticsGiveIndependentTrials) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place(0, 0, true);
+    ScheduleBuilder clone = builder;
+    clone.place(1, 0, true);
+    EXPECT_TRUE(clone.is_placed(1));
+    EXPECT_FALSE(builder.is_placed(1));
+    EXPECT_DOUBLE_EQ(builder.proc_available(0), 2.0);
+    EXPECT_DOUBLE_EQ(clone.proc_available(0), 4.0);
+}
+
+TEST(Builder, FullManualScheduleValidates) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place(0, 0, true);
+    builder.place(1, 0, true);
+    builder.place(2, 1, true);
+    const Schedule s = std::move(builder).take();
+    const auto result = validate(s, problem);
+    EXPECT_TRUE(result.ok) << result.message();
+    EXPECT_DOUBLE_EQ(s.makespan(), 8.0);  // task 2 remote: ready 6, +2
+}
+
+}  // namespace
+}  // namespace tsched

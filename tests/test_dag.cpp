@@ -1,0 +1,141 @@
+// Unit tests for the DAG container (graph/dag.hpp).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(Dag, StartsEmpty) {
+    Dag dag;
+    EXPECT_TRUE(dag.empty());
+    EXPECT_EQ(dag.num_tasks(), 0u);
+    EXPECT_EQ(dag.num_edges(), 0u);
+}
+
+TEST(Dag, AddTaskAssignsDenseIds) {
+    Dag dag;
+    EXPECT_EQ(dag.add_task(1.0, "a"), 0);
+    EXPECT_EQ(dag.add_task(2.0), 1);
+    EXPECT_EQ(dag.add_task(), 2);
+    EXPECT_EQ(dag.num_tasks(), 3u);
+    EXPECT_EQ(dag.name(0), "a");
+    EXPECT_EQ(dag.name(1), "");
+    EXPECT_DOUBLE_EQ(dag.work(1), 2.0);
+    EXPECT_DOUBLE_EQ(dag.work(2), 1.0);
+}
+
+TEST(Dag, PresizedConstructor) {
+    Dag dag(4);
+    EXPECT_EQ(dag.num_tasks(), 4u);
+    EXPECT_DOUBLE_EQ(dag.work(3), 1.0);
+}
+
+TEST(Dag, AddEdgeWiresBothDirections) {
+    Dag dag(3);
+    dag.add_edge(0, 1, 5.0);
+    dag.add_edge(0, 2, 7.0);
+    ASSERT_EQ(dag.successors(0).size(), 2u);
+    EXPECT_EQ(dag.successors(0)[0].task, 1);
+    EXPECT_DOUBLE_EQ(dag.successors(0)[0].data, 5.0);
+    ASSERT_EQ(dag.predecessors(2).size(), 1u);
+    EXPECT_EQ(dag.predecessors(2)[0].task, 0);
+    EXPECT_DOUBLE_EQ(dag.predecessors(2)[0].data, 7.0);
+    EXPECT_EQ(dag.out_degree(0), 2u);
+    EXPECT_EQ(dag.in_degree(1), 1u);
+    EXPECT_EQ(dag.num_edges(), 2u);
+}
+
+TEST(Dag, RejectsBadEdges) {
+    Dag dag(2);
+    EXPECT_THROW(dag.add_edge(0, 0, 1.0), std::invalid_argument);       // self loop
+    EXPECT_THROW(dag.add_edge(0, 5, 1.0), std::out_of_range);           // bad target
+    EXPECT_THROW(dag.add_edge(-1, 1, 1.0), std::out_of_range);          // bad source
+    EXPECT_THROW(dag.add_edge(0, 1, -1.0), std::invalid_argument);      // negative data
+    dag.add_edge(0, 1, 1.0);
+    EXPECT_THROW(dag.add_edge(0, 1, 2.0), std::invalid_argument);       // duplicate
+}
+
+TEST(Dag, RejectsBadWork) {
+    Dag dag;
+    EXPECT_THROW(dag.add_task(-1.0), std::invalid_argument);
+    EXPECT_THROW(dag.add_task(std::numeric_limits<double>::infinity()), std::invalid_argument);
+}
+
+TEST(Dag, EdgeDataLookup) {
+    Dag dag(2);
+    dag.add_edge(0, 1, 3.5);
+    EXPECT_DOUBLE_EQ(dag.edge_data(0, 1), 3.5);
+    EXPECT_THROW((void)dag.edge_data(1, 0), std::out_of_range);
+    EXPECT_TRUE(dag.has_edge(0, 1));
+    EXPECT_FALSE(dag.has_edge(1, 0));
+}
+
+TEST(Dag, SetEdgeDataUpdatesBothSides) {
+    Dag dag(2);
+    dag.add_edge(0, 1, 1.0);
+    dag.set_edge_data(0, 1, 9.0);
+    EXPECT_DOUBLE_EQ(dag.successors(0)[0].data, 9.0);
+    EXPECT_DOUBLE_EQ(dag.predecessors(1)[0].data, 9.0);
+    EXPECT_THROW(dag.set_edge_data(1, 0, 1.0), std::out_of_range);
+    EXPECT_THROW(dag.set_edge_data(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(Dag, SourcesAndSinks) {
+    Dag dag(4);
+    dag.add_edge(0, 2, 1.0);
+    dag.add_edge(1, 2, 1.0);
+    dag.add_edge(2, 3, 1.0);
+    EXPECT_EQ(dag.sources(), (std::vector<TaskId>{0, 1}));
+    EXPECT_EQ(dag.sinks(), (std::vector<TaskId>{3}));
+}
+
+TEST(Dag, Totals) {
+    Dag dag;
+    dag.add_task(2.0);
+    dag.add_task(3.0);
+    dag.add_edge(0, 1, 4.0);
+    EXPECT_DOUBLE_EQ(dag.total_work(), 5.0);
+    EXPECT_DOUBLE_EQ(dag.total_data(), 4.0);
+}
+
+TEST(Dag, AcyclicityDetection) {
+    Dag dag(3);
+    dag.add_edge(0, 1, 1.0);
+    dag.add_edge(1, 2, 1.0);
+    EXPECT_TRUE(dag.is_acyclic());
+    dag.add_edge(2, 0, 1.0);  // closes a cycle (structurally allowed)
+    EXPECT_FALSE(dag.is_acyclic());
+    EXPECT_NE(dag.validate().find("cycle"), std::string::npos);
+}
+
+TEST(Dag, ValidateOkOnProperGraph) {
+    Dag dag(3);
+    dag.add_edge(0, 1, 1.0);
+    dag.add_edge(0, 2, 1.0);
+    EXPECT_EQ(dag.validate(), "");
+}
+
+TEST(Dag, EqualityComparesStructureAndWeights) {
+    Dag a(2);
+    a.add_edge(0, 1, 1.0);
+    Dag b(2);
+    b.add_edge(0, 1, 1.0);
+    EXPECT_EQ(a, b);
+    b.set_edge_data(0, 1, 2.0);
+    EXPECT_FALSE(a == b);
+    Dag c(2);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Dag, OutOfRangeAccessorsThrow) {
+    Dag dag(1);
+    EXPECT_THROW((void)dag.work(1), std::out_of_range);
+    EXPECT_THROW((void)dag.successors(-1), std::out_of_range);
+    EXPECT_THROW((void)dag.name(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,144 @@
+// End-to-end integration tests: generator -> scheduler -> validator ->
+// event simulator -> threaded executor -> metrics, plus TSG persistence of
+// a generated experiment graph.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "core/registry.hpp"
+#include "graph/serialize.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/runner.hpp"
+#include "sched/validate.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/executor.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(Integration, FullPipelineOnHeterogeneousInstance) {
+    workload::InstanceParams params;
+    params.shape = workload::Shape::kGauss;
+    params.size = 10;
+    params.num_procs = 4;
+    params.ccr = 2.0;
+    params.beta = 1.0;
+    const Problem problem = workload::make_instance(params, 2024);
+
+    for (const auto& name : default_comparison_set()) {
+        const auto scheduler = make_scheduler(name);
+        const Schedule schedule = scheduler->schedule(problem);
+
+        // 1. validator
+        const auto valid = validate(schedule, problem);
+        ASSERT_TRUE(valid.ok) << name << ": " << valid.message();
+
+        // 2. independent event simulation agrees
+        const auto simulated = sim::simulate(schedule, problem);
+        EXPECT_NEAR(simulated.makespan, schedule.makespan(), 1e-9) << name;
+
+        // 3. the schedule actually runs
+        std::atomic<int> executed{0};
+        (void)sim::execute_threaded(schedule, problem.dag(),
+                                    [&](TaskId, ProcId) { executed.fetch_add(1); });
+        EXPECT_GE(executed.load(), static_cast<int>(problem.num_tasks())) << name;
+
+        // 4. metrics are sane
+        EXPECT_GE(slr(schedule, problem), 1.0 - 1e-9) << name;
+        EXPECT_GT(speedup(schedule, problem), 0.0) << name;
+    }
+}
+
+TEST(Integration, PersistedGraphReproducesSchedules) {
+    workload::InstanceParams params;
+    params.size = 50;
+    params.num_procs = 4;
+    const Problem original = workload::make_instance(params, 555);
+
+    // Persist the generated DAG and reload it.
+    const auto path = std::filesystem::temp_directory_path() / "tsched_integration.tsg";
+    save_tsg(path.string(), original.dag());
+    const Dag reloaded = load_tsg(path.string());
+    std::filesystem::remove(path);
+    ASSERT_EQ(original.dag(), reloaded);
+
+    // Rebind the identical costs/machine: schedules must be identical.
+    const Problem rebuilt(std::make_shared<const Dag>(reloaded),
+                          std::make_shared<const Machine>(original.machine()),
+                          std::make_shared<const CostMatrix>(original.costs()));
+    for (const auto* name : {"ils", "heft", "dsh"}) {
+        const Schedule a = make_scheduler(name)->schedule(original);
+        const Schedule b = make_scheduler(name)->schedule(rebuilt);
+        EXPECT_DOUBLE_EQ(a.makespan(), b.makespan()) << name;
+    }
+}
+
+TEST(Integration, HomogeneousAndHeterogeneousShapeConsistency) {
+    // The classic sanity shape: with everything else fixed, more processors
+    // never hurt the best list scheduler's makespan much; speedup grows.
+    workload::InstanceParams params;
+    params.size = 100;
+    params.ccr = 0.5;
+    params.beta = 0.5;
+    double prev_speedup = 0.0;
+    for (const std::size_t procs : {2u, 4u, 8u, 16u}) {
+        params.num_procs = procs;
+        const auto result =
+            run_point(params, make_schedulers(std::vector<std::string>{"ils"}), 10, 99);
+        const double sp = result.agg.at("ils").speedup.mean();
+        EXPECT_GT(sp, prev_speedup * 0.95);  // monotone up to noise
+        prev_speedup = sp;
+    }
+    EXPECT_GT(prev_speedup, 2.0);  // 16 procs must yield real parallelism
+}
+
+TEST(Integration, NoiseRobustnessPipeline) {
+    workload::InstanceParams params;
+    params.size = 60;
+    params.num_procs = 6;
+    const Problem problem = workload::make_instance(params, 31);
+    const Schedule schedule = make_scheduler("ils")->schedule(problem);
+    const double base = sim::simulate(schedule, problem).makespan;
+    Rng rng(5);
+    RunningStats realized;
+    for (int i = 0; i < 20; ++i) {
+        realized.add(sim::simulate_noisy(schedule, problem, 0.3, rng).makespan);
+    }
+    // Realised makespans cluster around the static estimate.
+    EXPECT_NEAR(realized.mean(), base, 0.25 * base);
+    EXPECT_GT(realized.stddev(), 0.0);
+}
+
+TEST(Integration, RingCommunicationCostsExceedCrossbar) {
+    // Same DAG, same execution costs, same edge volumes — only the
+    // interconnect differs.  Ring comm times dominate crossbar comm times
+    // pointwise (store-and-forward over >= 1 hops), so HEFT's makespans are
+    // longer on the ring in aggregate.
+    double ring_total = 0.0;
+    double xbar_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        workload::InstanceParams params;
+        params.size = 80;
+        params.num_procs = 8;
+        params.ccr = 5.0;
+        params.latency = 0.5;
+        const Problem base = workload::make_instance(params, seed);
+        const auto dag = std::make_shared<const Dag>(base.dag());
+        const auto costs = std::make_shared<const CostMatrix>(base.costs());
+        const auto xbar_machine = std::make_shared<const Machine>(Machine::homogeneous(
+            8, TopologyLinkModel::fully_connected(8, params.latency, params.bandwidth)));
+        const auto ring_machine = std::make_shared<const Machine>(Machine::homogeneous(
+            8, TopologyLinkModel::ring(8, params.latency, params.bandwidth)));
+        const Problem xbar(dag, xbar_machine, costs);
+        const Problem ring(dag, ring_machine, costs);
+        const auto heft = make_scheduler("heft");
+        xbar_total += heft->schedule(xbar).makespan();
+        ring_total += heft->schedule(ring).makespan();
+    }
+    EXPECT_GT(ring_total, xbar_total);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,126 @@
+// Tests for the metrics module: SLR / speedup / efficiency, the pairwise
+// matrix, and the experiment runner.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/pairwise.hpp"
+#include "metrics/runner.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+/// Chain of 2 unit-cost tasks on 2 procs, no comm data.
+Problem chain2() {
+    Dag dag;
+    dag.add_task(1.0);
+    dag.add_task(1.0);
+    dag.add_edge(0, 1, 0.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    return Problem(std::move(dag), std::move(machine), std::move(costs));
+}
+
+TEST(Metrics, HandComputedValues) {
+    const Problem problem = chain2();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 1.0);
+    s.add(1, 0, 1.0, 2.0);
+    // CP lower bound = 2, serial best = 2, makespan = 2.
+    EXPECT_DOUBLE_EQ(slr(s, problem), 1.0);
+    EXPECT_DOUBLE_EQ(speedup(s, problem), 1.0);
+    EXPECT_DOUBLE_EQ(efficiency(s, problem), 0.5);
+    EXPECT_DOUBLE_EQ(utilization(s), 0.5);  // proc 1 fully idle
+}
+
+TEST(Metrics, SlrIsAtLeastOneForValidSchedules) {
+    workload::InstanceParams params;
+    params.size = 50;
+    params.num_procs = 4;
+    const Problem problem = workload::make_instance(params, 13);
+    for (const auto* name : {"ils", "heft", "cpop", "random"}) {
+        const Schedule s = make_scheduler(name)->schedule(problem);
+        EXPECT_GE(slr(s, problem), 1.0 - 1e-9) << name;
+        EXPECT_GT(speedup(s, problem), 0.0) << name;
+        EXPECT_LE(efficiency(s, problem), 1.0 + 1e-9) << name;
+    }
+}
+
+TEST(Pairwise, CountsBetterEqualWorse) {
+    PairwiseMatrix m({"a", "b"});
+    m.add_trial(std::vector<double>{1.0, 2.0});   // a better
+    m.add_trial(std::vector<double>{2.0, 2.0});   // equal
+    m.add_trial(std::vector<double>{3.0, 2.5});   // a worse
+    EXPECT_EQ(m.num_trials(), 3u);
+    EXPECT_EQ(m.better(0, 1), 1u);
+    EXPECT_EQ(m.equal(0, 1), 1u);
+    EXPECT_EQ(m.worse(0, 1), 1u);
+    EXPECT_EQ(m.better(1, 0), 1u);
+    EXPECT_NEAR(m.better_pct(0, 1), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Pairwise, RelativeEpsilonTreatsNearTiesAsEqual) {
+    PairwiseMatrix m({"a", "b"}, 1e-6);
+    m.add_trial(std::vector<double>{1000.0, 1000.0000001});
+    EXPECT_EQ(m.equal(0, 1), 1u);
+}
+
+TEST(Pairwise, RejectsSizeMismatchAndBadIndices) {
+    PairwiseMatrix m({"a", "b"});
+    EXPECT_THROW(m.add_trial(std::vector<double>{1.0}), std::invalid_argument);
+    EXPECT_THROW((void)m.better(0, 5), std::out_of_range);
+    EXPECT_THROW(PairwiseMatrix({}), std::invalid_argument);
+}
+
+TEST(Pairwise, TablesRender) {
+    PairwiseMatrix m({"a", "b"});
+    m.add_trial(std::vector<double>{1.0, 2.0});
+    const std::string table = m.to_table().to_markdown();
+    EXPECT_NE(table.find("A better %"), std::string::npos);
+    const std::string grid = m.to_grid().to_markdown();
+    EXPECT_NE(grid.find("100/0/0"), std::string::npos);
+}
+
+TEST(Runner, AggregatesAndValidates) {
+    workload::InstanceParams params;
+    params.size = 40;
+    params.num_procs = 4;
+    const std::vector<std::string> names{"ils", "heft"};
+    const auto schedulers = make_schedulers(names);
+    const PointResult result = run_point(params, schedulers, 10, 42);
+
+    EXPECT_EQ(result.trials, 10u);
+    EXPECT_EQ(result.invalid_schedules, 0u);
+    EXPECT_EQ(result.names, names);
+    for (const auto& name : names) {
+        const auto& agg = result.agg.at(name);
+        EXPECT_EQ(agg.slr.count(), 10u);
+        EXPECT_GE(agg.slr.min(), 1.0 - 1e-9);
+        EXPECT_GT(agg.speedup.mean(), 0.0);
+        EXPECT_GE(agg.sched_time_ms.mean(), 0.0);
+    }
+    // Dual-mode guarantee shows up in the pairwise matrix: ILS never worse.
+    EXPECT_EQ(result.pairwise.worse(0, 1), 0u);
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+    workload::InstanceParams params;
+    params.size = 30;
+    params.num_procs = 4;
+    const auto schedulers = make_schedulers(std::vector<std::string>{"heft"});
+    const auto a = run_point(params, schedulers, 5, 7);
+    const auto b = run_point(params, schedulers, 5, 7);
+    EXPECT_DOUBLE_EQ(a.agg.at("heft").slr.mean(), b.agg.at("heft").slr.mean());
+    EXPECT_DOUBLE_EQ(a.agg.at("heft").makespan.sum(), b.agg.at("heft").makespan.sum());
+}
+
+TEST(Runner, RejectsEmptySchedulerSet) {
+    workload::InstanceParams params;
+    EXPECT_THROW((void)run_point(params, std::span<const Scheduler* const>{}, 1, 0),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,217 @@
+// Tests for the search-based scheduling module (opt/): decoder, local
+// search / simulated annealing, and the genetic algorithm.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "opt/decoder.hpp"
+#include "opt/genetic.hpp"
+#include "opt/local_search.hpp"
+#include "sched/heft.hpp"
+#include "sched/validate.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+Problem sample_problem(std::uint64_t seed, std::size_t n = 50, double ccr = 1.0) {
+    workload::InstanceParams params;
+    params.size = n;
+    params.num_procs = 4;
+    params.ccr = ccr;
+    params.beta = 0.75;
+    return workload::make_instance(params, seed);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, AnyAssignmentDecodesToValidSchedule) {
+    const Problem problem = sample_problem(1);
+    Rng rng(9);
+    const auto priority = opt::default_priority(problem);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<ProcId> assignment(problem.num_tasks());
+        for (auto& p : assignment) {
+            p = static_cast<ProcId>(
+                rng.uniform_int(0, static_cast<std::int64_t>(problem.num_procs() - 1)));
+        }
+        const Schedule s = opt::decode(problem, assignment, priority);
+        const auto valid = validate(s, problem);
+        EXPECT_TRUE(valid.ok) << valid.message();
+        // Every task sits on its assigned processor.
+        for (std::size_t v = 0; v < problem.num_tasks(); ++v) {
+            EXPECT_EQ(s.primary(static_cast<TaskId>(v)).proc, assignment[v]);
+        }
+    }
+}
+
+TEST(Decoder, RandomPrioritiesStillValid) {
+    const Problem problem = sample_problem(2);
+    Rng rng(4);
+    std::vector<ProcId> assignment(problem.num_tasks(), 0);
+    std::vector<double> priority(problem.num_tasks());
+    for (auto& p : priority) p = rng.uniform();
+    const Schedule s = opt::decode(problem, assignment, priority);
+    EXPECT_TRUE(validate(s, problem).ok);
+}
+
+TEST(Decoder, RejectsSizeMismatch) {
+    const Problem problem = sample_problem(3);
+    const std::vector<ProcId> short_assignment(3, 0);
+    const auto priority = opt::default_priority(problem);
+    EXPECT_THROW((void)opt::decode(problem, short_assignment, priority),
+                 std::invalid_argument);
+}
+
+TEST(Decoder, ExtractRoundTripPreservesMakespanForHeft) {
+    // Re-decoding HEFT's own assignment under rank_u priorities reproduces a
+    // schedule at least as good as... in fact exactly HEFT's placement rule,
+    // so the makespan matches.
+    const Problem problem = sample_problem(4);
+    const Schedule heft = HeftScheduler().schedule(problem);
+    const auto assignment = opt::extract_assignment(heft);
+    const Schedule redecoded =
+        opt::decode(problem, assignment, opt::default_priority(problem));
+    EXPECT_TRUE(validate(redecoded, problem).ok);
+    EXPECT_NEAR(redecoded.makespan(), heft.makespan(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Local search.
+// ---------------------------------------------------------------------------
+
+class LocalSearchSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchSeedTest, NeverRegressesAndStaysValid) {
+    const Problem problem = sample_problem(GetParam(), 40, 2.0);
+    const Schedule initial = HeftScheduler().schedule(problem);
+    opt::LocalSearchParams params;
+    params.iterations = 300;
+    params.seed = GetParam();
+    const Schedule improved = opt::local_search(problem, initial, params);
+    const auto valid = validate(improved, problem);
+    EXPECT_TRUE(valid.ok) << valid.message();
+    EXPECT_LE(improved.makespan(), initial.makespan() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchSeedTest, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(LocalSearch, HillClimbingModeWorks) {
+    const Problem problem = sample_problem(11, 40, 2.0);
+    const Schedule initial = HeftScheduler().schedule(problem);
+    opt::LocalSearchParams params;
+    params.iterations = 300;
+    params.annealing = false;
+    const Schedule improved = opt::local_search(problem, initial, params);
+    EXPECT_TRUE(validate(improved, problem).ok);
+    EXPECT_LE(improved.makespan(), initial.makespan() + 1e-9);
+}
+
+TEST(LocalSearch, SingleProcessorIsNoop) {
+    const Problem problem = [&] {
+        workload::InstanceParams params;
+        params.size = 20;
+        params.num_procs = 1;
+        return workload::make_instance(params, 5);
+    }();
+    const Schedule initial = HeftScheduler().schedule(problem);
+    const Schedule improved = opt::local_search(problem, initial, {});
+    EXPECT_DOUBLE_EQ(improved.makespan(), initial.makespan());
+}
+
+TEST(LocalSearch, DeterministicPerSeed) {
+    const Problem problem = sample_problem(12, 40);
+    const Schedule initial = HeftScheduler().schedule(problem);
+    opt::LocalSearchParams params;
+    params.iterations = 200;
+    params.seed = 77;
+    const Schedule a = opt::local_search(problem, initial, params);
+    const Schedule b = opt::local_search(problem, initial, params);
+    EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+}
+
+TEST(RefinedScheduler, WrapsBaseAndImprovesInAggregate) {
+    const auto refined = make_scheduler("heft+ls");
+    EXPECT_EQ(refined->name(), "heft+ls");
+    double base_total = 0.0;
+    double refined_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const Problem problem = sample_problem(seed, 40, 3.0);
+        base_total += HeftScheduler().schedule(problem).makespan();
+        const Schedule r = refined->schedule(problem);
+        EXPECT_TRUE(validate(r, problem).ok);
+        refined_total += r.makespan();
+    }
+    EXPECT_LT(refined_total, base_total);
+}
+
+TEST(RefinedScheduler, RejectsNullBase) {
+    EXPECT_THROW(opt::RefinedScheduler(nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Genetic algorithm.
+// ---------------------------------------------------------------------------
+
+TEST(Ga, ProducesValidSchedules) {
+    const Problem problem = sample_problem(21, 40);
+    opt::GaParams params;
+    params.generations = 10;
+    const Schedule s = opt::GaScheduler(params).schedule(problem);
+    const auto valid = validate(s, problem);
+    EXPECT_TRUE(valid.ok) << valid.message();
+}
+
+TEST(Ga, SeededWithHeftNeverMuchWorse) {
+    // Elitism + HEFT seeding: the GA result cannot be worse than the HEFT
+    // seed (the elite survives every generation).
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const Problem problem = sample_problem(seed, 40, 2.0);
+        const Schedule heft = HeftScheduler().schedule(problem);
+        opt::GaParams params;
+        params.generations = 8;
+        params.seed = seed + 100;
+        const Schedule ga = opt::GaScheduler(params).schedule(problem);
+        EXPECT_LE(ga.makespan(), heft.makespan() + 1e-9);
+    }
+}
+
+TEST(Ga, DeterministicPerSeed) {
+    const Problem problem = sample_problem(23, 30);
+    opt::GaParams params;
+    params.generations = 6;
+    params.seed = 5;
+    const double a = opt::GaScheduler(params).schedule(problem).makespan();
+    const double b = opt::GaScheduler(params).schedule(problem).makespan();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Ga, MoreGenerationsHelpInAggregate) {
+    double short_total = 0.0;
+    double long_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const Problem problem = sample_problem(seed + 50, 40, 3.0);
+        opt::GaParams short_params;
+        short_params.generations = 2;
+        short_params.seed = 9;
+        opt::GaParams long_params;
+        long_params.generations = 30;
+        long_params.seed = 9;
+        short_total += opt::GaScheduler(short_params).schedule(problem).makespan();
+        long_total += opt::GaScheduler(long_params).schedule(problem).makespan();
+    }
+    EXPECT_LE(long_total, short_total + 1e-9);
+}
+
+TEST(Ga, RejectsBadParams) {
+    opt::GaParams params;
+    params.population = 1;
+    EXPECT_THROW(opt::GaScheduler{params}, std::invalid_argument);
+    params.population = 10;
+    params.crossover_rate = 1.5;
+    EXPECT_THROW(opt::GaScheduler{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsched

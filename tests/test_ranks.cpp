@@ -1,0 +1,157 @@
+// Unit tests for the rank computations (sched/ranks.hpp) and the ILS rank /
+// optimistic cost table (core/ils.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ils.hpp"
+#include "sched/ranks.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+/// Chain 0 -> 1 -> 2, data 4 per edge; 2 procs; cost rows {2,4}, {6,6}, {1,3};
+/// uniform links latency 0 bandwidth 2 (mean comm of data 4 = 2).
+Problem chain_problem() {
+    Dag dag;
+    dag.add_task(1.0);
+    dag.add_task(1.0);
+    dag.add_task(1.0);
+    dag.add_edge(0, 1, 4.0);
+    dag.add_edge(1, 2, 4.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 2.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs(3, 2, {2.0, 4.0, 6.0, 6.0, 1.0, 3.0});
+    return Problem(std::move(dag), std::move(machine), std::move(costs));
+}
+
+TEST(ScalarCost, AllVariants) {
+    const Problem p = chain_problem();
+    EXPECT_DOUBLE_EQ(scalar_cost(p, 0, RankCost::kMean), 3.0);
+    EXPECT_DOUBLE_EQ(scalar_cost(p, 0, RankCost::kMedian), 3.0);
+    EXPECT_DOUBLE_EQ(scalar_cost(p, 0, RankCost::kWorst), 4.0);
+    EXPECT_DOUBLE_EQ(scalar_cost(p, 0, RankCost::kBest), 2.0);
+}
+
+TEST(UpwardRank, HandComputedChain) {
+    const Problem p = chain_problem();
+    const auto ru = upward_rank(p, RankCost::kMean);
+    // rank(2) = 2; rank(1) = 6 + (2 + 2) = 10; rank(0) = 3 + (2 + 10) = 15.
+    EXPECT_DOUBLE_EQ(ru[2], 2.0);
+    EXPECT_DOUBLE_EQ(ru[1], 10.0);
+    EXPECT_DOUBLE_EQ(ru[0], 15.0);
+}
+
+TEST(DownwardRank, HandComputedChain) {
+    const Problem p = chain_problem();
+    const auto rd = downward_rank(p, RankCost::kMean);
+    // rd(0) = 0; rd(1) = 0 + 3 + 2 = 5; rd(2) = 5 + 6 + 2 = 13.
+    EXPECT_DOUBLE_EQ(rd[0], 0.0);
+    EXPECT_DOUBLE_EQ(rd[1], 5.0);
+    EXPECT_DOUBLE_EQ(rd[2], 13.0);
+}
+
+TEST(Ranks, UpDownSumConstantOnCriticalPath) {
+    const Problem p = chain_problem();
+    const auto ru = upward_rank(p);
+    const auto rd = downward_rank(p);
+    // On a chain every task is critical: ru + rd == CP length.
+    const double cp = ru[0];
+    for (std::size_t v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(ru[v] + rd[v], cp);
+}
+
+TEST(StaticLevel, IgnoresCommunication) {
+    const Problem p = chain_problem();
+    const auto sl = static_level(p, RankCost::kMean);
+    EXPECT_DOUBLE_EQ(sl[2], 2.0);
+    EXPECT_DOUBLE_EQ(sl[1], 8.0);
+    EXPECT_DOUBLE_EQ(sl[0], 11.0);
+}
+
+TEST(AlapStart, ZeroOnCriticalEntry) {
+    const Problem p = chain_problem();
+    const auto alap = alap_start(p, RankCost::kMean);
+    EXPECT_DOUBLE_EQ(alap[0], 0.0);
+    EXPECT_DOUBLE_EQ(alap[1], 5.0);
+    EXPECT_DOUBLE_EQ(alap[2], 13.0);
+}
+
+TEST(OrderBy, DeterministicTieBreaks) {
+    const std::vector<double> key{3.0, 1.0, 3.0, 2.0};
+    EXPECT_EQ(order_by_decreasing(key), (std::vector<TaskId>{0, 2, 3, 1}));
+    EXPECT_EQ(order_by_increasing(key), (std::vector<TaskId>{1, 3, 0, 2}));
+}
+
+TEST(UpwardRank, DecreasingOrderIsTopological) {
+    workload::InstanceParams params;
+    params.size = 80;
+    const Problem p = workload::make_instance(params, 17);
+    const auto ru = upward_rank(p);
+    const auto order = order_by_decreasing(ru);
+    std::vector<std::size_t> pos(p.num_tasks());
+    for (std::size_t i = 0; i < order.size(); ++i) pos[static_cast<std::size_t>(order[i])] = i;
+    for (std::size_t u = 0; u < p.num_tasks(); ++u) {
+        for (const AdjEdge& e : p.dag().successors(static_cast<TaskId>(u))) {
+            EXPECT_LT(pos[u], pos[static_cast<std::size_t>(e.task)]);
+        }
+    }
+}
+
+TEST(IlsRank, ReducesToUpwardRankWhenHomogeneous) {
+    workload::InstanceParams params;
+    params.size = 50;
+    params.beta = 0.0;  // homogeneous costs: sigma == 0
+    const Problem p = workload::make_instance(params, 23);
+    const auto ils = IlsScheduler::ils_rank(p, /*variance_rank=*/true);
+    const auto heft = upward_rank(p, RankCost::kMean);
+    ASSERT_EQ(ils.size(), heft.size());
+    for (std::size_t v = 0; v < ils.size(); ++v) EXPECT_NEAR(ils[v], heft[v], 1e-9);
+}
+
+TEST(IlsRank, VarianceRaisesRiskyTasks) {
+    const Problem p = chain_problem();
+    const auto with_var = IlsScheduler::ils_rank(p, true);
+    const auto without = IlsScheduler::ils_rank(p, false);
+    // Task 0 has stddev sqrt(2); task 1 has stddev 0.
+    EXPECT_GT(with_var[0], without[0]);
+    EXPECT_DOUBLE_EQ(with_var[1] - without[1], with_var[2] - without[2]);
+}
+
+TEST(OptimisticCostTable, HandComputedChain) {
+    const Problem p = chain_problem();
+    const auto oct = IlsScheduler::optimistic_cost_table(p);
+    // OCT(2, *) = 0.
+    EXPECT_DOUBLE_EQ(oct[2 * 2 + 0], 0.0);
+    EXPECT_DOUBLE_EQ(oct[2 * 2 + 1], 0.0);
+    // OCT(1, p) = min over q of comm(p,q) + w(2,q): comm = 2 when p != q.
+    // p0: min(0 + 1, 2 + 3) = 1;  p1: min(2 + 1, 0 + 3) = 3.
+    EXPECT_DOUBLE_EQ(oct[1 * 2 + 0], 1.0);
+    EXPECT_DOUBLE_EQ(oct[1 * 2 + 1], 3.0);
+    // OCT(0, p) = min over q of comm + w(1,q) + OCT(1,q):
+    // p0: min(0+6+1, 2+6+3) = 7;  p1: min(2+6+1, 0+6+3) = 9.
+    EXPECT_DOUBLE_EQ(oct[0 * 2 + 0], 7.0);
+    EXPECT_DOUBLE_EQ(oct[0 * 2 + 1], 9.0);
+}
+
+TEST(OptimisticCostTable, ExitRowsZeroEverywhere) {
+    workload::InstanceParams params;
+    params.size = 40;
+    const Problem p = workload::make_instance(params, 31);
+    const auto oct = IlsScheduler::optimistic_cost_table(p);
+    for (const TaskId sink : p.dag().sinks()) {
+        for (std::size_t q = 0; q < p.num_procs(); ++q) {
+            EXPECT_DOUBLE_EQ(oct[static_cast<std::size_t>(sink) * p.num_procs() + q], 0.0);
+        }
+    }
+}
+
+TEST(RankCostName, Names) {
+    EXPECT_STREQ(rank_cost_name(RankCost::kMean), "mean");
+    EXPECT_STREQ(rank_cost_name(RankCost::kMedian), "median");
+    EXPECT_STREQ(rank_cost_name(RankCost::kWorst), "worst");
+    EXPECT_STREQ(rank_cost_name(RankCost::kBest), "best");
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,170 @@
+// Unit tests for the deterministic RNG (util/rng.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(MixSeed, IsDeterministicAndSensitiveToBothInputs) {
+    EXPECT_EQ(mix_seed(1, 2), mix_seed(1, 2));
+    EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+    EXPECT_NE(mix_seed(1, 2), mix_seed(1, 3));
+}
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng a(7);
+    const auto first = a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-5.0, 11.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 11.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) sum += rng.uniform(10.0, 20.0);
+    EXPECT_NEAR(sum / kN, 15.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(2, 9);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 9);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u);  // all 8 values hit with overwhelming probability
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(-10, -3);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, -3);
+    }
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+    Rng rng(8);
+    std::vector<int> counts(10, 0);
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    for (const int c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN * 0.01);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(13);
+    constexpr int kN = 200000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.normal(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sq / kN - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+    Rng rng(17);
+    constexpr int kN = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < kN; ++i) sum += rng.exponential(0.5);
+    EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+    Rng rng(19);
+    constexpr int kN = 100000;
+    int hits = 0;
+    for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePermutes) {
+    Rng rng(23);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(29);
+    Rng forked = a.fork();
+    // The fork must not replay the parent's future outputs.
+    std::vector<std::uint64_t> parent_out;
+    std::vector<std::uint64_t> fork_out;
+    for (int i = 0; i < 10; ++i) parent_out.push_back(a.next());
+    for (int i = 0; i < 10; ++i) fork_out.push_back(forked.next());
+    EXPECT_NE(parent_out, fork_out);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == std::numeric_limits<std::uint64_t>::max());
+    Rng rng(1);
+    EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,190 @@
+// Unit tests for the Schedule container and the independent validator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+#include "sched/validate.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(Schedule, AddAndQuery) {
+    Schedule s(3, 2);
+    s.add(0, 0, 0.0, 2.0);
+    s.add(1, 1, 0.0, 3.0);
+    s.add(2, 0, 2.0, 5.0);
+    EXPECT_TRUE(s.complete());
+    EXPECT_EQ(s.num_placements(), 3u);
+    EXPECT_EQ(s.num_duplicates(), 0u);
+    EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+    EXPECT_EQ(s.primary(2).proc, 0);
+    EXPECT_DOUBLE_EQ(s.primary(2).start, 2.0);
+}
+
+TEST(Schedule, IncompleteDetection) {
+    Schedule s(2, 1);
+    s.add(0, 0, 0.0, 1.0);
+    EXPECT_FALSE(s.complete());
+    EXPECT_THROW((void)s.primary(1), std::out_of_range);
+}
+
+TEST(Schedule, DuplicatesTracked) {
+    Schedule s(1, 2);
+    s.add(0, 0, 0.0, 2.0);
+    s.add(0, 1, 1.0, 3.5);  // duplicate on another proc
+    EXPECT_EQ(s.placements(0).size(), 2u);
+    EXPECT_EQ(s.num_duplicates(), 1u);
+    EXPECT_DOUBLE_EQ(s.makespan(), 3.5);
+    EXPECT_EQ(s.primary(0).proc, 0);  // first added is primary
+}
+
+TEST(Schedule, RejectsBadAdds) {
+    Schedule s(1, 1);
+    EXPECT_THROW(s.add(5, 0, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(s.add(0, 3, 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(s.add(0, 0, -1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(s.add(0, 0, 2.0, 1.0), std::invalid_argument);  // finish < start
+    EXPECT_THROW(Schedule(1, 0), std::invalid_argument);
+}
+
+TEST(Schedule, ProcessorTimelineSorted) {
+    Schedule s(3, 1);
+    s.add(0, 0, 4.0, 5.0);
+    s.add(1, 0, 0.0, 2.0);
+    s.add(2, 0, 2.0, 4.0);
+    const auto timeline = s.processor_timeline(0);
+    ASSERT_EQ(timeline.size(), 3u);
+    EXPECT_EQ(timeline[0].task, 1);
+    EXPECT_EQ(timeline[1].task, 2);
+    EXPECT_EQ(timeline[2].task, 0);
+}
+
+TEST(Schedule, DataAvailablePicksBestInstance) {
+    const UniformLinkModel links(1.0, 1.0);
+    Schedule s(1, 3);
+    s.add(0, 0, 0.0, 10.0);  // remote to p2: 10 + 1 + 4 = 15
+    s.add(0, 2, 0.0, 12.0);  // local to p2: 12
+    EXPECT_DOUBLE_EQ(s.data_available(0, 2, 4.0, links), 12.0);
+    EXPECT_DOUBLE_EQ(s.data_available(0, 0, 4.0, links), 10.0);
+    // Unplaced task: +inf.
+    Schedule empty(1, 1);
+    EXPECT_TRUE(std::isinf(empty.data_available(0, 0, 1.0, links)));
+}
+
+TEST(Schedule, IdleTimeAccounting) {
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 4.0);
+    s.add(1, 1, 2.0, 4.0);  // proc 1 idle for 2
+    EXPECT_DOUBLE_EQ(s.total_idle_time(), 2.0);
+}
+
+TEST(Schedule, ToStringMentionsProcessorsAndMakespan) {
+    Schedule s(1, 2);
+    s.add(0, 1, 0.0, 3.0);
+    const std::string str = s.to_string();
+    EXPECT_NE(str.find("makespan=3"), std::string::npos);
+    EXPECT_NE(str.find("P1:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Validator.
+// ---------------------------------------------------------------------------
+
+/// 0 -> 1 (data 2) on two procs, exec cost constant 3, links latency 0 bw 1.
+Problem tiny_problem() {
+    Dag dag;
+    dag.add_task(3.0);
+    dag.add_task(3.0);
+    dag.add_edge(0, 1, 2.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    return Problem(std::move(dag), std::move(machine), std::move(costs));
+}
+
+TEST(Validate, AcceptsCorrectSchedule) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    s.add(1, 1, 5.0, 8.0);  // data ready at 3 + 2 = 5
+    const auto result = validate(s, problem);
+    EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(Validate, AcceptsSameProcBackToBack) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    s.add(1, 0, 3.0, 6.0);  // no comm on same proc
+    EXPECT_TRUE(validate(s, problem).ok);
+}
+
+TEST(Validate, CatchesMissingTask) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    const auto result = validate(s, problem);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message().find("no placement"), std::string::npos);
+}
+
+TEST(Validate, CatchesWrongDuration) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 4.0);  // cost is 3, duration 4
+    s.add(1, 1, 6.0, 9.0);
+    const auto result = validate(s, problem);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message().find("duration"), std::string::npos);
+}
+
+TEST(Validate, CatchesOverlapOnProcessor) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    s.add(1, 0, 2.0, 5.0);  // overlaps task 0 on proc 0
+    const auto result = validate(s, problem);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message().find("overlaps"), std::string::npos);
+}
+
+TEST(Validate, CatchesPrecedenceViolation) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    s.add(1, 1, 4.0, 7.0);  // data arrives at 5, starts at 4
+    const auto result = validate(s, problem);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message().find("arrives"), std::string::npos);
+}
+
+TEST(Validate, DuplicateSatisfiesPrecedence) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 3.0);
+    s.add(0, 1, 0.0, 3.0);  // duplicate on proc 1
+    s.add(1, 1, 3.0, 6.0);  // legal only thanks to the local duplicate
+    const auto result = validate(s, problem);
+    EXPECT_TRUE(result.ok) << result.message();
+}
+
+TEST(Validate, RejectsDimensionMismatch) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 5);
+    const auto result = validate(s, problem);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message().find("dimensions"), std::string::npos);
+}
+
+TEST(Validate, ErrorCapRespected) {
+    const Problem problem = tiny_problem();
+    Schedule s(2, 2);  // both tasks missing -> 2 errors, cap at 1
+    const auto result = validate(s, problem, 1e-6, 1);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsched

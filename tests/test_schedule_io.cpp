@@ -1,0 +1,86 @@
+// Tests for schedule persistence (sched/schedule_io.hpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/registry.hpp"
+#include "sched/schedule_io.hpp"
+#include "sched/validate.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+Schedule sample_schedule() {
+    Schedule s(3, 2);
+    s.add(0, 0, 0.0, 1.5);
+    s.add(1, 1, 2.25, 4.0);
+    s.add(1, 0, 1.5, 3.25);  // duplicate of task 1
+    s.add(2, 0, 3.25, 5.0);
+    return s;
+}
+
+TEST(Tss, RoundTripsExactly) {
+    const Schedule s = sample_schedule();
+    const Schedule back = read_tss_string(to_tss(s));
+    EXPECT_EQ(back.num_tasks(), s.num_tasks());
+    EXPECT_EQ(back.num_procs(), s.num_procs());
+    EXPECT_EQ(back.num_placements(), s.num_placements());
+    EXPECT_EQ(back.num_duplicates(), 1u);
+    EXPECT_DOUBLE_EQ(back.makespan(), s.makespan());
+    EXPECT_EQ(to_tss(back), to_tss(s));  // byte-identical re-serialization
+}
+
+TEST(Tss, SchedulerOutputRoundTripsAndRevalidates) {
+    workload::InstanceParams params;
+    params.size = 40;
+    params.num_procs = 4;
+    params.ccr = 5.0;
+    const Problem problem = workload::make_instance(params, 17);
+    const Schedule original = make_scheduler("dsh")->schedule(problem);
+    const Schedule restored = read_tss_string(to_tss(original));
+    // The restored schedule validates against the same problem.
+    const auto valid = validate(restored, problem);
+    EXPECT_TRUE(valid.ok) << valid.message();
+    EXPECT_DOUBLE_EQ(restored.makespan(), original.makespan());
+    EXPECT_EQ(restored.num_duplicates(), original.num_duplicates());
+}
+
+TEST(Tss, FileRoundTrip) {
+    const Schedule s = sample_schedule();
+    const auto path = std::filesystem::temp_directory_path() / "tsched_schedule.tss";
+    save_tss(path.string(), s);
+    const Schedule back = load_tss(path.string());
+    std::filesystem::remove(path);
+    EXPECT_EQ(to_tss(back), to_tss(s));
+    EXPECT_THROW((void)load_tss("/nonexistent/x.tss"), std::runtime_error);
+    EXPECT_THROW(save_tss("/nonexistent/dir/x.tss", s), std::runtime_error);
+}
+
+TEST(Tss, RejectsMalformedDocuments) {
+    EXPECT_THROW((void)read_tss_string(""), std::runtime_error);                    // no header
+    EXPECT_THROW((void)read_tss_string("p 0 0 0 1\n"), std::runtime_error);         // placement first
+    EXPECT_THROW((void)read_tss_string("tss 1 0\n"), std::runtime_error);           // zero procs
+    EXPECT_THROW((void)read_tss_string("tss 1 1\ntss 1 1\n"), std::runtime_error);  // dup header
+    EXPECT_THROW((void)read_tss_string("tss 1 1\np 5 0 0 1\n"), std::runtime_error);  // range
+    EXPECT_THROW((void)read_tss_string("tss 1 1\np 0 0 2 1\n"), std::runtime_error);  // finish<start
+    EXPECT_THROW((void)read_tss_string("tss 1 1\nx y\n"), std::runtime_error);      // bad tag
+    EXPECT_THROW((void)read_tss_string("tss 1 1\np 0 0\n"), std::runtime_error);    // short line
+}
+
+TEST(Tss, IgnoresCommentsAndEmptyLines) {
+    const Schedule s = read_tss_string("# hi\n\ntss 1 2\n# mid\np 0 1 0 2\n");
+    EXPECT_EQ(s.num_tasks(), 1u);
+    EXPECT_EQ(s.primary(0).proc, 1);
+}
+
+TEST(Tss, PreservesFullDoublePrecision) {
+    Schedule s(1, 1);
+    s.add(0, 0, 0.1, 0.1 + 1.0 / 3.0);
+    const Schedule back = read_tss_string(to_tss(s));
+    EXPECT_DOUBLE_EQ(back.primary(0).start, 0.1);
+    EXPECT_DOUBLE_EQ(back.primary(0).finish, 0.1 + 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,234 @@
+// Property suite over every registered scheduler: validity, lower bounds,
+// determinism, single-processor behaviour, homogeneous specialisation, and
+// the documented relationships between algorithms (ILS vs HEFT, ablations).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+
+#include "core/ils.hpp"
+#include "core/registry.hpp"
+#include "sched/heft.hpp"
+#include "sched/validate.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+using workload::InstanceParams;
+using workload::Shape;
+
+struct Case {
+    std::string scheduler;
+    Shape shape;
+    std::size_t size;
+    std::size_t procs;
+    double ccr;
+    double beta;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+    const Case& c = info.param;
+    std::string name = c.scheduler + "_" + workload::shape_name(c.shape) + "_s" +
+                       std::to_string(c.size) + "_p" + std::to_string(c.procs);
+    for (auto& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    return name + "_" + std::to_string(info.index);
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SchedulerPropertyTest, ProducesValidBoundedDeterministicSchedules) {
+    const Case& c = GetParam();
+    InstanceParams params;
+    params.shape = c.shape;
+    params.size = c.size;
+    params.num_procs = c.procs;
+    params.ccr = c.ccr;
+    params.beta = c.beta;
+    const Problem problem = workload::make_instance(params, 0xabcdef);
+    const auto scheduler = make_scheduler(c.scheduler);
+
+    const Schedule schedule = scheduler->schedule(problem);
+
+    // Valid under the independent checker.
+    const auto result = validate(schedule, problem);
+    ASSERT_TRUE(result.ok) << c.scheduler << ": " << result.message();
+    EXPECT_TRUE(schedule.complete());
+
+    // Lower bounds: critical path and average-work bounds.
+    const double ms = schedule.makespan();
+    EXPECT_GE(ms, problem.cp_lower_bound() - 1e-9) << c.scheduler;
+
+    // Determinism: scheduling the same problem twice gives identical output.
+    const Schedule again = scheduler->schedule(problem);
+    EXPECT_DOUBLE_EQ(ms, again.makespan()) << c.scheduler;
+    for (std::size_t v = 0; v < problem.num_tasks(); ++v) {
+        EXPECT_EQ(schedule.primary(static_cast<TaskId>(v)).proc,
+                  again.primary(static_cast<TaskId>(v)).proc);
+    }
+
+    // Non-duplicating schedulers use exactly one placement per task.
+    if (c.scheduler != "dsh" && c.scheduler != "btdh" && c.scheduler.rfind("ils-d", 0) != 0) {
+        EXPECT_EQ(schedule.num_duplicates(), 0u) << c.scheduler;
+    }
+}
+
+std::vector<Case> make_cases() {
+    std::vector<Case> cases;
+    for (const auto& name : scheduler_names()) {
+        cases.push_back({name, Shape::kLayered, 60, 4, 1.0, 0.75});
+        cases.push_back({name, Shape::kGauss, 8, 3, 2.0, 0.5});
+        cases.push_back({name, Shape::kFft, 16, 4, 0.5, 1.0});
+    }
+    // A few extra stress shapes for the main algorithms.
+    for (const auto* name : {"ils", "ils-d", "heft", "dsh", "btdh", "cpop"}) {
+        cases.push_back({name, Shape::kForkJoin, 12, 6, 5.0, 1.0});
+        cases.push_back({name, Shape::kCholesky, 5, 4, 1.0, 0.25});
+        cases.push_back({name, Shape::kChain, 20, 4, 1.0, 1.0});
+        cases.push_back({name, Shape::kDiamond, 8, 4, 1.0, 1.0});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerPropertyTest,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// ---------------------------------------------------------------------------
+// Single-processor behaviour.
+// ---------------------------------------------------------------------------
+
+class SingleProcTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SingleProcTest, MakespanEqualsSerialTime) {
+    InstanceParams params;
+    params.size = 40;
+    params.num_procs = 1;
+    const Problem problem = workload::make_instance(params, 77);
+    const auto scheduler = make_scheduler(GetParam());
+    const Schedule s = scheduler->schedule(problem);
+    ASSERT_TRUE(validate(s, problem).ok);
+    // On one processor there is no communication and no idle gain: every
+    // (non-duplicating) schedule is the serial execution.
+    EXPECT_NEAR(s.makespan(), problem.costs().serial_time(0), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(NonDuplicating, SingleProcTest,
+                         ::testing::Values("heft", "cpop", "hcpt", "dls", "etf", "mcp", "hlfet",
+                                           "minmin", "maxmin", "random", "ils"));
+
+// ---------------------------------------------------------------------------
+// Documented relationships.
+// ---------------------------------------------------------------------------
+
+class IlsVsHeftTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlsVsHeftTest, IlsNeverWorseThanHeft) {
+    InstanceParams params;
+    params.size = 80;
+    params.num_procs = 8;
+    params.ccr = 5.0;
+    params.beta = 1.0;
+    const Problem problem = workload::make_instance(params, GetParam());
+    const Schedule ils = make_scheduler("ils")->schedule(problem);
+    const Schedule heft = make_scheduler("heft")->schedule(problem);
+    // The dual-mode structure guarantees ILS <= its greedy pass == HEFT.
+    EXPECT_LE(ils.makespan(), heft.makespan() + 1e-9);
+}
+
+TEST_P(IlsVsHeftTest, IlsGreedyModeEqualsHeft) {
+    InstanceParams params;
+    params.size = 60;
+    params.num_procs = 6;
+    params.ccr = 1.0;
+    const Problem problem = workload::make_instance(params, GetParam());
+    const Schedule nola = make_scheduler("ils-nola")->schedule(problem);
+    const Schedule heft = make_scheduler("heft")->schedule(problem);
+    EXPECT_DOUBLE_EQ(nola.makespan(), heft.makespan());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlsVsHeftTest, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(IlsDuplication, ImprovesIlsInAggregateAtHighCcr) {
+    // Per-instance dominance is not guaranteed for greedy duplication (an
+    // earlier local finish can steer later decisions badly), but at high CCR
+    // the aggregate must improve clearly.
+    double ils_total = 0.0;
+    double ilsd_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        InstanceParams params;
+        params.size = 60;
+        params.num_procs = 6;
+        params.ccr = 5.0;
+        params.beta = 1.0;
+        const Problem problem = workload::make_instance(params, seed);
+        ils_total += make_scheduler("ils")->schedule(problem).makespan();
+        ilsd_total += make_scheduler("ils-d")->schedule(problem).makespan();
+    }
+    EXPECT_LT(ilsd_total, ils_total);
+}
+
+TEST(Registry, KnowsAllNamesAndRejectsUnknown) {
+    for (const auto& name : scheduler_names()) {
+        const auto s = make_scheduler(name);
+        EXPECT_EQ(s->name(), name);
+    }
+    EXPECT_THROW((void)make_scheduler("does-not-exist"), std::invalid_argument);
+    EXPECT_THROW((void)make_scheduler("ils-bogus"), std::invalid_argument);
+}
+
+TEST(Registry, ParsesAblationVariants) {
+    EXPECT_EQ(make_scheduler("ils-novar")->name(), "ils-novar");
+    EXPECT_EQ(make_scheduler("ils-d-novar-nola")->name(), "ils-d-novar-nola");
+    EXPECT_EQ(make_scheduler("ils-k2")->name(), "ils-k2");
+    EXPECT_EQ(make_scheduler("heft-median")->name(), "heft-median");
+}
+
+TEST(Registry, DefaultComparisonSetIsRegistered) {
+    for (const auto& name : default_comparison_set()) {
+        EXPECT_NO_THROW((void)make_scheduler(name));
+    }
+}
+
+TEST(HomogeneousSpecialisation, AllSchedulersHandleBetaZero) {
+    for (const auto& name : scheduler_names()) {
+        InstanceParams params;
+        params.size = 40;
+        params.num_procs = 4;
+        params.beta = 0.0;
+        const Problem problem = workload::make_instance(params, 3);
+        const Schedule s = make_scheduler(name)->schedule(problem);
+        const auto result = validate(s, problem);
+        EXPECT_TRUE(result.ok) << name << ": " << result.message();
+    }
+}
+
+TEST(HeftRankVariants, AllValidDifferentiatedByName) {
+    EXPECT_EQ(HeftScheduler(RankCost::kMean).name(), "heft");
+    EXPECT_EQ(HeftScheduler(RankCost::kMedian).name(), "heft-median");
+    EXPECT_EQ(HeftScheduler(RankCost::kWorst).name(), "heft-worst");
+    EXPECT_EQ(HeftScheduler(RankCost::kBest).name(), "heft-best");
+    EXPECT_EQ(HeftScheduler(RankCost::kMean, false).name(), "heft-noins");
+}
+
+TEST(InsertionAblation, InsertionNeverHurtsHeft) {
+    // Insertion-based HEFT is at least as good as non-insertion on the same
+    // rank order for the overwhelming majority of instances; we assert the
+    // aggregate, not per-instance dominance (which does not hold in theory).
+    double ins_total = 0.0;
+    double noins_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        InstanceParams params;
+        params.size = 60;
+        params.num_procs = 6;
+        params.ccr = 2.0;
+        const Problem problem = workload::make_instance(params, seed);
+        ins_total += make_scheduler("heft")->schedule(problem).makespan();
+        noins_total += make_scheduler("heft-noins")->schedule(problem).makespan();
+    }
+    EXPECT_LE(ins_total, noins_total + 1e-6);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,172 @@
+// Tests for the discrete-event simulator (sim/event_sim.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "sim/event_sim.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+Problem sample_problem(std::uint64_t seed, double ccr = 1.0) {
+    workload::InstanceParams params;
+    params.size = 60;
+    params.num_procs = 4;
+    params.ccr = ccr;
+    params.beta = 0.75;
+    return workload::make_instance(params, seed);
+}
+
+class SimCrossCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimCrossCheck, RederivedMakespanMatchesSchedule) {
+    const Problem problem = sample_problem(11, 2.0);
+    const Schedule schedule = make_scheduler(GetParam())->schedule(problem);
+    const sim::SimResult result = sim::simulate(schedule, problem);
+    // The event simulator honours only the decisions; starting heads as
+    // early as possible can only match or improve the planned times.
+    EXPECT_LE(result.makespan, schedule.makespan() + 1e-9) << GetParam();
+    // Our builders emit gap-free earliest-start schedules, so the times
+    // coincide exactly.
+    EXPECT_NEAR(result.makespan, schedule.makespan(), 1e-9) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SimCrossCheck,
+                         ::testing::Values("ils", "ils-d", "heft", "cpop", "hcpt", "dls", "etf",
+                                           "mcp", "minmin", "dsh", "btdh", "random"));
+
+TEST(Simulate, BusyTimesMatchCosts) {
+    const Problem problem = sample_problem(5);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    const auto result = sim::simulate(schedule, problem);
+    double total_busy = 0.0;
+    for (const double b : result.proc_busy) total_busy += b;
+    double total_cost = 0.0;
+    for (std::size_t v = 0; v < problem.num_tasks(); ++v) {
+        for (const Placement& pl : schedule.placements(static_cast<TaskId>(v))) {
+            total_cost += problem.exec_time(pl.task, pl.proc);
+        }
+    }
+    EXPECT_NEAR(total_busy, total_cost, 1e-6);
+}
+
+TEST(Simulate, CountsRemoteMessages) {
+    // Producer on p0, consumer on p1: exactly one remote edge.
+    Dag dag;
+    dag.add_task(1.0);
+    dag.add_task(1.0);
+    dag.add_edge(0, 1, 5.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    const Problem problem(std::move(dag), std::move(machine), std::move(costs));
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 1.0);
+    s.add(1, 1, 6.0, 7.0);
+    const auto result = sim::simulate(s, problem);
+    EXPECT_EQ(result.remote_messages, 1u);
+    EXPECT_DOUBLE_EQ(result.comm_volume, 5.0);
+    // Local version has none.
+    Schedule local(2, 2);
+    local.add(0, 0, 0.0, 1.0);
+    local.add(1, 0, 1.0, 2.0);
+    EXPECT_EQ(sim::simulate(local, problem).remote_messages, 0u);
+}
+
+TEST(Simulate, ThrowsOnIncompleteSchedule) {
+    const Problem problem = sample_problem(3);
+    Schedule s(problem.num_tasks(), problem.num_procs());
+    EXPECT_THROW((void)sim::simulate(s, problem), std::invalid_argument);
+}
+
+TEST(Simulate, DetectsOrderDeadlock) {
+    // Two tasks 0 -> 1 planned on one processor with 1 *before* 0: the head
+    // placement waits forever on task 0 queued behind it.
+    Dag dag;
+    dag.add_task(1.0);
+    dag.add_task(1.0);
+    dag.add_edge(0, 1, 1.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(1, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 1);
+    const Problem problem(std::move(dag), std::move(machine), std::move(costs));
+    Schedule s(2, 1);
+    s.add(1, 0, 0.0, 1.0);
+    s.add(0, 0, 1.0, 2.0);
+    EXPECT_THROW((void)sim::simulate(s, problem), std::invalid_argument);
+}
+
+TEST(Simulate, DuplicateAwareDataRouting) {
+    // Consumer on p1 can use the duplicate of its parent on p1 and start
+    // immediately after it.
+    Dag dag;
+    dag.add_task(2.0);
+    dag.add_task(1.0);
+    dag.add_edge(0, 1, 100.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    const Problem problem(std::move(dag), std::move(machine), std::move(costs));
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 2.0);
+    s.add(0, 1, 0.0, 2.0);  // duplicate
+    s.add(1, 1, 2.0, 3.0);
+    const auto result = sim::simulate(s, problem);
+    EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+    EXPECT_EQ(result.remote_messages, 0u);  // served locally by the duplicate
+}
+
+TEST(SimulateNoisy, ZeroNoiseEqualsExact) {
+    const Problem problem = sample_problem(9);
+    const Schedule schedule = make_scheduler("ils")->schedule(problem);
+    Rng rng(1);
+    const auto exact = sim::simulate(schedule, problem);
+    const auto noisy = sim::simulate_noisy(schedule, problem, 0.0, rng);
+    EXPECT_DOUBLE_EQ(noisy.makespan, exact.makespan);
+}
+
+TEST(SimulateNoisy, DeterministicPerSeedAndPerturbsResult) {
+    const Problem problem = sample_problem(9);
+    const Schedule schedule = make_scheduler("ils")->schedule(problem);
+    Rng rng1(42);
+    Rng rng2(42);
+    const auto a = sim::simulate_noisy(schedule, problem, 0.2, rng1);
+    const auto b = sim::simulate_noisy(schedule, problem, 0.2, rng2);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    Rng rng3(43);
+    const auto c = sim::simulate_noisy(schedule, problem, 0.2, rng3);
+    EXPECT_NE(a.makespan, c.makespan);
+    // Sanity bound: each stage stretches by < 1.2, so the realised makespan
+    // stays within a generous multiplicative envelope.
+    const auto exact = sim::simulate(schedule, problem);
+    EXPECT_LT(a.makespan, exact.makespan * 2.0);
+    EXPECT_GT(a.makespan, exact.makespan * 0.5);
+}
+
+TEST(SimulateNoisy, RejectsBadNoise) {
+    const Problem problem = sample_problem(9);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    Rng rng(1);
+    EXPECT_THROW((void)sim::simulate_noisy(schedule, problem, 1.0, rng), std::invalid_argument);
+    EXPECT_THROW((void)sim::simulate_noisy(schedule, problem, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Simulate, FinishTimesCoverEveryPlacement) {
+    const Problem problem = sample_problem(21);
+    const Schedule schedule = make_scheduler("dsh")->schedule(problem);
+    const auto result = sim::simulate(schedule, problem);
+    std::size_t total = 0;
+    for (std::size_t v = 0; v < problem.num_tasks(); ++v) {
+        total += schedule.placements(static_cast<TaskId>(v)).size();
+    }
+    ASSERT_EQ(result.finish_times.size(), total);
+    for (const double f : result.finish_times) {
+        EXPECT_TRUE(std::isfinite(f));
+        EXPECT_GT(f, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace tsched

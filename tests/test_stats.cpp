@@ -1,0 +1,137 @@
+// Unit tests for the statistics toolkit (util/stats.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+    EXPECT_EQ(rs.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+    RunningStats rs;
+    rs.add(4.5);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(rs.min(), 4.5);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.5);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+    const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+    RunningStats rs;
+    for (const double x : xs) rs.add(x);
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double m2 = 0.0;
+    for (const double x : xs) m2 += (x - mean) * (x - mean);
+    const double var = m2 / static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(rs.mean(), mean, 1e-12);
+    EXPECT_NEAR(rs.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 31.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+    Rng rng(99);
+    RunningStats full;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 1.5);
+        full.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), full.count());
+    EXPECT_NEAR(a.mean(), full.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), full.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), full.min());
+    EXPECT_DOUBLE_EQ(a.max(), full.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+    RunningStats a;
+    RunningStats b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);  // empty += full
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    RunningStats c;
+    a.merge(c);  // full += empty
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.5);
+}
+
+TEST(QuantileSorted, SingleElement) {
+    const std::vector<double> xs{7.0};
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.7), 7.0);
+}
+
+TEST(Summarize, FullSummary) {
+    const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.p25, 2.0);
+    EXPECT_DOUBLE_EQ(s.p75, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+    const Summary s = summarize(std::vector<double>{});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(GeometricMean, Matches) {
+    const std::vector<double> xs{1.0, 4.0, 16.0};
+    EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+    const std::vector<double> ones{1.0, 1.0, 1.0};
+    EXPECT_NEAR(geometric_mean(ones), 1.0, 1e-12);
+}
+
+TEST(FormatMeanCi, RendersPlusMinus) {
+    Summary s;
+    s.mean = 1.23456;
+    s.ci95 = 0.045;
+    EXPECT_EQ(format_mean_ci(s, 2), "1.23 ±0.04");
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+    Rng rng(7);
+    RunningStats small;
+    RunningStats large;
+    for (int i = 0; i < 10; ++i) small.add(rng.normal(0.0, 1.0));
+    for (int i = 0; i < 1000; ++i) large.add(rng.normal(0.0, 1.0));
+    EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+}  // namespace
+}  // namespace tsched

@@ -1,0 +1,86 @@
+// Unit tests for the thread pool (util/thread_pool.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFuture) {
+    ThreadPool pool(1);
+    auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i) {
+        futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 50; ++i) {
+        (void)pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+    ThreadPool pool(2);
+    parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(parallel_for(pool, 100,
+                              [](std::size_t i) {
+                                  if (i == 37) throw std::runtime_error("at 37");
+                              }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterDestructionIsImpossibleByDesign) {
+    // Destructor joins workers; remaining queued tasks still run.
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 10; ++i) {
+            (void)pool.submit([&counter] { counter.fetch_add(1); });
+        }
+    }
+    EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace tsched

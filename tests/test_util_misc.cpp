@@ -1,0 +1,87 @@
+// Tests for the remaining util pieces: logging and the stopwatch.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tsched {
+namespace {
+
+class LogLevelGuard {
+public:
+    LogLevelGuard() : saved_(log_level()) {}
+    ~LogLevelGuard() { set_log_level(saved_); }
+
+private:
+    LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, BelowThresholdIsDropped) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kError);
+    // Capture stderr around a filtered and an emitted message.
+    testing::internal::CaptureStderr();
+    TSCHED_INFO << "should not appear";
+    TSCHED_ERROR << "should appear";
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("should not appear"), std::string::npos);
+    EXPECT_NE(err.find("should appear"), std::string::npos);
+    EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kOff);
+    testing::internal::CaptureStderr();
+    TSCHED_ERROR << "nope";
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, StreamStyleFormatting) {
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kInfo);
+    testing::internal::CaptureStderr();
+    TSCHED_INFO << "x=" << 42 << " y=" << 1.5;
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("x=42 y=1.5"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+    Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const double ms = watch.elapsed_ms();
+    EXPECT_GE(ms, 15.0);
+    EXPECT_LT(ms, 5000.0);
+    EXPECT_NEAR(watch.elapsed_seconds() * 1e3, watch.elapsed_ms(), 50.0);
+    EXPECT_GT(watch.elapsed_us(), watch.elapsed_ms());
+}
+
+TEST(Stopwatch, RestartResets) {
+    Stopwatch watch;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    watch.restart();
+    EXPECT_LT(watch.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, Monotonic) {
+    Stopwatch watch;
+    double prev = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double now = watch.elapsed_seconds();
+        EXPECT_GE(now, prev);
+        prev = now;
+    }
+}
+
+}  // namespace
+}  // namespace tsched
