@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_insertion"
+  "../bench/bench_ablation_insertion.pdb"
+  "CMakeFiles/bench_ablation_insertion.dir/bench_ablation_insertion.cpp.o"
+  "CMakeFiles/bench_ablation_insertion.dir/bench_ablation_insertion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

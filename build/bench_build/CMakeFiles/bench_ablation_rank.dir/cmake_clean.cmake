@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rank"
+  "../bench/bench_ablation_rank.pdb"
+  "CMakeFiles/bench_ablation_rank.dir/bench_ablation_rank.cpp.o"
+  "CMakeFiles/bench_ablation_rank.dir/bench_ablation_rank.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

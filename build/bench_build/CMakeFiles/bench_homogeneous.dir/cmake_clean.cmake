@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_homogeneous"
+  "../bench/bench_homogeneous.pdb"
+  "CMakeFiles/bench_homogeneous.dir/bench_homogeneous.cpp.o"
+  "CMakeFiles/bench_homogeneous.dir/bench_homogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

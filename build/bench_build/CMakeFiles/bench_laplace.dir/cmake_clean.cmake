@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_laplace"
+  "../bench/bench_laplace.pdb"
+  "CMakeFiles/bench_laplace.dir/bench_laplace.cpp.o"
+  "CMakeFiles/bench_laplace.dir/bench_laplace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_metaheuristic"
+  "../bench/bench_metaheuristic.pdb"
+  "CMakeFiles/bench_metaheuristic.dir/bench_metaheuristic.cpp.o"
+  "CMakeFiles/bench_metaheuristic.dir/bench_metaheuristic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metaheuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

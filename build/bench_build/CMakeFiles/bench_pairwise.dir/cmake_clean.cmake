@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pairwise"
+  "../bench/bench_pairwise.pdb"
+  "CMakeFiles/bench_pairwise.dir/bench_pairwise.cpp.o"
+  "CMakeFiles/bench_pairwise.dir/bench_pairwise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_slr_vs_beta"
+  "../bench/bench_slr_vs_beta.pdb"
+  "CMakeFiles/bench_slr_vs_beta.dir/bench_slr_vs_beta.cpp.o"
+  "CMakeFiles/bench_slr_vs_beta.dir/bench_slr_vs_beta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slr_vs_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

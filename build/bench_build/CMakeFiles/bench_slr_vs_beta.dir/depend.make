@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_slr_vs_beta.
+# This may be replaced when dependencies are built.

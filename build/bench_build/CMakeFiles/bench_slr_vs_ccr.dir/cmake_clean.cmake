@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_slr_vs_ccr"
+  "../bench/bench_slr_vs_ccr.pdb"
+  "CMakeFiles/bench_slr_vs_ccr.dir/bench_slr_vs_ccr.cpp.o"
+  "CMakeFiles/bench_slr_vs_ccr.dir/bench_slr_vs_ccr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slr_vs_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_slr_vs_size"
+  "../bench/bench_slr_vs_size.pdb"
+  "CMakeFiles/bench_slr_vs_size.dir/bench_slr_vs_size.cpp.o"
+  "CMakeFiles/bench_slr_vs_size.dir/bench_slr_vs_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slr_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_speedup_vs_procs"
+  "../bench/bench_speedup_vs_procs.pdb"
+  "CMakeFiles/bench_speedup_vs_procs.dir/bench_speedup_vs_procs.cpp.o"
+  "CMakeFiles/bench_speedup_vs_procs.dir/bench_speedup_vs_procs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_vs_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

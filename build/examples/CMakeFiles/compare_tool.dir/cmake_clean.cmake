@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_tool.dir/compare_tool.cpp.o"
+  "CMakeFiles/compare_tool.dir/compare_tool.cpp.o.d"
+  "compare_tool"
+  "compare_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gantt_workflow.dir/gantt_workflow.cpp.o"
+  "CMakeFiles/gantt_workflow.dir/gantt_workflow.cpp.o.d"
+  "gantt_workflow"
+  "gantt_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gantt_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

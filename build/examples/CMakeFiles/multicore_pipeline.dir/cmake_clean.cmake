@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_pipeline.dir/multicore_pipeline.cpp.o"
+  "CMakeFiles/multicore_pipeline.dir/multicore_pipeline.cpp.o.d"
+  "multicore_pipeline"
+  "multicore_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

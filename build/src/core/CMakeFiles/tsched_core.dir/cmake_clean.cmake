@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_core.dir/ils.cpp.o"
+  "CMakeFiles/tsched_core.dir/ils.cpp.o.d"
+  "CMakeFiles/tsched_core.dir/registry.cpp.o"
+  "CMakeFiles/tsched_core.dir/registry.cpp.o.d"
+  "libtsched_core.a"
+  "libtsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/tsched_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/tsched_graph.dir/dag.cpp.o"
+  "CMakeFiles/tsched_graph.dir/dag.cpp.o.d"
+  "CMakeFiles/tsched_graph.dir/serialize.cpp.o"
+  "CMakeFiles/tsched_graph.dir/serialize.cpp.o.d"
+  "libtsched_graph.a"
+  "libtsched_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

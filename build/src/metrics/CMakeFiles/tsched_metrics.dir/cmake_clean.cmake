@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/tsched_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/tsched_metrics.dir/pairwise.cpp.o"
+  "CMakeFiles/tsched_metrics.dir/pairwise.cpp.o.d"
+  "CMakeFiles/tsched_metrics.dir/runner.cpp.o"
+  "CMakeFiles/tsched_metrics.dir/runner.cpp.o.d"
+  "libtsched_metrics.a"
+  "libtsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_opt.dir/decoder.cpp.o"
+  "CMakeFiles/tsched_opt.dir/decoder.cpp.o.d"
+  "CMakeFiles/tsched_opt.dir/genetic.cpp.o"
+  "CMakeFiles/tsched_opt.dir/genetic.cpp.o.d"
+  "CMakeFiles/tsched_opt.dir/local_search.cpp.o"
+  "CMakeFiles/tsched_opt.dir/local_search.cpp.o.d"
+  "libtsched_opt.a"
+  "libtsched_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

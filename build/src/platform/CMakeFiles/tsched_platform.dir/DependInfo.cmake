@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cost_matrix.cpp" "src/platform/CMakeFiles/tsched_platform.dir/cost_matrix.cpp.o" "gcc" "src/platform/CMakeFiles/tsched_platform.dir/cost_matrix.cpp.o.d"
+  "/root/repo/src/platform/link_model.cpp" "src/platform/CMakeFiles/tsched_platform.dir/link_model.cpp.o" "gcc" "src/platform/CMakeFiles/tsched_platform.dir/link_model.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/platform/CMakeFiles/tsched_platform.dir/machine.cpp.o" "gcc" "src/platform/CMakeFiles/tsched_platform.dir/machine.cpp.o.d"
+  "/root/repo/src/platform/problem.cpp" "src/platform/CMakeFiles/tsched_platform.dir/problem.cpp.o" "gcc" "src/platform/CMakeFiles/tsched_platform.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_platform.dir/cost_matrix.cpp.o"
+  "CMakeFiles/tsched_platform.dir/cost_matrix.cpp.o.d"
+  "CMakeFiles/tsched_platform.dir/link_model.cpp.o"
+  "CMakeFiles/tsched_platform.dir/link_model.cpp.o.d"
+  "CMakeFiles/tsched_platform.dir/machine.cpp.o"
+  "CMakeFiles/tsched_platform.dir/machine.cpp.o.d"
+  "CMakeFiles/tsched_platform.dir/problem.cpp.o"
+  "CMakeFiles/tsched_platform.dir/problem.cpp.o.d"
+  "libtsched_platform.a"
+  "libtsched_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/builder.cpp" "src/sched/CMakeFiles/tsched_sched.dir/builder.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/builder.cpp.o.d"
+  "/root/repo/src/sched/clustering.cpp" "src/sched/CMakeFiles/tsched_sched.dir/clustering.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/clustering.cpp.o.d"
+  "/root/repo/src/sched/contention_aware.cpp" "src/sched/CMakeFiles/tsched_sched.dir/contention_aware.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/contention_aware.cpp.o.d"
+  "/root/repo/src/sched/cpop.cpp" "src/sched/CMakeFiles/tsched_sched.dir/cpop.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/cpop.cpp.o.d"
+  "/root/repo/src/sched/dls.cpp" "src/sched/CMakeFiles/tsched_sched.dir/dls.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/dls.cpp.o.d"
+  "/root/repo/src/sched/duplication.cpp" "src/sched/CMakeFiles/tsched_sched.dir/duplication.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/duplication.cpp.o.d"
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/tsched_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/hcpt.cpp" "src/sched/CMakeFiles/tsched_sched.dir/hcpt.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/hcpt.cpp.o.d"
+  "/root/repo/src/sched/heft.cpp" "src/sched/CMakeFiles/tsched_sched.dir/heft.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/heft.cpp.o.d"
+  "/root/repo/src/sched/list_baselines.cpp" "src/sched/CMakeFiles/tsched_sched.dir/list_baselines.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/list_baselines.cpp.o.d"
+  "/root/repo/src/sched/lookahead_heft.cpp" "src/sched/CMakeFiles/tsched_sched.dir/lookahead_heft.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/lookahead_heft.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/sched/CMakeFiles/tsched_sched.dir/optimal.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/optimal.cpp.o.d"
+  "/root/repo/src/sched/peft.cpp" "src/sched/CMakeFiles/tsched_sched.dir/peft.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/peft.cpp.o.d"
+  "/root/repo/src/sched/ranks.cpp" "src/sched/CMakeFiles/tsched_sched.dir/ranks.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/ranks.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/tsched_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/schedule_io.cpp" "src/sched/CMakeFiles/tsched_sched.dir/schedule_io.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/tsched_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/tsched_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tsched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_sim.dir/contention.cpp.o"
+  "CMakeFiles/tsched_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/tsched_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/tsched_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/tsched_sim.dir/executor.cpp.o"
+  "CMakeFiles/tsched_sim.dir/executor.cpp.o.d"
+  "libtsched_sim.a"
+  "libtsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

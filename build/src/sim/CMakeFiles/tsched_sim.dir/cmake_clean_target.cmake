@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsched_sim.a"
+)

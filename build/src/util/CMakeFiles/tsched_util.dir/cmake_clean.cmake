@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_util.dir/args.cpp.o"
+  "CMakeFiles/tsched_util.dir/args.cpp.o.d"
+  "CMakeFiles/tsched_util.dir/log.cpp.o"
+  "CMakeFiles/tsched_util.dir/log.cpp.o.d"
+  "CMakeFiles/tsched_util.dir/rng.cpp.o"
+  "CMakeFiles/tsched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tsched_util.dir/stats.cpp.o"
+  "CMakeFiles/tsched_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tsched_util.dir/table.cpp.o"
+  "CMakeFiles/tsched_util.dir/table.cpp.o.d"
+  "CMakeFiles/tsched_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/tsched_util.dir/thread_pool.cpp.o.d"
+  "libtsched_util.a"
+  "libtsched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

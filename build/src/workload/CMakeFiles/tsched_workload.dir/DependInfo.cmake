@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/costs.cpp" "src/workload/CMakeFiles/tsched_workload.dir/costs.cpp.o" "gcc" "src/workload/CMakeFiles/tsched_workload.dir/costs.cpp.o.d"
+  "/root/repo/src/workload/instance.cpp" "src/workload/CMakeFiles/tsched_workload.dir/instance.cpp.o" "gcc" "src/workload/CMakeFiles/tsched_workload.dir/instance.cpp.o.d"
+  "/root/repo/src/workload/random_dag.cpp" "src/workload/CMakeFiles/tsched_workload.dir/random_dag.cpp.o" "gcc" "src/workload/CMakeFiles/tsched_workload.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workload/structured.cpp" "src/workload/CMakeFiles/tsched_workload.dir/structured.cpp.o" "gcc" "src/workload/CMakeFiles/tsched_workload.dir/structured.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tsched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

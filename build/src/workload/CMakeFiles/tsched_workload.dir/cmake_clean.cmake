@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsched_workload.dir/costs.cpp.o"
+  "CMakeFiles/tsched_workload.dir/costs.cpp.o.d"
+  "CMakeFiles/tsched_workload.dir/instance.cpp.o"
+  "CMakeFiles/tsched_workload.dir/instance.cpp.o.d"
+  "CMakeFiles/tsched_workload.dir/random_dag.cpp.o"
+  "CMakeFiles/tsched_workload.dir/random_dag.cpp.o.d"
+  "CMakeFiles/tsched_workload.dir/structured.cpp.o"
+  "CMakeFiles/tsched_workload.dir/structured.cpp.o.d"
+  "libtsched_workload.a"
+  "libtsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_behaviors.dir/test_algorithm_behaviors.cpp.o"
+  "CMakeFiles/test_algorithm_behaviors.dir/test_algorithm_behaviors.cpp.o.d"
+  "test_algorithm_behaviors"
+  "test_algorithm_behaviors.pdb"
+  "test_algorithm_behaviors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duplication.dir/test_duplication.cpp.o"
+  "CMakeFiles/test_duplication.dir/test_duplication.cpp.o.d"
+  "test_duplication"
+  "test_duplication.pdb"
+  "test_duplication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

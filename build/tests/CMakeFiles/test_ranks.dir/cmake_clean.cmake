@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranks.dir/test_ranks.cpp.o"
+  "CMakeFiles/test_ranks.dir/test_ranks.cpp.o.d"
+  "test_ranks"
+  "test_ranks.pdb"
+  "test_ranks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

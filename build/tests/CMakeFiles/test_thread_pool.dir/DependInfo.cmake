@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/tsched_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tsched_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tsched_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table_args[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_ranks[1]_include.cmake")
+include("/root/repo/build/tests/test_schedulers[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithm_behaviors[1]_include.cmake")
+include("/root/repo/build/tests/test_util_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_duplication[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_contention[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_optimal[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule_io[1]_include.cmake")
+include("/root/repo/build/tests/test_gantt[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
