@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "analysis/problem_lints.hpp"
 #include "core/registry.hpp"
 #include "util/stopwatch.hpp"
 
@@ -26,6 +27,7 @@ void apply_common_flags(BenchConfig& config, const Args& args) {
         args.get_int("seed", static_cast<std::int64_t>(config.seed)));
     config.algos = args.get_string_list("algos", config.algos);
     config.csv_path = args.get_string("csv", config.csv_path);
+    config.lint = args.get_bool("lint", config.lint);
 }
 
 void print_banner(const BenchConfig& config) {
@@ -82,6 +84,22 @@ std::vector<PointResult> run_sweep(const BenchConfig& config,
     results.reserve(points.size());
     std::size_t invalid = 0;
     for (std::size_t i = 0; i < points.size(); ++i) {
+        if (config.lint) {
+            // Instance fairness audit (--lint): check the first instance of
+            // the point against the parameters the sweep requested.
+            const workload::InstanceParams& p = points[i].params;
+            analysis::InstanceExpectations expect;
+            expect.ccr = p.ccr;
+            expect.beta = p.beta;
+            expect.avg_exec = p.avg_exec;
+            analysis::Diagnostics diags;
+            analysis::lint_problem(workload::make_instance(p, mix_seed(config.seed, i)), diags,
+                                   expect);
+            if (!diags.empty()) {
+                std::cerr << "lint [" << points[i].label << "]:\n"
+                          << analysis::render_text(diags, 16);
+            }
+        }
         results.push_back(run_point(points[i].params, schedulers, config.trials,
                                     mix_seed(config.seed, i)));
         invalid += results.back().invalid_schedules;

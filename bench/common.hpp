@@ -7,6 +7,8 @@
 //   --seed=S         base seed (default 2007, the paper's year)
 //   --algos=a,b,c    scheduler set (default per bench)
 //   --csv=PATH       also write the table as CSV
+//   --lint           audit each point's first instance against its requested
+//                    CCR/beta/avg-exec (analysis::lint_problem) on stderr
 #pragma once
 
 #include <cstdint>
@@ -39,9 +41,10 @@ struct BenchConfig {
     std::size_t trials = 20;
     std::uint64_t seed = 2007;
     std::string csv_path;                  ///< empty = no CSV
+    bool lint = false;                     ///< run instance lints per point (--lint)
 };
 
-/// Apply --trials/--seed/--algos/--csv overrides to a config.
+/// Apply --trials/--seed/--algos/--csv/--lint overrides to a config.
 void apply_common_flags(BenchConfig& config, const Args& args);
 
 /// Print the experiment banner (id, title, parameters).

@@ -1,0 +1,334 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsched::analysis {
+
+namespace {
+
+struct CodeInfo {
+    Code code;
+    Severity severity;
+    const char* title;
+};
+
+// Registry of every shipped code.  Append-only; keep ascending by value.
+constexpr CodeInfo kCodes[] = {
+    {Code::kDagCycle, Severity::kError, "directed cycle in the task graph"},
+    {Code::kDagBadWork, Severity::kError, "task work is negative or non-finite"},
+    {Code::kDagZeroWork, Severity::kWarning, "task work is zero"},
+    {Code::kDagBadEdgeData, Severity::kError, "edge data volume is negative or non-finite"},
+    {Code::kDagSelfEdge, Severity::kError, "self-edge"},
+    {Code::kDagDuplicateEdge, Severity::kError, "duplicate edge"},
+    {Code::kDagDisconnected, Severity::kWarning, "graph is not weakly connected"},
+    {Code::kDagIsolatedTask, Severity::kWarning, "task has no edges at all"},
+    {Code::kDagRedundantEdge, Severity::kInfo, "edge is transitively redundant"},
+    {Code::kCostNonFinite, Severity::kError, "cost-matrix entry is NaN or infinite"},
+    {Code::kCostNonPositive, Severity::kError, "cost-matrix entry is not positive"},
+    {Code::kCostDegenerateRow, Severity::kWarning,
+     "constant cost row despite declared heterogeneity"},
+    {Code::kCostBetaMismatch, Severity::kWarning,
+     "realized heterogeneity far from declared beta"},
+    {Code::kCostDimMismatch, Severity::kError, "cost-matrix dimensions mismatch"},
+    {Code::kInstanceCcrMismatch, Severity::kError, "realized CCR off the requested value"},
+    {Code::kInstanceAvgExecMismatch, Severity::kWarning,
+     "realized mean execution cost off the requested value"},
+    {Code::kSchedDimMismatch, Severity::kError, "schedule dimensions mismatch the problem"},
+    {Code::kSchedMissingTask, Severity::kError, "task has no placement"},
+    {Code::kSchedDurationMismatch, Severity::kError,
+     "placement duration differs from the cost matrix"},
+    {Code::kSchedNegativeStart, Severity::kError, "placement starts before time 0"},
+    {Code::kSchedOverlap, Severity::kError, "placements overlap on one processor"},
+    {Code::kSchedPrecedence, Severity::kError, "placement starts before its inputs arrive"},
+    {Code::kSchedBelowLowerBound, Severity::kError,
+     "makespan below the critical-path lower bound"},
+    {Code::kSchedRedundantDuplicate, Severity::kWarning, "duplicate no successor consumes"},
+    {Code::kSchedIdleFragmentation, Severity::kInfo, "processors largely idle in the makespan"},
+    {Code::kSchedLoadImbalance, Severity::kWarning, "processor load strongly imbalanced"},
+    {Code::kSchedSameProcDuplicate, Severity::kWarning,
+     "task duplicated onto a processor it already occupies"},
+};
+
+const CodeInfo& info(Code code) {
+    for (const CodeInfo& ci : kCodes) {
+        if (ci.code == code) return ci;
+    }
+    throw std::invalid_argument("unknown diagnostic code " +
+                                std::to_string(static_cast<int>(code)));
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) noexcept {
+    switch (severity) {
+        case Severity::kNote: return "note";
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::optional<Severity> severity_from_name(const std::string& name) {
+    for (const Severity s :
+         {Severity::kNote, Severity::kInfo, Severity::kWarning, Severity::kError}) {
+        if (name == severity_name(s)) return s;
+    }
+    return std::nullopt;
+}
+
+std::string code_name(Code code) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "TS%04u", static_cast<unsigned>(code));
+    return buf;
+}
+
+std::optional<Code> code_from_name(const std::string& name) {
+    if (name.size() != 6 || name[0] != 'T' || name[1] != 'S') return std::nullopt;
+    unsigned value = 0;
+    for (std::size_t i = 2; i < 6; ++i) {
+        if (name[i] < '0' || name[i] > '9') return std::nullopt;
+        value = value * 10 + static_cast<unsigned>(name[i] - '0');
+    }
+    for (const CodeInfo& ci : kCodes) {
+        if (static_cast<unsigned>(ci.code) == value) return ci.code;
+    }
+    return std::nullopt;
+}
+
+const char* code_title(Code code) noexcept {
+    for (const CodeInfo& ci : kCodes) {
+        if (ci.code == code) return ci.title;
+    }
+    return "unknown code";
+}
+
+Severity default_severity(Code code) noexcept {
+    for (const CodeInfo& ci : kCodes) {
+        if (ci.code == code) return ci.severity;
+    }
+    return Severity::kError;
+}
+
+std::span<const Code> all_codes() noexcept {
+    static const std::vector<Code> codes = [] {
+        std::vector<Code> out;
+        out.reserve(std::size(kCodes));
+        for (const CodeInfo& ci : kCodes) out.push_back(ci.code);
+        return out;
+    }();
+    return codes;
+}
+
+Diagnostic& Diagnostics::add(Code code, SourceLoc loc, std::string message) {
+    return add(code, default_severity(code), loc, std::move(message));
+}
+
+Diagnostic& Diagnostics::add(Code code, Severity severity, SourceLoc loc, std::string message) {
+    ++counts_[static_cast<std::size_t>(severity)];
+    return diags_.emplace_back(Diagnostic{code, severity, loc, std::move(message)});
+}
+
+std::size_t Diagnostics::count(Severity severity) const noexcept {
+    return counts_[static_cast<std::size_t>(severity)];
+}
+
+void Diagnostics::clear() {
+    diags_.clear();
+    counts_ = {};
+}
+
+std::string render_text(const Diagnostics& diags, std::size_t max_shown) {
+    std::ostringstream os;
+    const std::size_t shown =
+        max_shown == 0 ? diags.size() : std::min(max_shown, diags.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const Diagnostic& d = diags.all()[i];
+        os << severity_name(d.severity) << '[' << code_name(d.code) << "] " << d.message
+           << '\n';
+    }
+    if (shown < diags.size()) {
+        os << "... and " << diags.size() - shown << " more\n";
+    }
+    os << diags.error_count() << " error(s), " << diags.warning_count() << " warning(s), "
+       << diags.count(Severity::kInfo) << " info, " << diags.count(Severity::kNote)
+       << " note(s)\n";
+    return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += ch;
+        }
+    }
+    return out;
+}
+
+/// Minimal recursive-descent reader for the subset of JSON render_json
+/// emits: objects, arrays, strings (with the four escapes above), and
+/// integers.  Positions and messages reference the input for errors.
+class JsonReader {
+public:
+    explicit JsonReader(const std::string& text) : text_(text) {}
+
+    void expect(char ch) {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ch) {
+            fail(std::string("expected '") + ch + "'");
+        }
+        ++pos_;
+    }
+
+    bool try_consume(char ch) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ch) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string_value() {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char ch = text_[pos_++];
+            if (ch == '\\') {
+                if (pos_ >= text_.size()) fail("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': ch = '"'; break;
+                    case '\\': ch = '\\'; break;
+                    case 'n': ch = '\n'; break;
+                    case 't': ch = '\t'; break;
+                    default: fail("unsupported escape"); break;
+                }
+            }
+            out += ch;
+        }
+        expect('"');
+        return out;
+    }
+
+    long long int_value() {
+        skip_ws();
+        const std::size_t begin = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+        if (pos_ == begin) fail("expected integer");
+        return std::stoll(text_.substr(begin, pos_ - begin));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("parse_json: " + what + " at offset " + std::to_string(pos_));
+    }
+
+private:
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string render_json(const Diagnostics& diags) {
+    std::ostringstream os;
+    os << "{\"diagnostics\":[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic& d = diags.all()[i];
+        if (i) os << ',';
+        os << "{\"code\":\"" << code_name(d.code) << "\",\"severity\":\""
+           << severity_name(d.severity) << '"';
+        if (d.loc.task != kInvalidTask) os << ",\"task\":" << d.loc.task;
+        if (d.loc.proc != kInvalidProc) os << ",\"proc\":" << d.loc.proc;
+        if (d.loc.placement >= 0) os << ",\"placement\":" << d.loc.placement;
+        os << ",\"message\":\"" << json_escape(d.message) << "\"}";
+    }
+    os << "],\"counts\":{\"error\":" << diags.error_count()
+       << ",\"warning\":" << diags.warning_count()
+       << ",\"info\":" << diags.count(Severity::kInfo)
+       << ",\"note\":" << diags.count(Severity::kNote) << "}}";
+    return os.str();
+}
+
+Diagnostics parse_json(const std::string& text) {
+    JsonReader in(text);
+    Diagnostics out;
+
+    in.expect('{');
+    if (in.string_value() != "diagnostics") in.fail("expected \"diagnostics\" key");
+    in.expect(':');
+    in.expect('[');
+    if (!in.try_consume(']')) {
+        do {
+            in.expect('{');
+            std::optional<Code> code;
+            std::optional<Severity> severity;
+            SourceLoc loc;
+            std::string message;
+            do {
+                const std::string key = in.string_value();
+                in.expect(':');
+                if (key == "code") {
+                    code = code_from_name(in.string_value());
+                    if (!code) in.fail("unknown diagnostic code");
+                } else if (key == "severity") {
+                    severity = severity_from_name(in.string_value());
+                    if (!severity) in.fail("unknown severity");
+                } else if (key == "task") {
+                    loc.task = static_cast<TaskId>(in.int_value());
+                } else if (key == "proc") {
+                    loc.proc = static_cast<ProcId>(in.int_value());
+                } else if (key == "placement") {
+                    loc.placement = static_cast<int>(in.int_value());
+                } else if (key == "message") {
+                    message = in.string_value();
+                } else {
+                    in.fail("unknown diagnostic field \"" + key + "\"");
+                }
+            } while (in.try_consume(','));
+            in.expect('}');
+            if (!code || !severity) in.fail("diagnostic missing code or severity");
+            out.add(*code, *severity, loc, std::move(message));
+        } while (in.try_consume(','));
+        in.expect(']');
+    }
+    // Trailing "counts" object is redundant with the diagnostics themselves;
+    // accept and skip it field by field.
+    if (in.try_consume(',')) {
+        if (in.string_value() != "counts") in.fail("expected \"counts\" key");
+        in.expect(':');
+        in.expect('{');
+        if (!in.try_consume('}')) {
+            do {
+                (void)in.string_value();
+                in.expect(':');
+                (void)in.int_value();
+            } while (in.try_consume(','));
+            in.expect('}');
+        }
+    }
+    in.expect('}');
+    return out;
+}
+
+}  // namespace tsched::analysis

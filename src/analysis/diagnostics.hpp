@@ -1,0 +1,154 @@
+// Compiler-style diagnostics for scheduling problems and schedules.
+//
+// Every finding the static-analysis passes emit is a Diagnostic: a stable
+// coded lint (TS####), a severity, an optional source location in scheduling
+// space (task id, processor id, placement index), and a human-readable
+// message.  Codes are grouped by family:
+//
+//   TS01xx  DAG well-formedness          (problem lints)
+//   TS02xx  cost-matrix sanity           (problem lints)
+//   TS03xx  instance calibration         (problem lints)
+//   TS04xx  schedule validity            (schedule lints; all errors)
+//   TS05xx  schedule quality             (schedule lints; warnings/info)
+//
+// Codes are append-only: a code, once shipped, never changes meaning, so
+// tooling that filters on "TS0406" keeps working across versions.  The text
+// and JSON renderers are the two supported outputs; the JSON form parses
+// back losslessly (parse_json) for downstream tooling round-trips.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/link_model.hpp"
+
+namespace tsched::analysis {
+
+enum class Severity : std::uint8_t { kNote = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+/// Inverse of severity_name; nullopt on unknown names.
+[[nodiscard]] std::optional<Severity> severity_from_name(const std::string& name);
+
+/// Stable lint codes.  The numeric value is the #### in "TS####".
+enum class Code : std::uint16_t {
+    // --- TS01xx: DAG well-formedness -------------------------------------
+    kDagCycle = 101,           ///< the edge set contains a directed cycle
+    kDagBadWork = 102,         ///< task work is negative or non-finite
+    kDagZeroWork = 103,        ///< task work is exactly zero
+    kDagBadEdgeData = 104,     ///< edge data volume is negative or non-finite
+    kDagSelfEdge = 105,        ///< edge u -> u
+    kDagDuplicateEdge = 106,   ///< edge u -> v recorded more than once
+    kDagDisconnected = 107,    ///< more than one weakly connected component
+    kDagIsolatedTask = 108,    ///< task with no predecessors and no successors
+    kDagRedundantEdge = 109,   ///< edge implied by a longer path (transitively redundant)
+
+    // --- TS02xx: cost-matrix sanity --------------------------------------
+    kCostNonFinite = 201,      ///< w(v,p) is NaN or infinite
+    kCostNonPositive = 202,    ///< w(v,p) <= 0
+    kCostDegenerateRow = 203,  ///< constant row although heterogeneity was declared
+    kCostBetaMismatch = 204,   ///< realized heterogeneity far from declared beta
+    kCostDimMismatch = 205,    ///< matrix dimensions disagree with DAG/machine
+
+    // --- TS03xx: instance calibration ------------------------------------
+    kInstanceCcrMismatch = 301,      ///< realized CCR off the requested value
+    kInstanceAvgExecMismatch = 302,  ///< realized mean execution cost off target
+
+    // --- TS04xx: schedule validity (errors) -------------------------------
+    kSchedDimMismatch = 401,     ///< schedule dimensions disagree with problem
+    kSchedMissingTask = 402,     ///< task has no placement
+    kSchedDurationMismatch = 403,///< placement duration != cost-matrix entry
+    kSchedNegativeStart = 404,   ///< placement starts before time 0
+    kSchedOverlap = 405,         ///< two placements overlap on one processor
+    kSchedPrecedence = 406,      ///< placement starts before its input data arrives
+    kSchedBelowLowerBound = 407, ///< makespan below the critical-path lower bound
+
+    // --- TS05xx: schedule quality (warnings / info) -----------------------
+    kSchedRedundantDuplicate = 501,  ///< duplicate placement no consumer reads
+    kSchedIdleFragmentation = 502,   ///< processors mostly idle inside the makespan
+    kSchedLoadImbalance = 503,       ///< busy time concentrated on few processors
+    kSchedSameProcDuplicate = 504,   ///< task duplicated onto its own processor
+};
+
+/// "TS0406"-style stable name.
+[[nodiscard]] std::string code_name(Code code);
+/// Inverse of code_name; nullopt for unknown strings.
+[[nodiscard]] std::optional<Code> code_from_name(const std::string& name);
+/// One-line description of what the code means (for docs and --explain).
+[[nodiscard]] const char* code_title(Code code) noexcept;
+/// The severity a pass emits this code with by default.
+[[nodiscard]] Severity default_severity(Code code) noexcept;
+/// Every known code, ascending (drives the README table and tests).
+[[nodiscard]] std::span<const Code> all_codes() noexcept;
+
+/// Location of a finding in scheduling space; any field may be absent.
+struct SourceLoc {
+    TaskId task = kInvalidTask;
+    ProcId proc = kInvalidProc;
+    int placement = -1;  ///< index into the task's placement list
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+struct Diagnostic {
+    Code code{};
+    Severity severity = Severity::kError;
+    SourceLoc loc;
+    std::string message;
+
+    friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Append-only collection of diagnostics with per-severity counts.
+class Diagnostics {
+public:
+    /// Add with the code's default severity.
+    Diagnostic& add(Code code, SourceLoc loc, std::string message);
+    /// Add with an explicit severity override.
+    Diagnostic& add(Code code, Severity severity, SourceLoc loc, std::string message);
+
+    [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+    [[nodiscard]] bool empty() const noexcept { return diags_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return diags_.size(); }
+
+    [[nodiscard]] std::size_t count(Severity severity) const noexcept;
+    [[nodiscard]] std::size_t error_count() const noexcept { return count(Severity::kError); }
+    [[nodiscard]] std::size_t warning_count() const noexcept { return count(Severity::kWarning); }
+    [[nodiscard]] bool has_errors() const noexcept { return error_count() > 0; }
+
+    void clear();
+
+    friend bool operator==(const Diagnostics& a, const Diagnostics& b) {
+        return a.diags_ == b.diags_;
+    }
+
+private:
+    std::vector<Diagnostic> diags_;
+    std::array<std::size_t, 4> counts_{};
+};
+
+/// One line per diagnostic —
+///   "error[TS0406] task 1 on P1 starts at 4 but data from task 0 arrives at 5"
+/// — followed by a "N error(s), M warning(s)" summary line.  `max_shown` = 0
+/// renders everything; otherwise the first max_shown lines plus a
+/// "... and K more" note.
+[[nodiscard]] std::string render_text(const Diagnostics& diags, std::size_t max_shown = 0);
+
+/// Machine-readable form:
+///   {"diagnostics":[{"code":"TS0406","severity":"error","task":1,"proc":1,
+///     "placement":0,"message":"..."}, ...],
+///    "counts":{"error":1,"warning":0,"info":0,"note":0}}
+/// Absent location fields are omitted.  Parses back via parse_json.
+[[nodiscard]] std::string render_json(const Diagnostics& diags);
+
+/// Parse the output of render_json back into a Diagnostics value (exact
+/// round-trip).  Throws std::runtime_error on input this parser does not
+/// understand — it supports the subset of JSON render_json emits.
+[[nodiscard]] Diagnostics parse_json(const std::string& text);
+
+}  // namespace tsched::analysis

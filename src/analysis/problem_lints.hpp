@@ -1,0 +1,59 @@
+// Static analysis of scheduler *inputs*: DAG well-formedness (TS01xx),
+// cost-matrix sanity (TS02xx), and instance calibration against the
+// parameters an experiment requested (TS03xx).
+//
+// The paper's comparisons are only fair when generated instances actually
+// match their declared CCR / heterogeneity — these passes turn "the
+// generator silently drifted" into a coded, testable finding.
+#pragma once
+
+#include <optional>
+
+#include "analysis/diagnostics.hpp"
+#include "platform/problem.hpp"
+
+namespace tsched::analysis {
+
+/// Declared instance parameters to check realized values against.  Absent
+/// fields skip their check.  `tolerance` is the allowed relative deviation.
+struct InstanceExpectations {
+    std::optional<double> ccr;       ///< requested communication-to-computation ratio
+    std::optional<double> beta;      ///< declared heterogeneity factor in [0, 2)
+    std::optional<double> avg_exec;  ///< requested mean execution cost
+    double tolerance = 0.25;
+};
+
+/// DAG well-formedness: cycles, bad/zero work, bad edge data, self/duplicate
+/// edges, disconnected components, isolated tasks, transitively redundant
+/// edges (the redundancy pass is skipped above `redundancy_task_limit`
+/// tasks — it needs the transitive closure).
+void lint_dag(const Dag& dag, Diagnostics& diags, std::size_t redundancy_task_limit = 2048);
+
+/// Cost-matrix sanity: non-finite / non-positive entries, degenerate rows
+/// and realized-vs-declared heterogeneity when `declared_beta` is given.
+void lint_cost_matrix(const CostMatrix& costs, Diagnostics& diags,
+                      std::optional<double> declared_beta = {});
+
+/// True when the (dag, machine, costs) triple is dimensionally consistent;
+/// emits TS0205 and returns false otherwise.  Callers must check this before
+/// constructing a Problem (whose constructor throws on mismatch).
+bool check_dimensions(const Dag& dag, const Machine& machine, const CostMatrix& costs,
+                      Diagnostics& diags);
+
+/// Calibration only (TS03xx): realized CCR vs. requested (TS0301, an
+/// *error* — a miscalibrated instance invalidates the experiment) and
+/// realized mean execution cost vs. requested (TS0302, warning).
+void lint_calibration(const Problem& problem, Diagnostics& diags,
+                      const InstanceExpectations& expect);
+
+/// All input passes: lint_dag + lint_cost_matrix + lint_calibration.
+void lint_problem(const Problem& problem, Diagnostics& diags,
+                  const InstanceExpectations& expect = {});
+
+/// Estimate the heterogeneity factor realized by a cost matrix, assuming the
+/// HEFT recipe w(v,p) ~ U(m(1-beta/2), m(1+beta/2)): averages the bias-
+/// corrected per-row range (max-min)/mean * (P+1)/(P-1).  Returns 0 for
+/// single-processor or empty matrices.
+[[nodiscard]] double estimate_beta(const CostMatrix& costs);
+
+}  // namespace tsched::analysis

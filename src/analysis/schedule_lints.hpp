@@ -1,0 +1,47 @@
+// Static analysis of produced schedules.
+//
+// The validity family (TS04xx, all errors) is the superset of what the old
+// `tsched::validate()` checked — completeness, per-placement timing,
+// processor exclusivity, duplicate-aware precedence — plus an
+// impossible-schedule detector (makespan below the critical-path lower
+// bound).  The quality family (TS05xx, warnings/info) reports findings a
+// schedule can legally have but usually should not: duplicates no successor
+// consumes, heavy idle fragmentation, and strong per-processor load
+// imbalance.
+//
+// `tsched::validate()` (sched/validate.hpp) is now a thin shim over
+// lint_schedule that keeps its historical string-based API.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched::analysis {
+
+struct ScheduleLintOptions {
+    /// Absorbs floating-point noise; constraint checks allow violations up to
+    /// this amount (same semantics as the old validate()).
+    double time_eps = 1e-6;
+    /// Run the TS05xx quality passes as well as the TS04xx validity passes.
+    bool quality = true;
+    /// TS0502 fires when total idle time inside [0, makespan] exceeds this
+    /// fraction of P * makespan.
+    double idle_info_fraction = 0.5;
+    /// TS0503 fires when max per-processor busy time exceeds this multiple of
+    /// the mean busy time (only when at least two processors carry work).
+    double imbalance_warn_ratio = 4.0;
+};
+
+/// Run the schedule passes; diagnostics are appended to `diags`.
+void lint_schedule(const Schedule& schedule, const Problem& problem, Diagnostics& diags,
+                   const ScheduleLintOptions& options = {});
+
+/// Error-severity passes only; throws std::invalid_argument with the
+/// rendered diagnostics when any error fires.  This is what the
+/// TSCHED_DEBUG_CHECKS hooks in ScheduleBuilder::take() and sim::simulate()
+/// call.
+void run_debug_checks(const Schedule& schedule, const Problem& problem,
+                      double time_eps = 1e-6);
+
+}  // namespace tsched::analysis

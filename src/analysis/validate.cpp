@@ -1,0 +1,44 @@
+// Compatibility shim: the historical string-based validate() API, now backed
+// by the coded diagnostics engine.  Lives in tsched_analysis (not
+// tsched_sched) so the sched library keeps no dependency on the lint passes.
+#include "sched/validate.hpp"
+
+#include <sstream>
+
+#include "analysis/schedule_lints.hpp"
+
+namespace tsched {
+
+std::string ValidationResult::message() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i) os << '\n';
+        os << errors[i];
+    }
+    return os.str();
+}
+
+ValidationResult validate(const Schedule& schedule, const Problem& problem, double time_eps,
+                          std::size_t max_errors) {
+    analysis::Diagnostics diags;
+    analysis::ScheduleLintOptions options;
+    options.time_eps = time_eps;
+    options.quality = false;  // the legacy API reports validity violations only
+    analysis::lint_schedule(schedule, problem, diags, options);
+
+    ValidationResult result;
+    for (const analysis::Diagnostic& d : diags.all()) {
+        if (d.severity != analysis::Severity::kError) continue;
+        ++result.total_violations;
+        if (result.errors.size() < max_errors) result.errors.push_back(d.message);
+    }
+    result.ok = result.total_violations == 0;
+    if (result.total_violations > result.errors.size()) {
+        result.errors.push_back("... and " +
+                                std::to_string(result.total_violations - result.errors.size()) +
+                                " more violation(s)");
+    }
+    return result;
+}
+
+}  // namespace tsched

@@ -1,0 +1,157 @@
+#include "platform/platform_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tsched {
+
+namespace {
+/// max_digits10 guarantees exact TSP round-trips (same policy as TSG/TSS).
+std::string fmt_double(double x) {
+    std::ostringstream os;
+    os << std::setprecision(17) << x;
+    return os.str();
+}
+}  // namespace
+
+void write_tsp(std::ostream& os, const Machine& machine, const CostMatrix& costs) {
+    const auto* uniform = dynamic_cast<const UniformLinkModel*>(&machine.links());
+    if (uniform == nullptr) {
+        throw std::invalid_argument(
+            "write_tsp: only uniform link models are serializable, got: " +
+            machine.links().describe());
+    }
+    if (machine.num_procs() != costs.num_procs()) {
+        throw std::invalid_argument("write_tsp: machine/cost-matrix processor count mismatch");
+    }
+    const std::size_t procs = machine.num_procs();
+    const std::size_t tasks = costs.num_tasks();
+    os << "# tsched platform\n";
+    os << "tsp " << procs << ' ' << tasks << '\n';
+    for (std::size_t p = 0; p < procs; ++p) {
+        os << "s " << p << ' ' << fmt_double(machine.speed(static_cast<ProcId>(p))) << '\n';
+    }
+    os << "link uniform " << fmt_double(uniform->latency()) << ' '
+       << fmt_double(uniform->bandwidth()) << '\n';
+    for (std::size_t v = 0; v < tasks; ++v) {
+        os << "w " << v;
+        for (std::size_t p = 0; p < procs; ++p) {
+            os << ' ' << fmt_double(costs(static_cast<TaskId>(v), static_cast<ProcId>(p)));
+        }
+        os << '\n';
+    }
+}
+
+std::string to_tsp(const Machine& machine, const CostMatrix& costs) {
+    std::ostringstream os;
+    write_tsp(os, machine, costs);
+    return os.str();
+}
+
+PlatformSpec read_tsp(std::istream& is) {
+    std::string line;
+    std::size_t line_no = 0;
+    bool header_seen = false;
+    std::size_t expect_procs = 0;
+    std::size_t expect_tasks = 0;
+    std::vector<double> speeds;
+    std::vector<double> matrix;
+    std::size_t rows_seen = 0;
+    std::optional<std::pair<double, double>> link;  // latency, bandwidth
+
+    auto fail = [&](const std::string& what) -> void {
+        throw std::runtime_error("read_tsp: line " + std::to_string(line_no) + ": " + what);
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag == "tsp") {
+            if (header_seen) fail("duplicate header");
+            if (!(ls >> expect_procs >> expect_tasks)) fail("malformed header");
+            if (expect_procs == 0) fail("platform needs at least one processor");
+            header_seen = true;
+            speeds.assign(expect_procs, 0.0);
+            matrix.assign(expect_procs * expect_tasks, 0.0);
+        } else if (tag == "s") {
+            if (!header_seen) fail("speed record before header");
+            std::size_t p = 0;
+            double speed = 0.0;
+            if (!(ls >> p >> speed)) fail("malformed speed record");
+            if (p >= expect_procs) fail("processor id out of range");
+            if (speeds[p] != 0.0) fail("duplicate speed record for P" + std::to_string(p));
+            if (!(speed > 0.0)) fail("speed must be > 0");
+            speeds[p] = speed;
+        } else if (tag == "link") {
+            if (!header_seen) fail("link record before header");
+            if (link) fail("duplicate link record");
+            std::string kind;
+            double latency = 0.0;
+            double bandwidth = 0.0;
+            if (!(ls >> kind)) fail("malformed link record");
+            if (kind != "uniform") fail("unsupported link model '" + kind + "'");
+            if (!(ls >> latency >> bandwidth)) fail("malformed link record");
+            link = {latency, bandwidth};
+        } else if (tag == "w") {
+            if (!header_seen) fail("cost record before header");
+            std::size_t v = 0;
+            if (!(ls >> v)) fail("malformed cost record");
+            if (v != rows_seen) fail("cost rows must be dense and ascending");
+            if (v >= expect_tasks) fail("task id out of range");
+            for (std::size_t p = 0; p < expect_procs; ++p) {
+                if (!(ls >> matrix[v * expect_procs + p])) {
+                    fail("cost row needs " + std::to_string(expect_procs) + " entries");
+                }
+            }
+            ++rows_seen;
+        } else {
+            fail("unknown record tag '" + tag + "'");
+        }
+    }
+    if (!header_seen) throw std::runtime_error("read_tsp: missing header");
+    if (!link) throw std::runtime_error("read_tsp: missing link record");
+    for (std::size_t p = 0; p < expect_procs; ++p) {
+        if (speeds[p] == 0.0) {
+            throw std::runtime_error("read_tsp: missing speed record for P" +
+                                     std::to_string(p));
+        }
+    }
+    if (rows_seen != expect_tasks) {
+        throw std::runtime_error("read_tsp: header declares " + std::to_string(expect_tasks) +
+                                 " cost rows, found " + std::to_string(rows_seen));
+    }
+    try {
+        auto links = std::make_shared<UniformLinkModel>(link->first, link->second);
+        return PlatformSpec{Machine(std::move(speeds), std::move(links)),
+                            CostMatrix(expect_tasks, expect_procs, std::move(matrix))};
+    } catch (const std::invalid_argument& err) {
+        throw std::runtime_error(std::string("read_tsp: invalid platform: ") + err.what());
+    }
+}
+
+PlatformSpec read_tsp_string(const std::string& text) {
+    std::istringstream is(text);
+    return read_tsp(is);
+}
+
+void save_tsp(const std::string& path, const Machine& machine, const CostMatrix& costs) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("save_tsp: cannot open " + path);
+    write_tsp(out, machine, costs);
+    if (!out) throw std::runtime_error("save_tsp: write failed for " + path);
+}
+
+PlatformSpec load_tsp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("load_tsp: cannot open " + path);
+    return read_tsp(in);
+}
+
+}  // namespace tsched

@@ -1,0 +1,42 @@
+// Platform persistence.
+//
+// TSP ("task scheduling platform") text format — round-trips exactly, so the
+// machine + cost matrix behind a schedule can be archived next to its TSG
+// graph and TSS schedule and re-validated later (this is what `tsched_lint`
+// consumes):
+//   tsp <num_procs> <num_tasks>
+//   s <proc> <speed>                      # one line per processor
+//   link uniform <latency> <bandwidth>    # interconnect (uniform crossbar)
+//   w <task> <c_0> ... <c_{P-1}>          # one cost row per task
+//
+// Only the uniform (crossbar) link model is serializable — it is the model
+// of every HEFT-family evaluation; write_tsp throws std::invalid_argument
+// for other models.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/cost_matrix.hpp"
+#include "platform/machine.hpp"
+
+namespace tsched {
+
+/// A parsed TSP document: the machine and the execution-cost matrix.
+struct PlatformSpec {
+    Machine machine;
+    CostMatrix costs;
+};
+
+void write_tsp(std::ostream& os, const Machine& machine, const CostMatrix& costs);
+[[nodiscard]] std::string to_tsp(const Machine& machine, const CostMatrix& costs);
+
+/// Parse a TSP document; throws std::runtime_error with a line-numbered
+/// message on malformed input.
+[[nodiscard]] PlatformSpec read_tsp(std::istream& is);
+[[nodiscard]] PlatformSpec read_tsp_string(const std::string& text);
+
+void save_tsp(const std::string& path, const Machine& machine, const CostMatrix& costs);
+[[nodiscard]] PlatformSpec load_tsp(const std::string& path);
+
+}  // namespace tsched

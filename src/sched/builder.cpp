@@ -5,6 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#ifdef TSCHED_DEBUG_CHECKS
+#include "analysis/schedule_lints.hpp"
+#endif
+
 namespace tsched {
 
 namespace {
@@ -129,6 +133,15 @@ void ScheduleBuilder::insert_interval(ProcId p, Interval iv) {
     timeline.insert(pos, iv);
 }
 
-Schedule ScheduleBuilder::take() && { return std::move(schedule_); }
+Schedule ScheduleBuilder::take() && {
+#ifdef TSCHED_DEBUG_CHECKS
+    // With -DTSCHED_DEBUG_CHECKS=ON every schedule leaving a builder is run
+    // through the error-severity lint passes, so an invalid placement is
+    // caught inside the scheduler that produced it instead of at validation
+    // time much later.  Throws std::invalid_argument on violations.
+    analysis::run_debug_checks(schedule_, *problem_);
+#endif
+    return std::move(schedule_);
+}
 
 }  // namespace tsched

@@ -20,7 +20,11 @@ namespace tsched {
 
 struct ValidationResult {
     bool ok = true;
+    /// Up to `max_errors` messages; when more violations exist, the last
+    /// entry is a "... and N more violation(s)" note.
     std::vector<std::string> errors;
+    /// Total violations found, including ones truncated out of `errors`.
+    std::size_t total_violations = 0;
 
     explicit operator bool() const noexcept { return ok; }
     /// All errors joined with newlines ("" when ok).
@@ -29,7 +33,13 @@ struct ValidationResult {
 
 /// Validate `schedule` against `problem`.  `time_eps` absorbs floating-point
 /// noise in start/finish bookkeeping; constraint checks allow violations up
-/// to this amount.  Collects up to `max_errors` diagnostics before stopping.
+/// to this amount.  Keeps up to `max_errors` messages (plus a truncation
+/// note); `total_violations` always reflects the full count.
+///
+/// This is a compatibility shim over the coded diagnostics engine in
+/// analysis/schedule_lints.hpp — new code should prefer lint_schedule, which
+/// also reports quality findings (redundant duplicates, fragmentation, load
+/// imbalance) with stable TS#### codes.
 [[nodiscard]] ValidationResult validate(const Schedule& schedule, const Problem& problem,
                                         double time_eps = 1e-6, std::size_t max_errors = 16);
 

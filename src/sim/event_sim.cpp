@@ -5,6 +5,10 @@
 #include <stdexcept>
 #include <vector>
 
+#ifdef TSCHED_DEBUG_CHECKS
+#include "analysis/schedule_lints.hpp"
+#endif
+
 namespace tsched::sim {
 
 namespace {
@@ -152,6 +156,11 @@ SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& dur
 }  // namespace
 
 SimResult simulate(const Schedule& schedule, const Problem& problem) {
+#ifdef TSCHED_DEBUG_CHECKS
+    // Reject invalid inputs up front with coded diagnostics; the simulator's
+    // own structural checks only catch missing placements and deadlocks.
+    analysis::run_debug_checks(schedule, problem);
+#endif
     const LinkModel& links = problem.machine().links();
     const Dag& dag = problem.dag();
     return run(

@@ -1,0 +1,83 @@
+// TSP platform serialization round-trip and error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "platform/platform_io.hpp"
+
+namespace tsched {
+namespace {
+
+TEST(PlatformIo, RoundTripsExactly) {
+    const auto links = std::make_shared<UniformLinkModel>(0.5, 2.0);
+    const Machine machine({1.0, 0.75, 1.0 / 3.0}, links);
+    const CostMatrix costs(2, 3, {1.5, 2.0, std::nextafter(3.0, 4.0), 4.0, 5.0, 6.0});
+
+    const std::string text = to_tsp(machine, costs);
+    const PlatformSpec spec = read_tsp_string(text);
+
+    ASSERT_EQ(spec.machine.num_procs(), 3u);
+    EXPECT_EQ(spec.machine.speeds(), machine.speeds());
+    ASSERT_EQ(spec.costs.num_tasks(), 2u);
+    ASSERT_EQ(spec.costs.num_procs(), 3u);
+    for (TaskId v = 0; v < 2; ++v) {
+        for (ProcId p = 0; p < 3; ++p) {
+            EXPECT_EQ(spec.costs(v, p), costs(v, p)) << "v=" << v << " p=" << p;
+        }
+    }
+    const auto* back = dynamic_cast<const UniformLinkModel*>(&spec.machine.links());
+    ASSERT_NE(back, nullptr);
+    EXPECT_EQ(back->latency(), 0.5);
+    EXPECT_EQ(back->bandwidth(), 2.0);
+
+    // Serializing the parsed platform reproduces the document byte for byte.
+    EXPECT_EQ(to_tsp(spec.machine, spec.costs), text);
+}
+
+TEST(PlatformIo, RejectsNonUniformLinkModel) {
+    const auto bus = std::make_shared<BusLinkModel>(0.0, 1.0, 2);
+    const Machine machine = Machine::homogeneous(2, bus);
+    const CostMatrix costs = CostMatrix(1, 2, {1.0, 1.0});
+    EXPECT_THROW(to_tsp(machine, costs), std::invalid_argument);
+}
+
+TEST(PlatformIo, RejectsMalformedDocuments) {
+    EXPECT_THROW(read_tsp_string(""), std::runtime_error);
+    EXPECT_THROW(read_tsp_string("tsp 2\n"), std::runtime_error);  // missing task count
+    EXPECT_THROW(read_tsp_string("tsp 2 1\n"
+                                 "s 0 1\n"
+                                 "s 1 1\n"
+                                 "w 0 1 1\n"),  // no link line
+                 std::runtime_error);
+    EXPECT_THROW(read_tsp_string("tsp 2 1\n"
+                                 "s 0 1\ns 1 1\n"
+                                 "link uniform 0 1\n"
+                                 "w 1 1 1\n"),  // rows must start at task 0
+                 std::runtime_error);
+    EXPECT_THROW(read_tsp_string("tsp 2 1\n"
+                                 "s 0 1\ns 1 1\n"
+                                 "link uniform 0 1\n"
+                                 "w 0 1\n"),  // short cost row
+                 std::runtime_error);
+    EXPECT_THROW(read_tsp_string("tsp 2 1\n"
+                                 "s 0 1\ns 1 1\n"
+                                 "link uniform 0 1\n"
+                                 "w 0 0 1\n"),  // non-positive cost entry
+                 std::runtime_error);
+}
+
+TEST(PlatformIo, SaveAndLoad) {
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    const Machine machine = Machine::homogeneous(2, links);
+    const CostMatrix costs(1, 2, {3.0, 4.0});
+    const std::string path = testing::TempDir() + "tsched_platform_io_test.tsp";
+    save_tsp(path, machine, costs);
+    const PlatformSpec spec = load_tsp(path);
+    EXPECT_EQ(spec.machine.num_procs(), 2u);
+    EXPECT_EQ(spec.costs(0, 1), 4.0);
+    EXPECT_THROW(load_tsp(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -183,7 +183,10 @@ TEST(Validate, ErrorCapRespected) {
     Schedule s(2, 2);  // both tasks missing -> 2 errors, cap at 1
     const auto result = validate(s, problem, 1e-6, 1);
     EXPECT_FALSE(result.ok);
-    EXPECT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.total_violations, 2u);
+    // One reported violation plus the "... and N more" truncation note.
+    ASSERT_EQ(result.errors.size(), 2u);
+    EXPECT_NE(result.errors.back().find("1 more violation"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Acceptance smoke test for tsched_lint: a corrupted schedule and a
+# miscalibrated instance must each be flagged with their distinct TS codes,
+# with machine-readable JSON output and a nonzero exit status.
+#
+# usage: lint_smoke.sh path/to/tsched_lint
+set -u
+
+LINT="${1:?usage: lint_smoke.sh path/to/tsched_lint}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "lint_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# A two-task chain (cost 3 each, 2 data units on the edge) on two unit-speed
+# processors behind a uniform crossbar (latency 0, bandwidth 1).  Local data
+# is free, so the remote copy of task 1 may start at t=5 (3 exec + 2 comm).
+cat > "$WORK/graph.tsg" <<'EOF'
+tsg 2 1
+t 0 3
+t 1 3
+e 0 1 2
+EOF
+
+cat > "$WORK/platform.tsp" <<'EOF'
+tsp 2 2
+s 0 1
+s 1 1
+link uniform 0 1
+w 0 3 3
+w 1 3 3
+EOF
+
+# A correct schedule: both tasks on P0, back to back.
+cat > "$WORK/good.tss" <<'EOF'
+tss 2 2
+p 0 0 0 3
+p 1 0 3 6
+EOF
+
+# Corrupted: task 1 starts on P1 at t=1, long before its input arrives (t=5).
+cat > "$WORK/bad.tss" <<'EOF'
+tss 2 2
+p 0 0 0 3
+p 1 1 1 4
+EOF
+
+# 1. The clean triple lints clean.
+"$LINT" "$WORK/graph.tsg" "$WORK/platform.tsp" "$WORK/good.tss" > "$WORK/good.out" 2>&1 \
+    || fail "clean schedule flagged: $(cat "$WORK/good.out")"
+
+# 2. The corrupted schedule is caught: TS0406, nonzero exit.
+"$LINT" "$WORK/graph.tsg" "$WORK/platform.tsp" "$WORK/bad.tss" > "$WORK/bad.out" 2>&1
+[ $? -eq 1 ] || fail "corrupted schedule did not exit 1"
+grep -q "TS0406" "$WORK/bad.out" || fail "expected TS0406 in: $(cat "$WORK/bad.out")"
+
+# 3. The miscalibrated instance is caught with a distinct code: the realized
+#    CCR of this instance is 2/3, nowhere near the requested 10.
+"$LINT" --ccr=10 "$WORK/graph.tsg" "$WORK/platform.tsp" > "$WORK/ccr.out" 2>&1
+[ $? -eq 1 ] || fail "miscalibrated instance did not exit 1"
+grep -q "TS0301" "$WORK/ccr.out" || fail "expected TS0301 in: $(cat "$WORK/ccr.out")"
+
+# 4. JSON output is machine-readable and carries the same codes.
+"$LINT" --json --ccr=10 "$WORK/graph.tsg" "$WORK/platform.tsp" "$WORK/bad.tss" > "$WORK/all.json" 2>&1
+[ $? -eq 1 ] || fail "JSON run did not exit 1"
+grep -q '"code":"TS0406"' "$WORK/all.json" || fail "TS0406 missing from JSON"
+grep -q '"code":"TS0301"' "$WORK/all.json" || fail "TS0301 missing from JSON"
+grep -q '"counts"' "$WORK/all.json" || fail "counts object missing from JSON"
+
+# 5. Warnings alone exit 0 without --werror, 1 with it.  An unconsumed
+#    duplicate of task 0 on P1 is a warning (TS0501).
+cat > "$WORK/dup.tss" <<'EOF'
+tss 2 2
+p 0 0 0 3
+p 0 1 0 3
+p 1 0 3 6
+EOF
+"$LINT" "$WORK/graph.tsg" "$WORK/platform.tsp" "$WORK/dup.tss" > "$WORK/dup.out" 2>&1 \
+    || fail "warning-only run exited nonzero: $(cat "$WORK/dup.out")"
+grep -q "TS0501" "$WORK/dup.out" || fail "expected TS0501 in: $(cat "$WORK/dup.out")"
+"$LINT" "$WORK/graph.tsg" "$WORK/platform.tsp" "$WORK/dup.tss" --werror > /dev/null 2>&1
+[ $? -eq 1 ] || fail "--werror did not promote warnings to failure"
+
+echo "lint_smoke: OK"
