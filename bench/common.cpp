@@ -1,9 +1,13 @@
 #include "common.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "analysis/problem_lints.hpp"
 #include "core/registry.hpp"
+#include "trace/counters.hpp"
+#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
 namespace tsched::bench {
@@ -28,6 +32,7 @@ void apply_common_flags(BenchConfig& config, const Args& args) {
     config.algos = args.get_string_list("algos", config.algos);
     config.csv_path = args.get_string("csv", config.csv_path);
     config.lint = args.get_bool("lint", config.lint);
+    config.trace_dir = args.get_string("trace-dir", config.trace_dir);
 }
 
 void print_banner(const BenchConfig& config) {
@@ -42,6 +47,39 @@ void print_banner(const BenchConfig& config) {
 }
 
 namespace {
+/// Filesystem-safe version of a sweep-point label ("CCR=0.5" -> "CCR_0.5").
+std::string safe_label(const std::string& label) {
+    std::string out = label;
+    for (char& c : out) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '.';
+        if (!keep) c = '_';
+    }
+    return out;
+}
+
+/// Write one JSON file describing the trace activity of a single sweep point
+/// (counter/span deltas plus the point's wall time).  Failures warn and are
+/// otherwise ignored: tracing must never take a bench run down.
+void dump_point_trace(const std::string& dir, const BenchConfig& config,
+                      const std::string& label, double wall_ms,
+                      const trace::Snapshot& delta) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = std::filesystem::path(dir) /
+                                       (config.experiment + "_" + safe_label(label) + ".json");
+    std::ofstream out(path);
+    if (!out) {
+        TSCHED_WARN << "trace-dir: could not open " << path.string();
+        return;
+    }
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
+    out << "{\"experiment\": \"" << config.experiment << "\", \"label\": \"" << label
+        << "\", \"wall_ms\": " << wall << ", \"trace\": " << trace::to_json(delta) << "}\n";
+    if (!out) TSCHED_WARN << "trace-dir: write failed for " << path.string();
+}
+
 const RunningStats& pick(const SchedulerAggregate& agg, Metric metric) {
     switch (metric) {
         case Metric::kSlr: return agg.slr;
@@ -100,8 +138,21 @@ std::vector<PointResult> run_sweep(const BenchConfig& config,
                           << analysis::render_text(diags, 16);
             }
         }
-        results.push_back(run_point(points[i].params, schedulers, config.trials,
-                                    mix_seed(config.seed, i)));
+        if (config.trace_dir.empty()) {
+            results.push_back(run_point(points[i].params, schedulers, config.trials,
+                                        mix_seed(config.seed, i)));
+        } else {
+            const trace::Snapshot before = trace::registry().snapshot();
+            double wall_ms = 0.0;
+            {
+                const Stopwatch::Scoped timer(wall_ms);
+                results.push_back(run_point(points[i].params, schedulers, config.trials,
+                                            mix_seed(config.seed, i)));
+            }
+            const trace::Snapshot after = trace::registry().snapshot();
+            dump_point_trace(config.trace_dir, config, points[i].label, wall_ms,
+                             trace::snapshot_delta(before, after));
+        }
         invalid += results.back().invalid_schedules;
     }
 

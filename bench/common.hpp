@@ -9,6 +9,9 @@
 //   --csv=PATH       also write the table as CSV
 //   --lint           audit each point's first instance against its requested
 //                    CCR/beta/avg-exec (analysis::lint_problem) on stderr
+//   --trace-dir=DIR  write one JSON file per sweep point with the point's
+//                    wall time and trace counter/span deltas (requires a
+//                    TSCHED_TRACE=ON build to be non-empty)
 #pragma once
 
 #include <cstdint>
@@ -42,9 +45,11 @@ struct BenchConfig {
     std::uint64_t seed = 2007;
     std::string csv_path;                  ///< empty = no CSV
     bool lint = false;                     ///< run instance lints per point (--lint)
+    std::string trace_dir;                 ///< empty = no per-point trace dumps
 };
 
-/// Apply --trials/--seed/--algos/--csv/--lint overrides to a config.
+/// Apply --trials/--seed/--algos/--csv/--lint/--trace-dir overrides to a
+/// config.
 void apply_common_flags(BenchConfig& config, const Args& args);
 
 /// Print the experiment banner (id, title, parameters).

@@ -8,6 +8,8 @@
 #include "graph/algorithms.hpp"
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
+#include "trace/decision.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
@@ -41,11 +43,13 @@ void duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t m
             if (pl.proc == p && pl.finish <= worst + kEps) local = true;
         }
         if (local) return;
+        TSCHED_COUNT("duplication_attempts");
         const double u_ready = trial.data_ready(binding, p);
         const double u_cost = problem.exec_time(binding, p);
         const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps, true);
         if (!slot) return;
         trial.place_duplicate_at(binding, p, *slot);
+        TSCHED_COUNT("duplication_accepted");
         if (trial.data_ready(v, p) >= ready - kEps) return;
     }
 }
@@ -97,20 +101,40 @@ std::string IlsScheduler::name() const {
     return n;
 }
 
-Schedule IlsScheduler::schedule(const Problem& problem) const {
+Schedule IlsScheduler::schedule(const Problem& problem) const { return run(problem, nullptr); }
+
+Schedule IlsScheduler::schedule_traced(const Problem& problem, trace::TraceSink* sink) const {
+    return run(problem, sink);
+}
+
+Schedule IlsScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
+    TSCHED_SPAN("sched/ils");
     // Greedy-EFT pass (mean upward rank, plain EFT selection): the baseline
     // mode ILS can always fall back on.
-    Schedule greedy = run_pass(problem, /*use_oct=*/false);
-    if (!config_.lookahead) return greedy;
+    if (sink != nullptr) sink->begin_pass("greedy");
+    Schedule greedy = run_pass(problem, /*use_oct=*/false, sink);
+    if (!config_.lookahead) {
+        if (sink != nullptr) sink->choose_pass("greedy");
+        return greedy;
+    }
     // Downstream-aware pass; keep whichever schedule is shorter.  The
     // dual-mode structure makes ILS never worse than its own HEFT-equivalent
     // mode on any instance while capturing the OCT mode's wins on
     // communication-dominated graphs.
-    Schedule aware = run_pass(problem, /*use_oct=*/true);
-    return aware.makespan() <= greedy.makespan() ? std::move(aware) : std::move(greedy);
+    if (sink != nullptr) sink->begin_pass("oct");
+    Schedule aware = run_pass(problem, /*use_oct=*/true, sink);
+    if (aware.makespan() <= greedy.makespan()) {
+        TSCHED_COUNT("dual_mode_winner_oct");
+        if (sink != nullptr) sink->choose_pass("oct");
+        return aware;
+    }
+    TSCHED_COUNT("dual_mode_winner_greedy");
+    if (sink != nullptr) sink->choose_pass("greedy");
+    return greedy;
 }
 
-Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct) const {
+Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
+                                trace::TraceSink* sink) const {
     const std::size_t procs = problem.num_procs();
     // The greedy pass uses HEFT's mean rank so that it reproduces classic
     // behaviour exactly; the OCT pass uses the variance-aware rank.
@@ -148,6 +172,7 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct) const {
                                                 : std::min(config_.lookahead_k, cand.size()))
                     : 1;
 
+        trace::DecisionRecord rec;
         std::size_t best_pi = cand[0];
         double best_score = kInf;
         double best_eft = kInf;
@@ -155,9 +180,8 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct) const {
         for (std::size_t i = 0; i < k; ++i) {
             const std::size_t pi = cand[i];
             const auto p = static_cast<ProcId>(pi);
-            const double score =
-                use_oct ? eft_of[pi] + oct[static_cast<std::size_t>(v) * procs + pi]
-                        : eft_of[pi];
+            const double bias = use_oct ? oct[static_cast<std::size_t>(v) * procs + pi] : 0.0;
+            const double score = eft_of[pi] + bias;
             const double aff = affinity(builder, v, p);
             const bool better =
                 score < best_score - kEps ||
@@ -174,10 +198,36 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct) const {
             }
         }
 
+        if (sink != nullptr) {
+            // Every processor had its EFT measured; only the top-k carry an
+            // OCT bias in the selection, so only those show one here.
+            std::vector<bool> scored(procs, false);
+            for (std::size_t i = 0; i < k; ++i) scored[cand[i]] = true;
+            for (std::size_t pi = 0; pi < procs; ++pi) {
+                const auto p = static_cast<ProcId>(pi);
+                const double bias =
+                    (use_oct && scored[pi]) ? oct[static_cast<std::size_t>(v) * procs + pi]
+                                            : 0.0;
+                rec.candidates.push_back({p, eft_of[pi] - problem.exec_time(v, p), eft_of[pi],
+                                          bias, eft_of[pi] + bias});
+            }
+        }
+
         if (state_of[best_pi]) {
             builder = std::move(*state_of[best_pi]);
         }
-        builder.place(v, static_cast<ProcId>(best_pi), config_.insertion);
+        const Placement pl = builder.place(v, static_cast<ProcId>(best_pi), config_.insertion);
+        if (sink != nullptr) {
+            rec.task = v;
+            rec.rank = rank[static_cast<std::size_t>(v)];
+            rec.chosen = static_cast<ProcId>(best_pi);
+            rec.start = pl.start;
+            rec.finish = pl.finish;
+            rec.reason = use_oct ? "min EFT+OCT over top-k EFT candidates, ties by EFT "
+                                   "then predecessor affinity"
+                                 : "min EFT, ties by predecessor affinity";
+            sink->record(std::move(rec));
+        }
     }
     return std::move(builder).take();
 }

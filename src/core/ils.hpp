@@ -64,6 +64,12 @@ public:
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Schedule schedule(const Problem& problem) const override;
 
+    /// Decision tracing: records both passes (labelled "greedy" and "oct")
+    /// and announces the winning one via TraceSink::choose_pass, so the
+    /// trace explains exactly the schedule that was returned.
+    [[nodiscard]] Schedule schedule_traced(const Problem& problem,
+                                           trace::TraceSink* sink) const override;
+
     [[nodiscard]] const IlsConfig& config() const noexcept { return config_; }
 
     /// The ILS priority vector (exposed for tests: on homogeneous platforms
@@ -77,9 +83,13 @@ public:
     [[nodiscard]] static std::vector<double> optimistic_cost_table(const Problem& problem);
 
 private:
+    /// Shared body behind schedule()/schedule_traced().
+    [[nodiscard]] Schedule run(const Problem& problem, trace::TraceSink* sink) const;
+
     /// One list-scheduling pass; `use_oct` selects the downstream-aware
     /// mode (variance rank + EFT+OCT scoring) vs the greedy-EFT mode.
-    [[nodiscard]] Schedule run_pass(const Problem& problem, bool use_oct) const;
+    [[nodiscard]] Schedule run_pass(const Problem& problem, bool use_oct,
+                                    trace::TraceSink* sink) const;
 
     IlsConfig config_;
 };

@@ -27,9 +27,11 @@ PointResult run_point(const workload::InstanceParams& params,
     for (std::size_t t = 0; t < trials; ++t) {
         const Problem problem = workload::make_instance(params, mix_seed(base_seed, t));
         for (std::size_t s = 0; s < schedulers.size(); ++s) {
-            Stopwatch watch;
-            const Schedule schedule = schedulers[s]->schedule(problem);
-            const double elapsed_ms = watch.elapsed_ms();
+            double elapsed_ms = 0.0;
+            Schedule schedule = [&] {
+                const Stopwatch::Scoped timer(elapsed_ms);
+                return schedulers[s]->schedule(problem);
+            }();
 
             const ValidationResult valid = validate(schedule, problem);
             if (!valid) {

@@ -9,6 +9,8 @@
 #include "analysis/schedule_lints.hpp"
 #endif
 
+#include "trace/trace.hpp"
+
 namespace tsched {
 
 namespace {
@@ -62,14 +64,17 @@ double ScheduleBuilder::earliest_start(ProcId p, double ready, double duration,
     // Scan the gaps (including the leading one) for the first fit.
     double gap_start = 0.0;
     for (const Interval& iv : timeline) {
+        TSCHED_COUNT("insertion_probes");
         const double candidate = std::max(gap_start, ready);
         if (candidate + duration <= iv.start) return candidate;
         gap_start = iv.finish;
     }
+    TSCHED_COUNT("insertion_probes");
     return std::max(gap_start, ready);
 }
 
 double ScheduleBuilder::eft(TaskId v, ProcId p, bool insertion) const {
+    TSCHED_COUNT("eft_evaluations");
     const double ready = data_ready(v, p);
     if (!std::isfinite(ready)) return kInf;
     const double w = problem_->exec_time(v, p);

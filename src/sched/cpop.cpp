@@ -8,10 +8,19 @@
 
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
+#include "trace/decision.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
-Schedule CpopScheduler::schedule(const Problem& problem) const {
+Schedule CpopScheduler::schedule(const Problem& problem) const { return run(problem, nullptr); }
+
+Schedule CpopScheduler::schedule_traced(const Problem& problem, trace::TraceSink* sink) const {
+    return run(problem, sink);
+}
+
+Schedule CpopScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
+    TSCHED_SPAN("sched/cpop");
     const Dag& dag = problem.dag();
     const std::size_t n = problem.num_tasks();
     const auto ru = upward_rank(problem, RankCost::kMean);
@@ -75,19 +84,51 @@ Schedule CpopScheduler::schedule(const Problem& problem) const {
     while (!ready.empty()) {
         const TaskId v = ready.top();
         ready.pop();
+        trace::DecisionRecord rec;
         if (on_cp[static_cast<std::size_t>(v)]) {
-            builder.place(v, cp_proc, /*insertion=*/true);
+            const double eft = sink != nullptr ? builder.eft(v, cp_proc, true) : 0.0;
+            const Placement pl = builder.place(v, cp_proc, /*insertion=*/true);
+            if (sink != nullptr) {
+                rec.candidates.push_back(
+                    {cp_proc, eft - problem.exec_time(v, cp_proc), eft, 0.0, eft});
+                rec.reason = "critical-path task, pinned to CP processor P" +
+                             std::to_string(cp_proc);
+                rec.chosen = cp_proc;
+                rec.start = pl.start;
+                rec.finish = pl.finish;
+            }
         } else {
             ProcId best_proc = 0;
             double best_eft = builder.eft(v, 0, true);
+            if (sink != nullptr) {
+                rec.candidates.push_back(
+                    {0, best_eft - problem.exec_time(v, 0), best_eft, 0.0, best_eft});
+            }
             for (std::size_t p = 1; p < problem.num_procs(); ++p) {
                 const double candidate = builder.eft(v, static_cast<ProcId>(p), true);
+                if (sink != nullptr) {
+                    rec.candidates.push_back(
+                        {static_cast<ProcId>(p),
+                         candidate - problem.exec_time(v, static_cast<ProcId>(p)), candidate,
+                         0.0, candidate});
+                }
                 if (candidate < best_eft) {
                     best_eft = candidate;
                     best_proc = static_cast<ProcId>(p);
                 }
             }
-            builder.place(v, best_proc, true);
+            const Placement pl = builder.place(v, best_proc, true);
+            if (sink != nullptr) {
+                rec.reason = "min EFT (insertion)";
+                rec.chosen = best_proc;
+                rec.start = pl.start;
+                rec.finish = pl.finish;
+            }
+        }
+        if (sink != nullptr) {
+            rec.task = v;
+            rec.rank = priority[static_cast<std::size_t>(v)];
+            sink->record(std::move(rec));
         }
         for (const AdjEdge& e : dag.successors(v)) {
             if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push(e.task);

@@ -6,6 +6,7 @@
 
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
@@ -48,6 +49,7 @@ std::size_t duplicate_while_improving(ScheduleBuilder& trial, TaskId v, ProcId p
         if (ready <= 0.0) break;
         const TaskId u = binding_remote_pred(trial, v, p);
         if (u == kInvalidTask) break;
+        TSCHED_COUNT("duplication_attempts");
         const double u_ready = trial.data_ready(u, p);
         const double u_cost = problem.exec_time(u, p);
         // The copy must finish strictly before the current arrival to help.
@@ -55,6 +57,7 @@ std::size_t duplicate_while_improving(ScheduleBuilder& trial, TaskId v, ProcId p
                                                  /*insertion=*/true);
         if (!slot) break;
         trial.place_duplicate_at(u, p, *slot);
+        TSCHED_COUNT("duplication_accepted");
         ++dups;
         if (trial.data_ready(v, p) >= ready - kEps) break;  // no progress
     }
@@ -74,12 +77,14 @@ void duplicate_chain(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max
         if (ready <= 0.0) break;
         const TaskId u = binding_remote_pred(trial, v, p);
         if (u == kInvalidTask) break;
+        TSCHED_COUNT("duplication_attempts");
         if (depth > 0) duplicate_chain(trial, u, p, max_dups, depth - 1);
         const double u_ready = trial.data_ready(u, p);
         const double u_cost = problem.exec_time(u, p);
         const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps, true);
         if (!slot) break;
         trial.place_duplicate_at(u, p, *slot);
+        TSCHED_COUNT("duplication_accepted");
         ++dups;
         if (trial.data_ready(v, p) >= ready - kEps) break;
     }

@@ -1,6 +1,8 @@
 #include "sched/heft.hpp"
 
 #include "sched/builder.hpp"
+#include "trace/decision.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
@@ -11,20 +13,46 @@ std::string HeftScheduler::name() const {
     return n;
 }
 
-Schedule HeftScheduler::schedule(const Problem& problem) const {
+Schedule HeftScheduler::schedule(const Problem& problem) const { return run(problem, nullptr); }
+
+Schedule HeftScheduler::schedule_traced(const Problem& problem, trace::TraceSink* sink) const {
+    return run(problem, sink);
+}
+
+Schedule HeftScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
+    TSCHED_SPAN("sched/heft");
     ScheduleBuilder builder(problem);
     const auto ranks = upward_rank(problem, rank_cost_);
     for (const TaskId v : order_by_decreasing(ranks)) {
+        trace::DecisionRecord rec;
         ProcId best_proc = 0;
         double best_eft = builder.eft(v, 0, insertion_);
+        if (sink != nullptr) {
+            rec.candidates.push_back(
+                {0, best_eft - problem.exec_time(v, 0), best_eft, 0.0, best_eft});
+        }
         for (std::size_t p = 1; p < problem.num_procs(); ++p) {
             const double candidate = builder.eft(v, static_cast<ProcId>(p), insertion_);
+            if (sink != nullptr) {
+                rec.candidates.push_back({static_cast<ProcId>(p),
+                                          candidate - problem.exec_time(v, static_cast<ProcId>(p)),
+                                          candidate, 0.0, candidate});
+            }
             if (candidate < best_eft) {
                 best_eft = candidate;
                 best_proc = static_cast<ProcId>(p);
             }
         }
-        builder.place(v, best_proc, insertion_);
+        const Placement pl = builder.place(v, best_proc, insertion_);
+        if (sink != nullptr) {
+            rec.task = v;
+            rec.rank = ranks[static_cast<std::size_t>(v)];
+            rec.chosen = best_proc;
+            rec.start = pl.start;
+            rec.finish = pl.finish;
+            rec.reason = insertion_ ? "min EFT (insertion)" : "min EFT (append)";
+            sink->record(std::move(rec));
+        }
     }
     return std::move(builder).take();
 }

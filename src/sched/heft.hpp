@@ -20,8 +20,12 @@ public:
 
     [[nodiscard]] std::string name() const override;
     [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+    [[nodiscard]] Schedule schedule_traced(const Problem& problem,
+                                           trace::TraceSink* sink) const override;
 
 private:
+    [[nodiscard]] Schedule run(const Problem& problem, trace::TraceSink* sink) const;
+
     RankCost rank_cost_;
     bool insertion_;
 };

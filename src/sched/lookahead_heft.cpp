@@ -5,16 +5,29 @@
 
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
+#include "trace/decision.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
 Schedule LookaheadHeftScheduler::schedule(const Problem& problem) const {
+    return run(problem, nullptr);
+}
+
+Schedule LookaheadHeftScheduler::schedule_traced(const Problem& problem,
+                                                 trace::TraceSink* sink) const {
+    return run(problem, sink);
+}
+
+Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
+    TSCHED_SPAN("sched/lheft");
     const Dag& dag = problem.dag();
     const std::size_t procs = problem.num_procs();
     const auto ranks = upward_rank(problem, RankCost::kMean);
 
     ScheduleBuilder builder(problem);
     for (const TaskId v : order_by_decreasing(ranks)) {
+        trace::DecisionRecord rec;
         ProcId best_proc = 0;
         double best_score = std::numeric_limits<double>::infinity();
         double best_eft = std::numeric_limits<double>::infinity();
@@ -37,6 +50,12 @@ Schedule LookaheadHeftScheduler::schedule(const Problem& problem) const {
                 }
                 score = std::max(score, child_best);
             }
+            if (sink != nullptr) {
+                // The lookahead score (worst child EFT after tentatively
+                // committing v here) is what the selection minimises; the
+                // bias column shows how much of it comes from the children.
+                rec.candidates.push_back({p, pl.start, pl.finish, score - pl.finish, score});
+            }
             if (score < best_score ||
                 (score == best_score && pl.finish < best_eft)) {
                 best_score = score;
@@ -44,7 +63,16 @@ Schedule LookaheadHeftScheduler::schedule(const Problem& problem) const {
                 best_proc = p;
             }
         }
-        builder.place(v, best_proc, true);
+        const Placement pl = builder.place(v, best_proc, true);
+        if (sink != nullptr) {
+            rec.task = v;
+            rec.rank = ranks[static_cast<std::size_t>(v)];
+            rec.chosen = best_proc;
+            rec.start = pl.start;
+            rec.finish = pl.finish;
+            rec.reason = "min worst-child lookahead EFT, ties by own EFT";
+            sink->record(std::move(rec));
+        }
     }
     return std::move(builder).take();
 }

@@ -16,6 +16,11 @@ class LookaheadHeftScheduler final : public Scheduler {
 public:
     [[nodiscard]] std::string name() const override { return "lheft"; }
     [[nodiscard]] Schedule schedule(const Problem& problem) const override;
+    [[nodiscard]] Schedule schedule_traced(const Problem& problem,
+                                           trace::TraceSink* sink) const override;
+
+private:
+    [[nodiscard]] Schedule run(const Problem& problem, trace::TraceSink* sink) const;
 };
 
 }  // namespace tsched

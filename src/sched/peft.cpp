@@ -6,10 +6,19 @@
 
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
+#include "trace/decision.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
-Schedule PeftScheduler::schedule(const Problem& problem) const {
+Schedule PeftScheduler::schedule(const Problem& problem) const { return run(problem, nullptr); }
+
+Schedule PeftScheduler::schedule_traced(const Problem& problem, trace::TraceSink* sink) const {
+    return run(problem, sink);
+}
+
+Schedule PeftScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
+    TSCHED_SPAN("sched/peft");
     const Dag& dag = problem.dag();
     const std::size_t n = problem.num_tasks();
     const std::size_t procs = problem.num_procs();
@@ -41,17 +50,33 @@ Schedule PeftScheduler::schedule(const Problem& problem) const {
         const TaskId v = ready[best];
         ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
 
+        trace::DecisionRecord rec;
         ProcId best_proc = 0;
         double best_score = std::numeric_limits<double>::infinity();
         for (std::size_t p = 0; p < procs; ++p) {
-            const double score = builder.eft(v, static_cast<ProcId>(p), true) +
-                                 oct[static_cast<std::size_t>(v) * procs + p];
+            const double eft = builder.eft(v, static_cast<ProcId>(p), true);
+            const double bias = oct[static_cast<std::size_t>(v) * procs + p];
+            const double score = eft + bias;
+            if (sink != nullptr) {
+                rec.candidates.push_back({static_cast<ProcId>(p),
+                                          eft - problem.exec_time(v, static_cast<ProcId>(p)),
+                                          eft, bias, score});
+            }
             if (score < best_score) {
                 best_score = score;
                 best_proc = static_cast<ProcId>(p);
             }
         }
-        builder.place(v, best_proc, true);
+        const Placement pl = builder.place(v, best_proc, true);
+        if (sink != nullptr) {
+            rec.task = v;
+            rec.rank = rank[static_cast<std::size_t>(v)];
+            rec.chosen = best_proc;
+            rec.start = pl.start;
+            rec.finish = pl.finish;
+            rec.reason = "min EFT+OCT (ready-list by mean OCT rank)";
+            sink->record(std::move(rec));
+        }
         for (const AdjEdge& e : dag.successors(v)) {
             if (--pending[static_cast<std::size_t>(e.task)] == 0) ready.push_back(e.task);
         }

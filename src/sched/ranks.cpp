@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/algorithms.hpp"
+#include "trace/trace.hpp"
 
 namespace tsched {
 
@@ -30,6 +31,7 @@ double scalar_cost(const Problem& problem, TaskId v, RankCost rc) {
 }
 
 std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
+    TSCHED_SPAN("rank/upward");
     const Dag& dag = problem.dag();
     std::vector<double> rank(dag.num_tasks(), 0.0);
     const auto order = topological_order(dag);
@@ -83,9 +85,11 @@ std::vector<double> alap_start(const Problem& problem, RankCost rc) {
 }
 
 std::vector<double> optimistic_cost_table(const Problem& problem) {
+    TSCHED_SPAN("rank/oct");
     const Dag& dag = problem.dag();
     const std::size_t n = dag.num_tasks();
     const std::size_t procs = problem.num_procs();
+    TSCHED_COUNT_ADD("oct_cells", n * procs);
     const LinkModel& links = problem.machine().links();
     std::vector<double> oct(n * procs, 0.0);
     const auto order = topological_order(dag);

@@ -12,6 +12,10 @@
 #include "platform/problem.hpp"
 #include "sched/schedule.hpp"
 
+namespace tsched::trace {
+class TraceSink;
+}  // namespace tsched::trace
+
 namespace tsched {
 
 class Scheduler {
@@ -24,6 +28,18 @@ public:
     /// Compute a complete static schedule for the problem.  Postcondition
     /// (checked by tests, not here): validate(result, problem) succeeds.
     [[nodiscard]] virtual Schedule schedule(const Problem& problem) const = 0;
+
+    /// Like schedule(), additionally streaming one trace::DecisionRecord per
+    /// placement decision into `sink` (see trace/decision.hpp) so the result
+    /// can be explained after the fact.  `sink` may be null.  The default
+    /// ignores the sink; the instrumented schedulers (HEFT, CPOP, PEFT,
+    /// lookahead-HEFT, ILS/ILS-D) override.  Both entry points must return
+    /// the identical schedule for the same problem.
+    [[nodiscard]] virtual Schedule schedule_traced(const Problem& problem,
+                                                   trace::TraceSink* sink) const {
+        static_cast<void>(sink);
+        return schedule(problem);
+    }
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/placement_table.hpp"
+#include "trace/trace.hpp"
+
 namespace tsched::sim {
 
 namespace {
@@ -19,6 +22,7 @@ struct PlanStats {
     std::size_t transfers = 0;
     double transfer_time = 0.0;
     double max_wait = 0.0;
+    std::vector<Transfer> log;
 };
 
 /// Plan (and with `commit` also book) the input transfers and start time of
@@ -61,6 +65,7 @@ double plan_start(const Problem& problem, const std::vector<std::vector<std::pai
                 ++stats->transfers;
                 stats->transfer_time += dur;
                 stats->max_wait = std::max(stats->max_wait, start - best_finish);
+                stats->log.push_back({e.task, task, best_src, q, start, arrival, e.data});
             }
         }
         ready = std::max(ready, arrival);
@@ -70,22 +75,13 @@ double plan_start(const Problem& problem, const std::vector<std::vector<std::pai
 }  // namespace
 
 ContentionResult simulate_contended(const Schedule& schedule, const Problem& problem) {
+    TSCHED_SPAN("sim/contended");
     const std::size_t procs = schedule.num_procs();
 
-    // Per-processor planned run order (same decision extraction as
-    // sim::simulate).
-    std::vector<std::vector<Placement>> order(procs);
-    std::size_t total = 0;
-    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
-        if (schedule.placements(static_cast<TaskId>(v)).empty()) {
-            throw std::invalid_argument("simulate_contended: task " + std::to_string(v) +
-                                        " has no placement");
-        }
-    }
-    for (std::size_t p = 0; p < procs; ++p) {
-        order[p] = schedule.processor_timeline(static_cast<ProcId>(p));
-        total += order[p].size();
-    }
+    // Same decision extraction as sim::simulate: the canonical placement
+    // enumeration plus each processor's planned run order.
+    const PlacementTable table = build_placement_table(schedule);
+    const std::size_t total = table.entries.size();
 
     std::vector<std::size_t> next(procs, 0);
     std::vector<double> proc_free(procs, 0.0);
@@ -93,6 +89,7 @@ ContentionResult simulate_contended(const Schedule& schedule, const Problem& pro
     std::vector<std::vector<std::pair<double, ProcId>>> done(schedule.num_tasks());
 
     ContentionResult result;
+    result.finish_times.assign(total, kInf);
     PlanStats stats;
     std::size_t completed = 0;
     while (completed < total) {
@@ -101,11 +98,12 @@ ContentionResult simulate_contended(const Schedule& schedule, const Problem& pro
         std::size_t best_proc = procs;
         double best_start = kInf;
         for (std::size_t p = 0; p < procs; ++p) {
-            if (next[p] >= order[p].size()) continue;
-            const Placement& head = order[p][next[p]];
+            if (next[p] >= table.proc_order[p].size()) continue;
+            const auto& head = table.entries[table.proc_order[p][next[p]]];
             Ports scratch = ports;
-            const double start = plan_start(problem, done, head.task, static_cast<ProcId>(p),
-                                            proc_free[p], scratch, false, nullptr);
+            const double start = plan_start(problem, done, head.planned.task,
+                                            static_cast<ProcId>(p), proc_free[p], scratch,
+                                            false, nullptr);
             if (start < best_start) {
                 best_start = start;
                 best_proc = p;
@@ -116,14 +114,15 @@ ContentionResult simulate_contended(const Schedule& schedule, const Problem& pro
                 "simulate_contended: schedule deadlocked (head placements wait on tasks "
                 "queued behind them)");
         }
-        const Placement& head = order[best_proc][next[best_proc]];
+        const auto& head = table.entries[table.proc_order[best_proc][next[best_proc]]];
         const double start =
-            plan_start(problem, done, head.task, static_cast<ProcId>(best_proc),
+            plan_start(problem, done, head.planned.task, static_cast<ProcId>(best_proc),
                        proc_free[best_proc], ports, true, &stats);
         const double finish =
-            start + problem.exec_time(head.task, static_cast<ProcId>(best_proc));
+            start + problem.exec_time(head.planned.task, static_cast<ProcId>(best_proc));
+        result.finish_times[head.global_index] = finish;
         proc_free[best_proc] = finish;
-        done[static_cast<std::size_t>(head.task)].push_back(
+        done[static_cast<std::size_t>(head.planned.task)].push_back(
             {finish, static_cast<ProcId>(best_proc)});
         ++next[best_proc];
         ++completed;
@@ -132,6 +131,8 @@ ContentionResult simulate_contended(const Schedule& schedule, const Problem& pro
     result.transfers = stats.transfers;
     result.transfer_time_total = stats.transfer_time;
     result.max_port_wait = stats.max_wait;
+    result.transfer_log = std::move(stats.log);
+    TSCHED_COUNT_ADD("sim_transfers", result.transfers);
     return result;
 }
 

@@ -13,17 +13,38 @@
 // recomputation, should degrade least.
 #pragma once
 
+#include <vector>
+
 #include "platform/problem.hpp"
 #include "sched/schedule.hpp"
 #include "sim/event_sim.hpp"
 
 namespace tsched::sim {
 
+/// One committed cross-processor transfer under the one-port model.
+struct Transfer {
+    TaskId producer = kInvalidTask;
+    TaskId consumer = kInvalidTask;
+    ProcId from = kInvalidProc;
+    ProcId to = kInvalidProc;
+    double start = 0.0;   ///< moment both ports engage (after queueing)
+    double finish = 0.0;  ///< arrival at the receiver
+    double data = 0.0;
+
+    [[nodiscard]] double duration() const noexcept { return finish - start; }
+};
+
 struct ContentionResult {
     double makespan = 0.0;
     std::size_t transfers = 0;        ///< cross-processor transfers performed
     double transfer_time_total = 0.0; ///< total port-busy time
     double max_port_wait = 0.0;       ///< worst single transfer queueing delay
+    /// Re-derived finish time per placement, in the same order as
+    /// SimResult::finish_times (per task, insertion order).
+    std::vector<double> finish_times;
+    /// Every committed transfer in execution order (the trace exporter draws
+    /// these as the communication tracks).
+    std::vector<Transfer> transfer_log;
 };
 
 /// Execute the schedule's decisions under the one-port contention model.

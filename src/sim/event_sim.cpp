@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/placement_table.hpp"
+#include "trace/trace.hpp"
+
 #ifdef TSCHED_DEBUG_CHECKS
 #include "analysis/schedule_lints.hpp"
 #endif
@@ -14,49 +17,6 @@ namespace tsched::sim {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Global placement table: task-major, insertion order per task (the order
-/// SimResult::finish_times uses), plus each processor's planned run order.
-struct PlacementTable {
-    struct Entry {
-        Placement planned;
-        std::size_t global_index = 0;
-    };
-    std::vector<Entry> entries;                       // global enumeration
-    std::vector<std::size_t> task_first;              // first entry of task v
-    std::vector<std::vector<std::size_t>> proc_order; // per proc: entry ids by planned start
-};
-
-PlacementTable build_table(const Schedule& schedule) {
-    PlacementTable table;
-    table.task_first.assign(schedule.num_tasks() + 1, 0);
-    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
-        const auto places = schedule.placements(static_cast<TaskId>(v));
-        if (places.empty()) {
-            throw std::invalid_argument("simulate: task " + std::to_string(v) +
-                                        " has no placement");
-        }
-        table.task_first[v] = table.entries.size();
-        for (const Placement& pl : places) {
-            table.entries.push_back({pl, table.entries.size()});
-        }
-    }
-    table.task_first[schedule.num_tasks()] = table.entries.size();
-
-    table.proc_order.assign(schedule.num_procs(), {});
-    for (const auto& e : table.entries) {
-        table.proc_order[static_cast<std::size_t>(e.planned.proc)].push_back(e.global_index);
-    }
-    for (auto& order : table.proc_order) {
-        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-            const Placement& pa = table.entries[a].planned;
-            const Placement& pb = table.entries[b].planned;
-            if (pa.start != pb.start) return pa.start < pb.start;
-            return pa.task < pb.task;
-        });
-    }
-    return table;
-}
-
 /// Event-driven core shared by the exact and noisy runs.  `duration(e)` is
 /// the execution time of entry e on its processor; `comm(v, pred_idx, from,
 /// to)` the communication time of v's pred_idx-th input edge between the
@@ -65,8 +25,9 @@ template <typename DurationFn, typename CommFn>
 SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& duration,
               CommFn&& comm) {
     const Dag& dag = problem.dag();
-    const PlacementTable table = build_table(schedule);
+    const PlacementTable table = build_placement_table(schedule);
     const std::size_t total = table.entries.size();
+    TSCHED_COUNT_ADD("sim_events", total);
     const std::size_t procs = schedule.num_procs();
 
     SimResult result;
@@ -156,6 +117,7 @@ SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& dur
 }  // namespace
 
 SimResult simulate(const Schedule& schedule, const Problem& problem) {
+    TSCHED_SPAN("sim/simulate");
 #ifdef TSCHED_DEBUG_CHECKS
     // Reject invalid inputs up front with coded diagnostics; the simulator's
     // own structural checks only catch missing placements and deadlocks.
@@ -175,6 +137,7 @@ SimResult simulate(const Schedule& schedule, const Problem& problem) {
 
 SimResult simulate_noisy(const Schedule& schedule, const Problem& problem, double noise,
                          Rng& rng) {
+    TSCHED_SPAN("sim/simulate_noisy");
     if (!(noise >= 0.0 && noise < 1.0)) {
         throw std::invalid_argument("simulate_noisy: noise must be in [0, 1)");
     }

@@ -1,0 +1,40 @@
+#include "sim/placement_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tsched::sim {
+
+PlacementTable build_placement_table(const Schedule& schedule) {
+    PlacementTable table;
+    table.task_first.assign(schedule.num_tasks() + 1, 0);
+    for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
+        const auto places = schedule.placements(static_cast<TaskId>(v));
+        if (places.empty()) {
+            throw std::invalid_argument("simulate: task " + std::to_string(v) +
+                                        " has no placement");
+        }
+        table.task_first[v] = table.entries.size();
+        for (const Placement& pl : places) {
+            table.entries.push_back({pl, table.entries.size()});
+        }
+    }
+    table.task_first[schedule.num_tasks()] = table.entries.size();
+
+    table.proc_order.assign(schedule.num_procs(), {});
+    for (const auto& e : table.entries) {
+        table.proc_order[static_cast<std::size_t>(e.planned.proc)].push_back(e.global_index);
+    }
+    for (auto& order : table.proc_order) {
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            const Placement& pa = table.entries[a].planned;
+            const Placement& pb = table.entries[b].planned;
+            if (pa.start != pb.start) return pa.start < pb.start;
+            return pa.task < pb.task;
+        });
+    }
+    return table;
+}
+
+}  // namespace tsched::sim

@@ -1,0 +1,36 @@
+// Canonical enumeration of a schedule's placements, shared by the
+// simulators and the trace exporters.
+//
+// Entries are task-major in each task's insertion order (primary placement
+// first, duplicates after) — the order SimResult::finish_times and
+// ContentionResult::finish_times use — plus each processor's planned run
+// order (by planned start, ties by task id, so replays are deterministic).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace tsched::sim {
+
+struct PlacementTable {
+    struct Entry {
+        Placement planned;
+        std::size_t global_index = 0;
+    };
+    std::vector<Entry> entries;                        ///< global enumeration
+    std::vector<std::size_t> task_first;               ///< first entry of task v
+                                                       ///< (num_tasks + 1 sentinel)
+    std::vector<std::vector<std::size_t>> proc_order;  ///< per proc: entry ids
+                                                       ///< by planned start
+
+    [[nodiscard]] std::size_t num_placements_of(std::size_t task) const {
+        return task_first[task + 1] - task_first[task];
+    }
+};
+
+/// Throws std::invalid_argument when some task has no placement.
+[[nodiscard]] PlacementTable build_placement_table(const Schedule& schedule);
+
+}  // namespace tsched::sim

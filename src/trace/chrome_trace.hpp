@@ -1,0 +1,43 @@
+// Chrome trace_event JSON export — load a schedule (or a simulator replay of
+// one) into chrome://tracing or https://ui.perfetto.dev and scrub through it.
+//
+// The export draws one "execution" track per processor (pid 0, tid = proc,
+// one complete event per placement, duplicates flagged in args) and, when
+// the problem is available, one "communication" track per destination
+// processor (pid 1) with a complete event per cross-processor transfer.
+// Model time units are emitted directly as trace-event microseconds — the
+// absolute scale is arbitrary, only ratios matter.
+//
+// Three time bases:
+//   kPlanned    — the schedule's own start/finish times, transfers at their
+//                 nominal (contention-free) windows;
+//   kSimulated  — times re-derived by sim::simulate() (identical to planned
+//                 for a valid schedule; differs when debugging one that
+//                 is not);
+//   kContended  — times from sim::simulate_contended(): execution shifts
+//                 and the transfer windows are the one-port model's actual
+//                 port reservations.
+#pragma once
+
+#include <string>
+
+#include "platform/problem.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched::trace {
+
+enum class TraceMode { kPlanned, kSimulated, kContended };
+
+[[nodiscard]] const char* trace_mode_name(TraceMode mode) noexcept;
+
+/// Execution tracks only — all that can be drawn without the task graph.
+[[nodiscard]] std::string chrome_trace_json(const Schedule& schedule);
+
+/// Execution + communication tracks under the requested time base.
+/// kSimulated/kContended run the corresponding simulator internally and may
+/// throw what it throws (std::invalid_argument on structurally broken
+/// schedules).
+[[nodiscard]] std::string chrome_trace_json(const Schedule& schedule, const Problem& problem,
+                                            TraceMode mode = TraceMode::kPlanned);
+
+}  // namespace tsched::trace

@@ -1,0 +1,133 @@
+#include "trace/counters.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tsched::trace {
+
+namespace {
+
+template <typename Vec>
+auto& find_or_create(Vec& entries, std::string_view name) {
+    for (auto& [key, value] : entries) {
+        if (key == name) return *value;
+    }
+    entries.emplace_back(std::string(name),
+                         std::make_unique<typename Vec::value_type::second_type::element_type>());
+    return *entries.back().second;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    return find_or_create(counters_, name);
+}
+
+SpanTimer& Registry::span(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    return find_or_create(spans_, name);
+}
+
+Snapshot Registry::snapshot() const {
+    std::lock_guard lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+        snap.counters.push_back({name, counter->value()});
+    }
+    snap.spans.reserve(spans_.size());
+    for (const auto& [name, span] : spans_) {
+        snap.spans.push_back({name, span->count(), span->total_ns()});
+    }
+    return snap;
+}
+
+void Registry::reset() {
+    std::lock_guard lock(mutex_);
+    for (auto& [name, counter] : counters_) counter->reset();
+    for (auto& [name, span] : spans_) span->reset();
+}
+
+Registry& registry() {
+    static Registry instance;
+    return instance;
+}
+
+Snapshot snapshot_delta(const Snapshot& before, const Snapshot& after) {
+    Snapshot delta;
+    for (const auto& sample : after.counters) {
+        std::uint64_t base = 0;
+        for (const auto& prior : before.counters) {
+            if (prior.name == sample.name) {
+                base = prior.value;
+                break;
+            }
+        }
+        if (sample.value > base) delta.counters.push_back({sample.name, sample.value - base});
+    }
+    for (const auto& sample : after.spans) {
+        std::uint64_t base_count = 0;
+        std::uint64_t base_ns = 0;
+        for (const auto& prior : before.spans) {
+            if (prior.name == sample.name) {
+                base_count = prior.count;
+                base_ns = prior.total_ns;
+                break;
+            }
+        }
+        if (sample.count > base_count) {
+            delta.spans.push_back(
+                {sample.name, sample.count - base_count, sample.total_ns - base_ns});
+        }
+    }
+    return delta;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+    std::string out = "{\"counters\":{";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        if (i) out += ',';
+        append_json_string(out, snapshot.counters[i].name);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ":%" PRIu64,
+                      static_cast<std::uint64_t>(snapshot.counters[i].value));
+        out += buf;
+    }
+    out += "},\"spans\":{";
+    for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+        if (i) out += ',';
+        append_json_string(out, snapshot.spans[i].name);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), ":{\"count\":%" PRIu64 ",\"total_ms\":%.6f}",
+                      static_cast<std::uint64_t>(snapshot.spans[i].count),
+                      static_cast<double>(snapshot.spans[i].total_ns) / 1e6);
+        out += buf;
+    }
+    out += "}}";
+    return out;
+}
+
+}  // namespace tsched::trace

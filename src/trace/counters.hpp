@@ -1,0 +1,109 @@
+// Counter and span-timer registry — the quantitative half of the trace
+// subsystem (see trace/trace.hpp for the macro front-end).
+//
+// Counters are named monotonic uint64 accumulators ("eft_evaluations",
+// "insertion_probes", ...); span timers aggregate wall-clock durations of
+// named phases ("rank/upward", "sim/simulate", ...).  Both live in one
+// process-wide registry so any layer — scheduler, simulator, bench harness —
+// can contribute without plumbing.  Counter *names are append-only*, like
+// the analysis subsystem's TS codes: downstream tooling may key on them.
+//
+// Hot-path cost: one relaxed atomic add per hit (the macro caches the
+// registry lookup in a function-local static).  Registration itself takes a
+// mutex and is thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsched::trace {
+
+class Counter {
+public:
+    void add(std::uint64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class SpanTimer {
+public:
+    void add(std::uint64_t ns) noexcept {
+        count_.fetch_add(1, std::memory_order_relaxed);
+        total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t total_ns() const noexcept {
+        return total_ns_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept {
+        count_.store(0, std::memory_order_relaxed);
+        total_ns_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> total_ns_{0};
+};
+
+struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct SpanSample {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+};
+
+/// A point-in-time copy of every registered counter and span timer, in
+/// registration order.
+struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<SpanSample> spans;
+};
+
+class Registry {
+public:
+    /// Find-or-create; the returned reference is stable for the process
+    /// lifetime (entries are never removed).
+    Counter& counter(std::string_view name);
+    SpanTimer& span(std::string_view name);
+
+    [[nodiscard]] Snapshot snapshot() const;
+
+    /// Zero every value.  Names stay registered (append-only).
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+    std::vector<std::pair<std::string, std::unique_ptr<SpanTimer>>> spans_;
+};
+
+/// The process-wide registry all macros record into.
+[[nodiscard]] Registry& registry();
+
+/// after - before, per name: the activity between two snapshots.  Names
+/// present only in `after` keep their full value; zero-valued entries are
+/// dropped so per-point dumps stay small.
+[[nodiscard]] Snapshot snapshot_delta(const Snapshot& before, const Snapshot& after);
+
+/// Render a snapshot as JSON:
+///   {"counters": {"name": value, ...},
+///    "spans": {"name": {"count": n, "total_ms": t}, ...}}
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+}  // namespace tsched::trace

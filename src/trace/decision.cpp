@@ -1,0 +1,93 @@
+#include "trace/decision.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tsched::trace {
+
+namespace {
+
+std::string fmt(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+void append_record_json(std::ostringstream& os, const DecisionRecord& r) {
+    os << "{\"task\":" << r.task << ",\"pass\":\"" << r.pass << "\",\"rank\":" << fmt(r.rank)
+       << ",\"chosen\":" << r.chosen << ",\"start\":" << fmt(r.start)
+       << ",\"finish\":" << fmt(r.finish) << ",\"reason\":\"" << r.reason
+       << "\",\"candidates\":[";
+    for (std::size_t i = 0; i < r.candidates.size(); ++i) {
+        const CandidateEval& c = r.candidates[i];
+        if (i) os << ',';
+        os << "{\"proc\":" << c.proc << ",\"est\":" << fmt(c.est) << ",\"eft\":" << fmt(c.eft)
+           << ",\"oct_bias\":" << fmt(c.oct_bias) << ",\"score\":" << fmt(c.score) << '}';
+    }
+    os << "]}";
+}
+
+}  // namespace
+
+void DecisionTrace::begin_pass(const std::string& pass) { current_pass_ = pass; }
+
+void DecisionTrace::choose_pass(const std::string& pass) { winning_pass_ = pass; }
+
+void DecisionTrace::record(DecisionRecord record) {
+    if (record.pass.empty()) record.pass = current_pass_;
+    records_.push_back(std::move(record));
+}
+
+std::vector<const DecisionRecord*> DecisionTrace::final_records() const {
+    std::vector<const DecisionRecord*> out;
+    out.reserve(records_.size());
+    for (const DecisionRecord& r : records_) {
+        if (r.pass == winning_pass_) out.push_back(&r);
+    }
+    return out;
+}
+
+const DecisionRecord* DecisionTrace::find(TaskId task) const {
+    for (const DecisionRecord& r : records_) {
+        if (r.task == task && r.pass == winning_pass_) return &r;
+    }
+    return nullptr;
+}
+
+std::string DecisionTrace::explain(TaskId task) const {
+    const DecisionRecord* r = find(task);
+    if (r == nullptr) {
+        return "task " + std::to_string(task) + ": no decision recorded\n";
+    }
+    std::ostringstream os;
+    os << "task " << r->task << " (rank " << fmt(r->rank);
+    if (!r->pass.empty()) os << ", pass " << r->pass;
+    os << "): chosen P" << r->chosen << " [start " << fmt(r->start) << ", finish "
+       << fmt(r->finish) << "] — " << r->reason << '\n';
+    for (const CandidateEval& c : r->candidates) {
+        os << (c.proc == r->chosen ? "  * " : "    ") << 'P' << c.proc << ": est " << fmt(c.est)
+           << "  eft " << fmt(c.eft);
+        if (c.oct_bias != 0.0) os << "  oct +" << fmt(c.oct_bias);
+        os << "  score " << fmt(c.score) << '\n';
+    }
+    return os.str();
+}
+
+std::string DecisionTrace::render_text() const {
+    std::string out;
+    for (const DecisionRecord* r : final_records()) out += explain(r->task);
+    return out;
+}
+
+std::string DecisionTrace::render_json() const {
+    std::ostringstream os;
+    os << "{\"winning_pass\":\"" << winning_pass_ << "\",\"decisions\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (i) os << ',';
+        append_record_json(os, records_[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace tsched::trace

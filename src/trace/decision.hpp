@@ -1,0 +1,104 @@
+// Structured decision tracing: *why* a scheduler placed each task where it
+// did.
+//
+// A list scheduler evaluates a candidate set (usually one entry per
+// processor) for every task and commits the winner.  With a TraceSink
+// threaded through Scheduler::schedule_traced(), each commit is recorded as
+// a DecisionRecord carrying the task's priority, the full candidate
+// evaluation (EST/EFT, any downstream bias such as PEFT/ILS's OCT term, and
+// the final selection score), the chosen processor, and a human-readable
+// reason.  Dual-pass schedulers (ILS's greedy + OCT modes) label records
+// with a pass name and announce the winning pass, so a trace always
+// identifies the records that produced the returned schedule.
+//
+// DecisionTrace is the standard in-memory sink with text ("explain") and
+// JSON renderers; tools/tsched_trace exposes it on the command line.
+// Sinks are driven from a single scheduler invocation and are not
+// thread-safe; use one sink per concurrent schedule() call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/link_model.hpp"  // ProcId (header-only use; no link dependency)
+
+namespace tsched::trace {
+
+/// One processor considered for a task.
+struct CandidateEval {
+    ProcId proc = kInvalidProc;
+    double est = 0.0;       ///< earliest start on this processor
+    double eft = 0.0;       ///< earliest finish on this processor
+    double oct_bias = 0.0;  ///< downstream bias added to the score (0 = none)
+    double score = 0.0;     ///< the quantity the scheduler minimised
+};
+
+/// One placement decision.
+struct DecisionRecord {
+    TaskId task = kInvalidTask;
+    double rank = 0.0;  ///< the task's priority when it was selected
+    std::vector<CandidateEval> candidates;
+    ProcId chosen = kInvalidProc;
+    double start = 0.0;   ///< committed start time
+    double finish = 0.0;  ///< committed finish time
+    std::string reason;   ///< e.g. "min EFT (insertion)"
+    std::string pass;     ///< filled by the sink from begin_pass()
+};
+
+/// Receiver interface threaded through Scheduler::schedule_traced().
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+
+    /// A multi-pass scheduler announces each pass before recording into it.
+    virtual void begin_pass(const std::string& pass) { static_cast<void>(pass); }
+
+    /// Announce which pass produced the returned schedule (after the fact).
+    virtual void choose_pass(const std::string& pass) { static_cast<void>(pass); }
+
+    /// One committed placement decision.
+    virtual void record(DecisionRecord record) = 0;
+};
+
+/// In-memory decision trace with explain/text/JSON renderers.
+class DecisionTrace final : public TraceSink {
+public:
+    void begin_pass(const std::string& pass) override;
+    void choose_pass(const std::string& pass) override;
+    void record(DecisionRecord record) override;
+
+    /// All records, in commit order across every pass.
+    [[nodiscard]] const std::vector<DecisionRecord>& records() const noexcept {
+        return records_;
+    }
+
+    /// Pass that produced the returned schedule ("" for single-pass
+    /// schedulers that never called begin_pass/choose_pass).
+    [[nodiscard]] const std::string& winning_pass() const noexcept { return winning_pass_; }
+
+    /// Records of the winning pass only — exactly one per task for a
+    /// complete trace; these correspond to the schedule the caller received.
+    [[nodiscard]] std::vector<const DecisionRecord*> final_records() const;
+
+    /// The winning-pass record for `task`; nullptr when the task was never
+    /// recorded.
+    [[nodiscard]] const DecisionRecord* find(TaskId task) const;
+
+    /// Multi-line answer to "why did `task` land on its processor?".
+    [[nodiscard]] std::string explain(TaskId task) const;
+
+    /// explain() for every task of the winning pass, in commit order.
+    [[nodiscard]] std::string render_text() const;
+
+    /// Machine-readable dump of every record (all passes):
+    ///   {"winning_pass": "...", "decisions": [...]}.
+    [[nodiscard]] std::string render_json() const;
+
+private:
+    std::vector<DecisionRecord> records_;
+    std::string current_pass_;
+    std::string winning_pass_;
+};
+
+}  // namespace tsched::trace

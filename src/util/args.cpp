@@ -34,6 +34,23 @@ std::optional<std::string> Args::find(const std::string& key) const {
 
 bool Args::has(const std::string& key) const { return kv_.count(key) > 0; }
 
+void Args::check_known(std::span<const std::string_view> known) const {
+    for (const auto& [key, value] : kv_) {
+        bool ok = false;
+        for (const std::string_view k : known) {
+            if (key == k) {
+                ok = true;
+                break;
+            }
+        }
+        if (!ok) throw std::invalid_argument("unknown flag '--" + key + "'");
+    }
+}
+
+void Args::check_known(std::initializer_list<std::string_view> known) const {
+    check_known(std::span<const std::string_view>(known.begin(), known.size()));
+}
+
 std::string Args::get_string(const std::string& key, std::string def) const {
     const auto v = find(key);
     return v ? *v : std::move(def);

@@ -6,9 +6,12 @@
 // `for b in build/bench/*; do $b; done` driver.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tsched {
@@ -33,6 +36,12 @@ public:
     /// Comma-separated list of strings, e.g. --algos=heft,ils.
     [[nodiscard]] std::vector<std::string> get_string_list(const std::string& key,
                                                            std::vector<std::string> def) const;
+
+    /// Strict mode: throws std::invalid_argument naming the first flag that
+    /// is not in `known` ("unknown flag '--foo'"), so a typo like
+    /// --trails=50 fails loudly instead of silently running with defaults.
+    void check_known(std::span<const std::string_view> known) const;
+    void check_known(std::initializer_list<std::string_view> known) const;
 
     /// Positional (non --key) arguments, in order.
     [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }

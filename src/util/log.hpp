@@ -11,6 +11,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Global threshold; messages below it are dropped. Default: kWarn so bench
 /// output stays clean unless --verbose style flags raise it.
+///
+/// The threshold is a relaxed atomic, read twice per message (once in the
+/// TSCHED_LOG macro to skip formatting, once in log_message before the
+/// write).  A concurrent set_log_level between the two reads can drop or
+/// emit one borderline message — that race is benign and accepted; there is
+/// no torn read.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 

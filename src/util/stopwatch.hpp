@@ -6,6 +6,8 @@
 namespace tsched {
 
 class Stopwatch {
+    using clock = std::chrono::steady_clock;
+
 public:
     Stopwatch() noexcept : start_(clock::now()) {}
 
@@ -18,8 +20,24 @@ public:
     [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
     [[nodiscard]] double elapsed_us() const noexcept { return elapsed_seconds() * 1e6; }
 
+    /// RAII timer: writes the elapsed milliseconds into `out` when the scope
+    /// closes, so a measured block cannot forget to stop the clock on an
+    /// early return or an exception.
+    class Scoped {
+    public:
+        explicit Scoped(double& out) noexcept : out_(out), start_(clock::now()) {}
+        Scoped(const Scoped&) = delete;
+        Scoped& operator=(const Scoped&) = delete;
+        ~Scoped() {
+            out_ = std::chrono::duration<double>(clock::now() - start_).count() * 1e3;
+        }
+
+    private:
+        double& out_;
+        clock::time_point start_;
+    };
+
 private:
-    using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };
 

@@ -117,5 +117,20 @@ TEST(Args, BooleanSpellings) {
     EXPECT_FALSE(parse({"--f=no"}).get_bool("f", true));
 }
 
+TEST(Args, CheckKnownAcceptsListedFlags) {
+    const Args a = parse({"--trials=5", "--seed=1", "pos.tsg"});
+    EXPECT_NO_THROW(a.check_known({"trials", "seed", "algos"}));
+}
+
+TEST(Args, CheckKnownNamesTheOffendingFlag) {
+    const Args a = parse({"--trials=5", "--trails=50"});
+    try {
+        a.check_known({"trials"});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& err) {
+        EXPECT_NE(std::string(err.what()).find("--trails"), std::string::npos) << err.what();
+    }
+}
+
 }  // namespace
 }  // namespace tsched

@@ -1,0 +1,62 @@
+// OFF-mode compilation test: this translation unit is built with
+// TSCHED_TRACE_FORCE_OFF (see tests/CMakeLists.txt), so every trace macro
+// must expand to a no-op — it must still compile cleanly in expression and
+// statement positions, and must leave the process-wide registry untouched.
+// This is the guarantee that a -DTSCHED_TRACE=OFF build carries zero
+// hot-path cost: the macros don't even name the registry.
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+
+#if TSCHED_TRACE_ON
+#error "test_trace_off must be compiled with TSCHED_TRACE_FORCE_OFF"
+#endif
+
+namespace tsched {
+namespace {
+
+// A representative instrumented function: spans, counts, and a counted loop,
+// as the scheduler hot paths use them.
+double instrumented_work(std::size_t n) {
+    TSCHED_SPAN("off_test/work");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        TSCHED_COUNT("off_test/iterations");
+        acc += static_cast<double>(i);
+        if (i % 2 == 0) {
+            TSCHED_SPAN("off_test/even");
+            TSCHED_COUNT_ADD("off_test/even_sum", i);
+        }
+    }
+    return acc;
+}
+
+TEST(TraceOff, MacrosCompileToNoOpsAndRecordNothing) {
+    const trace::Snapshot before = trace::registry().snapshot();
+    EXPECT_DOUBLE_EQ(instrumented_work(101), 5050.0);
+    const trace::Snapshot after = trace::registry().snapshot();
+
+    // Nothing with an off_test/ prefix may have been registered.
+    for (const auto& c : after.counters) {
+        EXPECT_EQ(c.name.rfind("off_test/", 0), std::string::npos) << c.name;
+    }
+    for (const auto& s : after.spans) {
+        EXPECT_EQ(s.name.rfind("off_test/", 0), std::string::npos) << s.name;
+    }
+    const trace::Snapshot delta = trace::snapshot_delta(before, after);
+    EXPECT_TRUE(delta.counters.empty());
+    EXPECT_TRUE(delta.spans.empty());
+}
+
+TEST(TraceOff, RegistryItselfStillWorksWhenMacrosAreOff) {
+    // The registry API is independent of the macro gate — tools that read
+    // snapshots must keep working in an untraced build.
+    trace::Registry reg;
+    reg.counter("direct").add(2);
+    const trace::Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 2u);
+}
+
+}  // namespace
+}  // namespace tsched

@@ -39,14 +39,20 @@ namespace {
 
 using namespace tsched;
 
+constexpr const char* kVersion = "tsched_lint 1.0.0";
+
+void print_usage(std::ostream& os) {
+    os << "usage: tsched_lint <file.tsg> [file.tsp] [file.tss]\n"
+       << "                   [--json] [--quiet] [--werror] [--no-quality]\n"
+       << "                   [--ccr=X] [--beta=X] [--avg-exec=X] [--tolerance=F]\n"
+       << "                   [--eps=X] [--max-diags=N] [--version] [--help]\n"
+       << "(a bare boolean flag consumes a following file argument; put flags\n"
+       << " after the files or write --flag=true)\n";
+}
+
 [[noreturn]] void usage(const std::string& error) {
-    std::cerr << "tsched_lint: " << error << "\n"
-              << "usage: tsched_lint <file.tsg> [file.tsp] [file.tss]\n"
-              << "                   [--json] [--quiet] [--werror] [--no-quality]\n"
-              << "                   [--ccr=X] [--beta=X] [--avg-exec=X] [--tolerance=F]\n"
-              << "                   [--eps=X] [--max-diags=N]\n"
-              << "(a bare boolean flag consumes a following file argument; put flags\n"
-              << " after the files or write --flag=true)\n";
+    std::cerr << "tsched_lint: " << error << "\n";
+    print_usage(std::cerr);
     std::exit(2);
 }
 
@@ -58,6 +64,22 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 
 int main(int argc, char** argv) {
     const Args args(argc, argv);
+
+    if (args.has("help")) {
+        print_usage(std::cout);
+        return 0;
+    }
+    if (args.has("version")) {
+        std::cout << kVersion << '\n';
+        return 0;
+    }
+    try {
+        args.check_known({"dag", "platform", "schedule", "json", "quiet", "werror",
+                          "no-quality", "ccr", "beta", "avg-exec", "tolerance", "eps",
+                          "max-diags", "help", "version"});
+    } catch (const std::exception& err) {
+        usage(err.what());
+    }
 
     std::optional<std::string> dag_path;
     std::optional<std::string> platform_path;
