@@ -3,6 +3,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+
+#include "util/thread_pool.hpp"
 
 #include "analysis/problem_lints.hpp"
 #include "core/registry.hpp"
@@ -31,6 +34,8 @@ void apply_common_flags(BenchConfig& config, const Args& args) {
         args.get_int("seed", static_cast<std::int64_t>(config.seed)));
     config.algos = args.get_string_list("algos", config.algos);
     config.csv_path = args.get_string("csv", config.csv_path);
+    config.jobs =
+        static_cast<std::size_t>(args.get_int("jobs", static_cast<std::int64_t>(config.jobs)));
     config.lint = args.get_bool("lint", config.lint);
     config.trace_dir = args.get_string("trace-dir", config.trace_dir);
 }
@@ -38,7 +43,7 @@ void apply_common_flags(BenchConfig& config, const Args& args) {
 void print_banner(const BenchConfig& config) {
     std::cout << "== " << config.experiment << ": " << config.title << " ==\n";
     std::cout << "   trials/point=" << config.trials << "  seed=" << config.seed
-              << "  schedulers=";
+              << "  jobs=" << config.jobs << "  schedulers=";
     for (std::size_t i = 0; i < config.algos.size(); ++i) {
         if (i) std::cout << ',';
         std::cout << config.algos[i];
@@ -117,6 +122,20 @@ std::vector<PointResult> run_sweep(const BenchConfig& config,
     print_banner(config);
     const auto schedulers = make_schedulers(config.algos);
 
+    // Trial-level parallelism.  Per-point trace dumps difference two
+    // process-global counter snapshots; concurrent trials would bleed
+    // counter activity across points and silently corrupt the deltas, so
+    // --trace-dir forces the serial path.
+    std::size_t jobs = config.jobs;
+    if (!config.trace_dir.empty() && jobs != 1) {
+        std::cerr << "warning: --trace-dir needs process-global counter snapshots; "
+                     "ignoring --jobs="
+                  << jobs << " and running trials serially\n";
+        jobs = 1;
+    }
+    std::optional<ThreadPool> pool;
+    if (jobs != 1) pool.emplace(jobs);
+
     Stopwatch watch;
     std::vector<PointResult> results;
     results.reserve(points.size());
@@ -140,7 +159,8 @@ std::vector<PointResult> run_sweep(const BenchConfig& config,
         }
         if (config.trace_dir.empty()) {
             results.push_back(run_point(points[i].params, schedulers, config.trials,
-                                        mix_seed(config.seed, i)));
+                                        mix_seed(config.seed, i),
+                                        pool ? &*pool : nullptr));
         } else {
             const trace::Snapshot before = trace::registry().snapshot();
             double wall_ms = 0.0;

@@ -7,11 +7,17 @@
 //   --seed=S         base seed (default 2007, the paper's year)
 //   --algos=a,b,c    scheduler set (default per bench)
 //   --csv=PATH       also write the table as CSV
+//   --jobs=N         run each point's trials on N pool workers (default 1 =
+//                    serial; 0 = all hardware threads).  Per-trial seeds are
+//                    derived from mix_seed, and samples are folded in trial
+//                    order, so every table is bit-identical for any N.
 //   --lint           audit each point's first instance against its requested
 //                    CCR/beta/avg-exec (analysis::lint_problem) on stderr
 //   --trace-dir=DIR  write one JSON file per sweep point with the point's
 //                    wall time and trace counter/span deltas (requires a
-//                    TSCHED_TRACE=ON build to be non-empty)
+//                    TSCHED_TRACE=ON build to be non-empty).  Counter deltas
+//                    are process-global snapshots, so trace-dir runs are
+//                    forced serial even when --jobs asks for more workers.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,7 @@ struct BenchConfig {
     std::size_t trials = 20;
     std::uint64_t seed = 2007;
     std::string csv_path;                  ///< empty = no CSV
+    std::size_t jobs = 1;                  ///< trial workers per point (0 = all cores)
     bool lint = false;                     ///< run instance lints per point (--lint)
     std::string trace_dir;                 ///< empty = no per-point trace dumps
 };

@@ -20,13 +20,17 @@ constexpr double kEps = 1e-12;
 /// DSH-style improvement pass reused by ILS-D (kept local: the sched/
 /// duplication baselines own their variant; ILS-D deliberately uses the
 /// cheaper single-parent version).
-void duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max_dups) {
+///
+/// Speculates directly on `trial` (the caller checkpoints and rolls back).
+/// `ready` must be data_ready(v, p) on entry; the return value is
+/// data_ready(v, p) on exit, so the caller never recomputes it.
+double duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max_dups,
+                         double ready) {
     const Problem& problem = trial.problem();
     const Dag& dag = problem.dag();
     const LinkModel& links = problem.machine().links();
     for (std::size_t round = 0; round < max_dups; ++round) {
-        const double ready = trial.data_ready(v, p);
-        if (ready <= 0.0) return;
+        if (ready <= 0.0) return ready;
         // Binding remote predecessor.
         TaskId binding = kInvalidTask;
         double worst = -1.0;
@@ -37,21 +41,24 @@ void duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t m
                 binding = e.task;
             }
         }
-        if (binding == kInvalidTask) return;
+        if (binding == kInvalidTask) return ready;
         bool local = false;
         for (const Placement& pl : trial.partial().placements(binding)) {
             if (pl.proc == p && pl.finish <= worst + kEps) local = true;
         }
-        if (local) return;
+        if (local) return ready;
         TSCHED_COUNT("duplication_attempts");
         const double u_ready = trial.data_ready(binding, p);
         const double u_cost = problem.exec_time(binding, p);
         const auto slot = trial.find_slot_before(p, u_ready, u_cost, ready - kEps, true);
-        if (!slot) return;
+        if (!slot) return ready;
         trial.place_duplicate_at(binding, p, *slot);
         TSCHED_COUNT("duplication_accepted");
-        if (trial.data_ready(v, p) >= ready - kEps) return;
+        const double next = trial.data_ready(v, p);
+        if (next >= ready - kEps) return next;
+        ready = next;
     }
+    return ready;
 }
 
 /// Predecessor-affinity key: finish time of the latest-finishing predecessor
@@ -142,26 +149,32 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
     const auto oct = use_oct ? optimistic_cost_table(problem) : std::vector<double>{};
 
     ScheduleBuilder builder(problem);
+    // Scratch reused across the task loop (previously reallocated per task).
+    std::vector<double> eft_of(procs, kInf);
+    std::vector<double> start_of(procs, 0.0);  // earliest start behind eft_of
+    std::vector<double> aff_of(procs, -kInf);  // predecessor affinity, top-k only
+    std::vector<std::size_t> cand(procs);
     for (const TaskId v : order_by_decreasing(rank)) {
         // Per-processor first-level evaluation.  For ILS-D the duplication
-        // pass runs on a clone before the EFT is measured, so every
-        // candidate is judged with its duplicates in place.
-        std::vector<double> eft_of(procs, kInf);
-        std::vector<std::optional<ScheduleBuilder>> state_of(procs);  // ILS-D clones
+        // pass speculates on the one builder and is rolled back after the
+        // EFT is measured, so every candidate is judged with its duplicates
+        // in place without cloning the schedule state per processor.
         for (std::size_t pi = 0; pi < procs; ++pi) {
             const auto p = static_cast<ProcId>(pi);
+            const double w = problem.exec_time(v, p);
+            double ready = builder.data_ready(v, p);
+            ScheduleBuilder::Checkpoint mark = 0;
             if (config_.duplication) {
-                ScheduleBuilder trial = builder;
-                duplicate_parents(trial, v, p, config_.max_dups_per_task);
-                eft_of[pi] = trial.eft(v, p, config_.insertion);
-                state_of[pi].emplace(std::move(trial));
-            } else {
-                eft_of[pi] = builder.eft(v, p, config_.insertion);
+                mark = builder.checkpoint();
+                ready = duplicate_parents(builder, v, p, config_.max_dups_per_task, ready);
             }
+            TSCHED_COUNT("eft_evaluations");
+            start_of[pi] = builder.earliest_start(p, ready, w, config_.insertion);
+            eft_of[pi] = start_of[pi] + w;
+            if (config_.duplication) builder.rollback(mark);
         }
         // Candidate set: the top-k processors by plain EFT (k = all by
         // default); among them the downstream-aware score decides.
-        std::vector<std::size_t> cand(procs);
         std::iota(cand.begin(), cand.end(), 0);
         std::sort(cand.begin(), cand.end(), [&](std::size_t a, std::size_t b) {
             if (eft_of[a] != eft_of[b]) return eft_of[a] < eft_of[b];
@@ -172,6 +185,12 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
                                                 : std::min(config_.lookahead_k, cand.size()))
                     : 1;
 
+        // Affinity is a tiebreak over the un-speculated state; hoisted out of
+        // the selection loop, which recomputed it for every comparison.
+        for (std::size_t i = 0; i < k; ++i) {
+            aff_of[cand[i]] = affinity(builder, v, static_cast<ProcId>(cand[i]));
+        }
+
         trace::DecisionRecord rec;
         std::size_t best_pi = cand[0];
         double best_score = kInf;
@@ -179,10 +198,9 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
         double best_affinity = -kInf;
         for (std::size_t i = 0; i < k; ++i) {
             const std::size_t pi = cand[i];
-            const auto p = static_cast<ProcId>(pi);
             const double bias = use_oct ? oct[static_cast<std::size_t>(v) * procs + pi] : 0.0;
             const double score = eft_of[pi] + bias;
-            const double aff = affinity(builder, v, p);
+            const double aff = aff_of[pi];
             const bool better =
                 score < best_score - kEps ||
                 (score <= best_score + kEps &&
@@ -213,10 +231,16 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
             }
         }
 
-        if (state_of[best_pi]) {
-            builder = std::move(*state_of[best_pi]);
+        // Commit: re-apply the winner's duplication (deterministic, so it
+        // reproduces the speculated state exactly), then place at the start
+        // already computed during evaluation — data_ready and the insertion
+        // scan are not recomputed.
+        const auto best_p = static_cast<ProcId>(best_pi);
+        if (config_.duplication) {
+            duplicate_parents(builder, v, best_p, config_.max_dups_per_task,
+                              builder.data_ready(v, best_p));
         }
-        const Placement pl = builder.place(v, static_cast<ProcId>(best_pi), config_.insertion);
+        const Placement pl = builder.place_at(v, best_p, start_of[best_pi]);
         if (sink != nullptr) {
             rec.task = v;
             rec.rank = rank[static_cast<std::size_t>(v)];

@@ -11,9 +11,56 @@
 
 namespace tsched {
 
+namespace {
+
+/// Everything one (trial, scheduler) run contributes to the aggregates.
+struct TrialSample {
+    bool valid = false;
+    double slr = 0.0;
+    double speedup = 0.0;
+    double efficiency = 0.0;
+    double makespan = 0.0;
+    double sched_time_ms = 0.0;
+    double duplicates = 0.0;
+};
+
+/// One trial = one generated instance run through every scheduler.  Pure
+/// function of (params, schedulers, seed) apart from the wall-clock timing,
+/// so trials can run on any thread in any order.
+std::vector<TrialSample> run_trial(const workload::InstanceParams& params,
+                                   std::span<const Scheduler* const> schedulers,
+                                   std::span<const std::string> names, std::size_t trial,
+                                   std::uint64_t seed) {
+    const Problem problem = workload::make_instance(params, seed);
+    std::vector<TrialSample> samples(schedulers.size());
+    for (std::size_t s = 0; s < schedulers.size(); ++s) {
+        TrialSample& sample = samples[s];
+        Schedule schedule = [&] {
+            const Stopwatch::Scoped timer(sample.sched_time_ms);
+            return schedulers[s]->schedule(problem);
+        }();
+
+        const ValidationResult valid = validate(schedule, problem);
+        if (!valid) {
+            TSCHED_ERROR << "invalid schedule from " << names[s] << " (trial " << trial
+                         << "): " << valid.message();
+            continue;
+        }
+        sample.valid = true;
+        sample.slr = slr(schedule, problem);
+        sample.speedup = speedup(schedule, problem);
+        sample.efficiency = efficiency(schedule, problem);
+        sample.makespan = schedule.makespan();
+        sample.duplicates = static_cast<double>(schedule.num_duplicates());
+    }
+    return samples;
+}
+
+}  // namespace
+
 PointResult run_point(const workload::InstanceParams& params,
                       std::span<const Scheduler* const> schedulers, std::size_t trials,
-                      std::uint64_t base_seed) {
+                      std::uint64_t base_seed, ThreadPool* pool) {
     if (schedulers.empty()) throw std::invalid_argument("run_point: no schedulers");
 
     std::vector<std::string> names;
@@ -23,32 +70,37 @@ PointResult run_point(const workload::InstanceParams& params,
     PointResult result{names, {}, PairwiseMatrix(names), trials, 0};
     for (const auto& name : names) result.agg.emplace(name, SchedulerAggregate{});
 
+    // Phase 1: run the trials (concurrently when a pool is supplied).
+    std::vector<std::vector<TrialSample>> rows(trials);
+    const auto worker = [&](std::size_t t) {
+        rows[t] = run_trial(params, schedulers, names, t, mix_seed(base_seed, t));
+    };
+    if (pool != nullptr && pool->size() > 1 && trials > 1) {
+        parallel_for(*pool, trials, worker);
+    } else {
+        for (std::size_t t = 0; t < trials; ++t) worker(t);
+    }
+
+    // Phase 2: fold in trial order — RunningStats and the pairwise matrix
+    // see samples in exactly the order the serial runner produced, so the
+    // aggregates do not depend on the worker count.
     std::vector<double> makespans(schedulers.size());
     for (std::size_t t = 0; t < trials; ++t) {
-        const Problem problem = workload::make_instance(params, mix_seed(base_seed, t));
         for (std::size_t s = 0; s < schedulers.size(); ++s) {
-            double elapsed_ms = 0.0;
-            Schedule schedule = [&] {
-                const Stopwatch::Scoped timer(elapsed_ms);
-                return schedulers[s]->schedule(problem);
-            }();
-
-            const ValidationResult valid = validate(schedule, problem);
-            if (!valid) {
+            const TrialSample& sample = rows[t][s];
+            if (!sample.valid) {
                 ++result.invalid_schedules;
-                TSCHED_ERROR << "invalid schedule from " << names[s] << " (trial " << t
-                             << "): " << valid.message();
                 makespans[s] = std::numeric_limits<double>::infinity();
                 continue;
             }
-            makespans[s] = schedule.makespan();
+            makespans[s] = sample.makespan;
             SchedulerAggregate& agg = result.agg.at(names[s]);
-            agg.slr.add(slr(schedule, problem));
-            agg.speedup.add(speedup(schedule, problem));
-            agg.efficiency.add(efficiency(schedule, problem));
-            agg.makespan.add(schedule.makespan());
-            agg.sched_time_ms.add(elapsed_ms);
-            agg.duplicates.add(static_cast<double>(schedule.num_duplicates()));
+            agg.slr.add(sample.slr);
+            agg.speedup.add(sample.speedup);
+            agg.efficiency.add(sample.efficiency);
+            agg.makespan.add(sample.makespan);
+            agg.sched_time_ms.add(sample.sched_time_ms);
+            agg.duplicates.add(sample.duplicates);
         }
         result.pairwise.add_trial(makespans);
     }
@@ -57,11 +109,11 @@ PointResult run_point(const workload::InstanceParams& params,
 
 PointResult run_point(const workload::InstanceParams& params,
                       std::span<const SchedulerPtr> schedulers, std::size_t trials,
-                      std::uint64_t base_seed) {
+                      std::uint64_t base_seed, ThreadPool* pool) {
     std::vector<const Scheduler*> raw;
     raw.reserve(schedulers.size());
     for (const auto& s : schedulers) raw.push_back(s.get());
-    return run_point(params, raw, trials, base_seed);
+    return run_point(params, raw, trials, base_seed, pool);
 }
 
 }  // namespace tsched

@@ -16,6 +16,7 @@
 #include "metrics/pairwise.hpp"
 #include "sched/scheduler.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/instance.hpp"
 
 namespace tsched {
@@ -41,13 +42,22 @@ struct PointResult {
 /// Run one experiment point.  Throws std::invalid_argument on an empty
 /// scheduler set.  Schedules failing validation are counted in
 /// `invalid_schedules` and excluded from the aggregates.
+///
+/// With a non-null `pool`, the point's trials run concurrently on the pool
+/// (each trial derives its own seed via mix_seed(base_seed, t) and builds
+/// its own instance, so trials share no mutable state).  Per-trial samples
+/// are folded into the aggregates serially in trial order afterwards, so
+/// the deterministic metrics (SLR, speedup, efficiency, makespan,
+/// duplicates, pairwise wins) are bit-identical for any worker count —
+/// only the wall-clock sched-time samples vary run to run.
 [[nodiscard]] PointResult run_point(const workload::InstanceParams& params,
                                     std::span<const Scheduler* const> schedulers,
-                                    std::size_t trials, std::uint64_t base_seed);
+                                    std::size_t trials, std::uint64_t base_seed,
+                                    ThreadPool* pool = nullptr);
 
 /// Convenience overload for owning pointers.
 [[nodiscard]] PointResult run_point(const workload::InstanceParams& params,
                                     std::span<const SchedulerPtr> schedulers, std::size_t trials,
-                                    std::uint64_t base_seed);
+                                    std::uint64_t base_seed, ThreadPool* pool = nullptr);
 
 }  // namespace tsched

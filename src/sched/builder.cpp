@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -61,13 +62,20 @@ double ScheduleBuilder::earliest_start(ProcId p, double ready, double duration,
         const double avail = timeline.empty() ? 0.0 : timeline.back().finish;
         return std::max(avail, ready);
     }
-    // Scan the gaps (including the leading one) for the first fit.
-    double gap_start = 0.0;
-    for (const Interval& iv : timeline) {
+    // Scan the gaps for the first fit.  Gaps that close before `ready` can
+    // never host the task (the candidate start is clamped to `ready`, so a
+    // fit inside an interval run ending at or before `ready` would need a
+    // non-positive duration); since non-overlapping sorted intervals have
+    // non-decreasing finishes, binary-search past them instead of walking
+    // the whole timeline.
+    auto it = std::lower_bound(timeline.begin(), timeline.end(), ready,
+                               [](const Interval& iv, double t) { return iv.finish <= t; });
+    double gap_start = it == timeline.begin() ? 0.0 : std::prev(it)->finish;
+    for (; it != timeline.end(); ++it) {
         TSCHED_COUNT("insertion_probes");
         const double candidate = std::max(gap_start, ready);
-        if (candidate + duration <= iv.start) return candidate;
-        gap_start = iv.finish;
+        if (candidate + duration <= it->start) return candidate;
+        gap_start = it->finish;
     }
     TSCHED_COUNT("insertion_probes");
     return std::max(gap_start, ready);
@@ -124,10 +132,29 @@ Placement ScheduleBuilder::commit(TaskId v, ProcId p, double start, bool duplica
     const Placement pl{v, p, start, start + w};
     schedule_.add(v, p, pl.start, pl.finish);
     insert_interval(p, {pl.start, pl.finish});
+    undo_log_.push_back({v, makespan_, duplicate});
     if (!duplicate) placed_[static_cast<std::size_t>(v)] = true;
     makespan_ = std::max(makespan_, pl.finish);
     ++num_placements_;
     return pl;
+}
+
+void ScheduleBuilder::rollback(Checkpoint mark) {
+    if (mark > undo_log_.size()) {
+        throw std::logic_error("ScheduleBuilder::rollback: invalid checkpoint");
+    }
+    if (mark == undo_log_.size()) return;
+    TSCHED_COUNT("speculative_rollbacks");
+    TSCHED_COUNT_ADD("rolled_back_placements", undo_log_.size() - mark);
+    while (undo_log_.size() > mark) {
+        const UndoEntry entry = undo_log_.back();
+        undo_log_.pop_back();
+        const Placement pl = schedule_.remove_last(entry.task);
+        erase_interval(pl.proc, {pl.start, pl.finish});
+        if (!entry.duplicate) placed_[static_cast<std::size_t>(entry.task)] = false;
+        makespan_ = entry.prev_makespan;
+        --num_placements_;
+    }
 }
 
 void ScheduleBuilder::insert_interval(ProcId p, Interval iv) {
@@ -136,6 +163,24 @@ void ScheduleBuilder::insert_interval(ProcId p, Interval iv) {
         timeline.begin(), timeline.end(), iv,
         [](const Interval& a, const Interval& b) { return a.start < b.start; });
     timeline.insert(pos, iv);
+}
+
+void ScheduleBuilder::erase_interval(ProcId p, Interval iv) {
+    auto& timeline = busy_.at(static_cast<std::size_t>(p));
+    auto pos = std::lower_bound(
+        timeline.begin(), timeline.end(), iv,
+        [](const Interval& a, const Interval& b) { return a.start < b.start; });
+    // Feasible timelines never stack two intervals at one start, but a
+    // speculative caller may have committed overlapping placements — scan
+    // the equal-start run for the exact interval before giving up.
+    while (pos != timeline.end() && pos->start == iv.start) {
+        if (pos->finish == iv.finish) {
+            timeline.erase(pos);
+            return;
+        }
+        ++pos;
+    }
+    throw std::logic_error("ScheduleBuilder::rollback: interval not found");
 }
 
 Schedule ScheduleBuilder::take() && {

@@ -83,6 +83,27 @@ public:
     /// Number of placements committed so far (duplicates included).
     [[nodiscard]] std::size_t num_placements() const noexcept { return num_placements_; }
 
+    // ---- speculation (checkpoint / rollback) -------------------------------
+    //
+    // Trial-placement loops (ILS-D's duplication probes, Lookahead-HEFT's
+    // child probes, DSH/BTDH's per-processor trials) speculate directly on
+    // this builder and roll back, instead of deep-copying the whole state
+    // once per candidate.  Every commit is recorded in an undo log; a
+    // checkpoint is just the log length, so checkpoints nest freely and cost
+    // nothing to take.
+
+    /// Opaque marker for the current state; restore with rollback().
+    using Checkpoint = std::size_t;
+
+    [[nodiscard]] Checkpoint checkpoint() const noexcept { return undo_log_.size(); }
+
+    /// Undo every placement (primary or duplicate) committed since `mark`,
+    /// restoring per-processor timelines, placed flags, the makespan, and
+    /// the placement count to their values at checkpoint time.  Throws
+    /// std::logic_error when `mark` does not correspond to a prior
+    /// checkpoint of this builder.
+    void rollback(Checkpoint mark);
+
     /// Move the finished schedule out; the builder must not be used after.
     [[nodiscard]] Schedule take() &&;
 
@@ -92,13 +113,21 @@ private:
         double finish = 0.0;
     };
 
+    struct UndoEntry {
+        TaskId task = kInvalidTask;
+        double prev_makespan = 0.0;  ///< makespan before this commit
+        bool duplicate = false;
+    };
+
     Placement commit(TaskId v, ProcId p, double start, bool duplicate);
     void insert_interval(ProcId p, Interval iv);
+    void erase_interval(ProcId p, Interval iv);
 
     const Problem* problem_;
     Schedule schedule_;
     std::vector<std::vector<Interval>> busy_;  // per proc, sorted by start
     std::vector<bool> placed_;
+    std::vector<UndoEntry> undo_log_;  // one entry per commit, in order
     double makespan_ = 0.0;
     std::size_t num_placements_ = 0;
 };

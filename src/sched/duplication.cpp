@@ -91,27 +91,30 @@ void duplicate_chain(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max
 }
 
 /// Shared outer loop: decreasing static level (a topological order since all
-/// execution costs are positive); per task, evaluate every processor on a
-/// cloned builder with the given duplication strategy and keep the clone
-/// with the smallest finish time for the task.
+/// execution costs are positive); per task, speculate every processor's
+/// duplication + placement on the one builder, roll each trial back, then
+/// re-apply the winner (the strategies are deterministic, so the replay
+/// reproduces the winning trial state exactly).
 template <typename DuplicateFn>
 Schedule duplication_schedule(const Problem& problem, DuplicateFn&& duplicate) {
     const auto sl = static_level(problem, RankCost::kMean);
     ScheduleBuilder builder(problem);
     for (const TaskId v : order_by_decreasing(sl)) {
-        std::optional<ScheduleBuilder> best;
+        ProcId best_proc = 0;
         double best_finish = std::numeric_limits<double>::infinity();
         for (std::size_t p = 0; p < problem.num_procs(); ++p) {
             const auto proc = static_cast<ProcId>(p);
-            ScheduleBuilder trial = builder;
-            duplicate(trial, v, proc);
-            const Placement pl = trial.place(v, proc, /*insertion=*/true);
+            const ScheduleBuilder::Checkpoint mark = builder.checkpoint();
+            duplicate(builder, v, proc);
+            const Placement pl = builder.place(v, proc, /*insertion=*/true);
             if (pl.finish < best_finish) {
                 best_finish = pl.finish;
-                best = std::move(trial);
+                best_proc = proc;
             }
+            builder.rollback(mark);
         }
-        builder = std::move(*best);
+        duplicate(builder, v, best_proc);
+        builder.place(v, best_proc, /*insertion=*/true);
     }
     return std::move(builder).take();
 }
@@ -127,10 +130,12 @@ Schedule BtdhScheduler::schedule(const Problem& problem) const {
     return duplication_schedule(problem, [this](ScheduleBuilder& trial, TaskId v, ProcId p) {
         // Evaluate the chain-duplication attempt against the plain placement
         // and keep whichever finishes v earlier (BTDH's end-of-attempt test).
+        // The attempt speculates on the builder itself; a nested rollback
+        // discards it when it does not pay off.
         const double plain_eft = trial.eft(v, p, true);
-        ScheduleBuilder attempt = trial;
-        duplicate_chain(attempt, v, p, max_dups_, max_depth_);
-        if (attempt.eft(v, p, true) < plain_eft) trial = std::move(attempt);
+        const ScheduleBuilder::Checkpoint mark = trial.checkpoint();
+        duplicate_chain(trial, v, p, max_dups_, max_depth_);
+        if (trial.eft(v, p, true) >= plain_eft) trial.rollback(mark);
     });
 }
 

@@ -25,31 +25,54 @@ Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* s
     const std::size_t procs = problem.num_procs();
     const auto ranks = upward_rank(problem, RankCost::kMean);
 
+    const LinkModel& links = problem.machine().links();
+
     ScheduleBuilder builder(problem);
+    // Per-task scratch: data-ready of each child on each processor from its
+    // *other* (already placed) predecessors.  Those arrivals do not depend
+    // on where v is tried, so they are computed once per task instead of
+    // once per candidate; only v's own arrival varies with the trial
+    // placement (max is commutative, so folding it in afterwards gives the
+    // same value data_ready_partial would).
+    std::vector<double> base_ready;
     for (const TaskId v : order_by_decreasing(ranks)) {
+        const auto succs = dag.successors(v);
+        base_ready.assign(succs.size() * procs, 0.0);
+        for (std::size_t ci = 0; ci < succs.size(); ++ci) {
+            for (std::size_t qi = 0; qi < procs; ++qi) {
+                base_ready[ci * procs + qi] =
+                    builder.data_ready_partial(succs[ci].task, static_cast<ProcId>(qi));
+            }
+        }
+
         trace::DecisionRecord rec;
         ProcId best_proc = 0;
         double best_score = std::numeric_limits<double>::infinity();
         double best_eft = std::numeric_limits<double>::infinity();
         for (std::size_t pi = 0; pi < procs; ++pi) {
             const auto p = static_cast<ProcId>(pi);
-            ScheduleBuilder trial = builder;
-            const Placement pl = trial.place(v, p, /*insertion=*/true);
+            // Tentatively commit v on p, probe the children, roll back —
+            // no per-candidate clone of the schedule state.
+            const ScheduleBuilder::Checkpoint mark = builder.checkpoint();
+            const Placement pl = builder.place(v, p, /*insertion=*/true);
             // Score: the worst over v's children of their best achievable
             // EFT given this tentative placement; childless tasks score by
             // their own finish.
             double score = pl.finish;
-            for (const AdjEdge& e : dag.successors(v)) {
+            for (std::size_t ci = 0; ci < succs.size(); ++ci) {
+                const AdjEdge& e = succs[ci];
                 double child_best = std::numeric_limits<double>::infinity();
                 for (std::size_t qi = 0; qi < procs; ++qi) {
                     const auto q = static_cast<ProcId>(qi);
-                    const double ready = trial.data_ready_partial(e.task, q);
+                    const double arrival = pl.finish + links.comm_time(e.data, p, q);
+                    const double ready = std::max(base_ready[ci * procs + qi], arrival);
                     const double w = problem.exec_time(e.task, q);
-                    const double est = trial.earliest_start(q, ready, w, true);
+                    const double est = builder.earliest_start(q, ready, w, true);
                     child_best = std::min(child_best, est + w);
                 }
                 score = std::max(score, child_best);
             }
+            builder.rollback(mark);
             if (sink != nullptr) {
                 // The lookahead score (worst child EFT after tentatively
                 // committing v here) is what the selection minimises; the

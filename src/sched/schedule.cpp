@@ -26,6 +26,17 @@ void Schedule::add(TaskId task, ProcId proc, double start, double finish) {
     by_task_[static_cast<std::size_t>(task)].push_back({task, proc, start, finish});
 }
 
+Placement Schedule::remove_last(TaskId task) {
+    if (task < 0 || static_cast<std::size_t>(task) >= num_tasks_) {
+        throw std::out_of_range("Schedule::remove_last: task out of range");
+    }
+    auto& list = by_task_[static_cast<std::size_t>(task)];
+    if (list.empty()) throw std::out_of_range("Schedule::remove_last: task has no placement");
+    const Placement last = list.back();
+    list.pop_back();
+    return last;
+}
+
 std::span<const Placement> Schedule::placements(TaskId task) const {
     if (task < 0 || static_cast<std::size_t>(task) >= num_tasks_) {
         throw std::out_of_range("Schedule::placements: task out of range");

@@ -41,6 +41,11 @@ public:
     /// the validator's job, not enforced here.
     void add(TaskId task, ProcId proc, double start, double finish);
 
+    /// Remove and return the most recently added placement of `task` —
+    /// the undo primitive behind ScheduleBuilder::rollback.  Throws
+    /// std::out_of_range when the task has no placement.
+    Placement remove_last(TaskId task);
+
     /// All placements of `task` in insertion order (first is the "primary"
     /// placement; duplicates follow).  Empty if the task was never placed.
     [[nodiscard]] std::span<const Placement> placements(TaskId task) const;

@@ -134,6 +134,99 @@ TEST(Builder, CopySemanticsGiveIndependentTrials) {
     EXPECT_DOUBLE_EQ(clone.proc_available(0), 4.0);
 }
 
+TEST(Builder, RollbackRestoresAllState) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    builder.place(0, 0, true);  // [0, 2) on P0
+
+    const ScheduleBuilder::Checkpoint mark = builder.checkpoint();
+    builder.place(1, 0, true);             // [2, 4) on P0
+    builder.place_duplicate_at(0, 1, 0.0); // copy of 0 on P1
+    builder.place(2, 1, true);
+    EXPECT_EQ(builder.num_placements(), 4u);
+    EXPECT_TRUE(builder.is_placed(1));
+    EXPECT_TRUE(builder.is_placed(2));
+
+    builder.rollback(mark);
+    EXPECT_EQ(builder.num_placements(), 1u);
+    EXPECT_FALSE(builder.is_placed(1));
+    EXPECT_FALSE(builder.is_placed(2));
+    EXPECT_EQ(builder.partial().num_duplicates(), 0u);
+    EXPECT_DOUBLE_EQ(builder.current_makespan(), 2.0);
+    EXPECT_DOUBLE_EQ(builder.proc_available(0), 2.0);
+    EXPECT_DOUBLE_EQ(builder.proc_available(1), 0.0);
+    // The timeline edits are really gone: P1 is free again and data must
+    // travel, P0's gap structure is back to a single busy interval.
+    EXPECT_DOUBLE_EQ(builder.data_ready(1, 1), 6.0);
+    EXPECT_DOUBLE_EQ(builder.eft(1, 0, true), 4.0);
+}
+
+TEST(Builder, RollbackToSameCheckpointTwiceAndNoop) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    const ScheduleBuilder::Checkpoint mark = builder.checkpoint();
+    builder.rollback(mark);  // nothing committed: no-op
+    builder.place(0, 0, true);
+    builder.rollback(mark);
+    EXPECT_FALSE(builder.is_placed(0));
+    // The same token stays valid after a rollback to it.
+    builder.place(0, 1, true);
+    builder.rollback(mark);
+    EXPECT_FALSE(builder.is_placed(0));
+    EXPECT_EQ(builder.num_placements(), 0u);
+}
+
+TEST(Builder, CheckpointsNest) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    const auto outer = builder.checkpoint();
+    builder.place(0, 0, true);
+    const auto inner = builder.checkpoint();
+    builder.place(1, 0, true);
+    builder.rollback(inner);
+    EXPECT_TRUE(builder.is_placed(0));
+    EXPECT_FALSE(builder.is_placed(1));
+    builder.rollback(outer);
+    EXPECT_FALSE(builder.is_placed(0));
+    EXPECT_DOUBLE_EQ(builder.current_makespan(), 0.0);
+}
+
+TEST(Builder, RollbackRejectsForwardToken) {
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_THROW(builder.rollback(1), std::logic_error);
+}
+
+TEST(Builder, SpeculateRollbackReplayMatchesDirectBuild) {
+    // The pattern every rewritten scheduler relies on: speculate, measure,
+    // roll back, replay the winner — the replayed state must behave exactly
+    // like a never-speculated builder.
+    const Problem problem = fork_problem();
+    ScheduleBuilder direct(problem);
+    direct.place(0, 0, true);
+    direct.place(1, 0, true);
+
+    ScheduleBuilder spec(problem);
+    spec.place(0, 0, true);
+    for (ProcId p = 0; p < 2; ++p) {
+        const auto mark = spec.checkpoint();
+        spec.place(1, p, true);
+        spec.rollback(mark);
+    }
+    spec.place(1, 0, true);
+
+    EXPECT_DOUBLE_EQ(direct.eft(2, 1, true), spec.eft(2, 1, true));
+    EXPECT_DOUBLE_EQ(direct.current_makespan(), spec.current_makespan());
+    direct.place(2, 1, true);
+    spec.place(2, 1, true);
+    const Schedule a = std::move(direct).take();
+    const Schedule b = std::move(spec).take();
+    ASSERT_EQ(a.num_placements(), b.num_placements());
+    for (TaskId v = 0; v < 3; ++v) {
+        EXPECT_EQ(a.primary(v), b.primary(v)) << "task " << v;
+    }
+}
+
 TEST(Builder, FullManualScheduleValidates) {
     const Problem problem = fork_problem();
     ScheduleBuilder builder(problem);

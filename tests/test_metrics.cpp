@@ -116,6 +116,51 @@ TEST(Runner, DeterministicAcrossCalls) {
     EXPECT_DOUBLE_EQ(a.agg.at("heft").makespan.sum(), b.agg.at("heft").makespan.sum());
 }
 
+TEST(Runner, PoolParallelTrialsMatchSerialBitExactly) {
+    // The --jobs path: trials fan out across a pool, samples are folded in
+    // trial order, so every deterministic aggregate must be bit-identical
+    // to the serial run's.  ils-d exercises the speculation machinery
+    // (checkpoint/rollback) concurrently, which also gives TSan a workload.
+    workload::InstanceParams params;
+    params.size = 40;
+    params.num_procs = 4;
+    params.ccr = 2.0;
+    const auto schedulers = make_schedulers(std::vector<std::string>{"ils-d", "heft", "lheft"});
+    const PointResult serial = run_point(params, schedulers, 8, 2007, nullptr);
+    ThreadPool pool(4);
+    const PointResult parallel = run_point(params, schedulers, 8, 2007, &pool);
+
+    EXPECT_EQ(serial.invalid_schedules, parallel.invalid_schedules);
+    for (const auto& name : serial.names) {
+        const auto& a = serial.agg.at(name);
+        const auto& b = parallel.agg.at(name);
+        EXPECT_EQ(a.slr.count(), b.slr.count()) << name;
+        EXPECT_DOUBLE_EQ(a.slr.mean(), b.slr.mean()) << name;
+        EXPECT_DOUBLE_EQ(a.slr.ci95_halfwidth(), b.slr.ci95_halfwidth()) << name;
+        EXPECT_DOUBLE_EQ(a.speedup.sum(), b.speedup.sum()) << name;
+        EXPECT_DOUBLE_EQ(a.efficiency.sum(), b.efficiency.sum()) << name;
+        EXPECT_DOUBLE_EQ(a.makespan.sum(), b.makespan.sum()) << name;
+        EXPECT_DOUBLE_EQ(a.duplicates.sum(), b.duplicates.sum()) << name;
+    }
+    for (std::size_t i = 0; i < serial.names.size(); ++i) {
+        for (std::size_t j = 0; j < serial.names.size(); ++j) {
+            EXPECT_EQ(serial.pairwise.better(i, j), parallel.pairwise.better(i, j));
+            EXPECT_EQ(serial.pairwise.equal(i, j), parallel.pairwise.equal(i, j));
+        }
+    }
+}
+
+TEST(Runner, PoolOfOneWorkerTakesSerialPath) {
+    workload::InstanceParams params;
+    params.size = 20;
+    params.num_procs = 4;
+    const auto schedulers = make_schedulers(std::vector<std::string>{"heft"});
+    ThreadPool pool(1);
+    const auto a = run_point(params, schedulers, 3, 7, &pool);
+    const auto b = run_point(params, schedulers, 3, 7, nullptr);
+    EXPECT_DOUBLE_EQ(a.agg.at("heft").makespan.sum(), b.agg.at("heft").makespan.sum());
+}
+
 TEST(Runner, RejectsEmptySchedulerSet) {
     workload::InstanceParams params;
     EXPECT_THROW((void)run_point(params, std::span<const Scheduler* const>{}, 1, 0),

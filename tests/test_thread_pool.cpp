@@ -70,6 +70,24 @@ TEST(ParallelFor, PropagatesFirstException) {
                  std::runtime_error);
 }
 
+TEST(ParallelFor, FewerItemsThanWorkers) {
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossCalls) {
+    // The bench harness runs one parallel_for per sweep point on a single
+    // long-lived pool; successive batches must not interfere.
+    ThreadPool pool(4);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<int> sum{0};
+        parallel_for(pool, 64, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+        EXPECT_EQ(sum.load(), 64 * 63 / 2) << "round " << round;
+    }
+}
+
 TEST(ThreadPool, SubmitAfterDestructionIsImpossibleByDesign) {
     // Destructor joins workers; remaining queued tasks still run.
     std::atomic<int> counter{0};

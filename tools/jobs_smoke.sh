@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# jobs_smoke.sh — `--jobs N` must not change any table: run a small sweep
+# serially and with 4 pool workers and require identical output (modulo the
+# banner's jobs= field and the wall-time line; the sched-time table is
+# wall-clock and is not printed by the sweep used here).
+set -euo pipefail
+
+BENCH=${1:?usage: jobs_smoke.sh path/to/bench_binary}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+filter() { grep -v 'jobs=' | grep -v 'sweep wall time'; }
+
+"$BENCH" --trials=4 --jobs=1 --csv="$WORK/j1.csv" | filter > "$WORK/j1.out"
+"$BENCH" --trials=4 --jobs=4 --csv="$WORK/j4.csv" | filter > "$WORK/j4.out"
+
+diff -u "$WORK/j1.out" "$WORK/j4.out"
+diff -u "$WORK/j1.csv" "$WORK/j4.csv"
+echo "jobs smoke: --jobs=1 and --jobs=4 tables identical"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# perf_check.sh — compare a fresh bench_runtime --json dump against the
+# committed perf baseline (BENCH_runtime.json) and fail on scheduling-time
+# regressions.
+#
+# Usage: perf_check.sh CURRENT.json [BASELINE.json]
+#
+# A point regresses when current mean_ms > threshold * baseline mean_ms.
+# The threshold is deliberately generous (default 4.0, override with
+# PERF_CHECK_THRESHOLD) because baseline and CI machines differ; the check
+# exists to catch the order-of-magnitude regressions that reintroducing
+# clone-per-candidate trial evaluation (or similar) would cause, not 10%
+# noise.  Points present in only one file are reported but never fatal, so
+# adding an algorithm or sweep size does not break the gate.
+set -euo pipefail
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+    echo "usage: $0 CURRENT.json [BASELINE.json]" >&2
+    exit 2
+fi
+
+CURRENT=$1
+BASELINE=${2:-"$(dirname "$0")/../BENCH_runtime.json"}
+THRESHOLD=${PERF_CHECK_THRESHOLD:-4.0}
+
+[ -f "$CURRENT" ] || { echo "perf_check: missing $CURRENT" >&2; exit 2; }
+[ -f "$BASELINE" ] || { echo "perf_check: missing baseline $BASELINE" >&2; exit 2; }
+
+python3 - "$CURRENT" "$BASELINE" "$THRESHOLD" <<'PYEOF'
+import json
+import sys
+
+current_path, baseline_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == 1, f"{path}: unknown schema {doc.get('schema')}"
+    return {(p["algo"], p["n"]): p["mean_ms"] for p in doc["points"]}
+
+current = load(current_path)
+baseline = load(baseline_path)
+
+failures = []
+print(f"perf_check: threshold {threshold:g}x against {baseline_path}")
+for key in sorted(baseline, key=lambda k: (k[0], k[1])):
+    if key not in current:
+        print(f"  [skip] {key[0]}/{key[1]}: not measured in current run")
+        continue
+    cur, base = current[key], baseline[key]
+    ratio = cur / base if base > 0 else float("inf")
+    status = "FAIL" if ratio > threshold else "ok"
+    print(f"  [{status:4}] {key[0]}/{key[1]}: {cur:.3f} ms vs baseline {base:.3f} ms "
+          f"({ratio:.2f}x)")
+    if ratio > threshold:
+        failures.append(key)
+for key in sorted(set(current) - set(baseline)):
+    print(f"  [new ] {key[0]}/{key[1]}: {current[key]:.3f} ms (no baseline)")
+
+if failures:
+    names = ", ".join(f"{a}/{n}" for a, n in failures)
+    print(f"perf_check: FAILED — regression beyond {threshold:g}x on: {names}")
+    sys.exit(1)
+print("perf_check: OK")
+PYEOF
