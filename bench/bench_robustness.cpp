@@ -13,9 +13,15 @@ using namespace tsched::bench;
 
 int main(int argc, char** argv) {
     const Args args(argc, argv);
+    const auto n = static_cast<std::size_t>(args.get_int("n", 100));
+    const auto procs = static_cast<std::size_t>(args.get_int("procs", 8));
+    const double ccr = args.get_double("ccr", 1.0);
+    const double beta = args.get_double("beta", 0.5);
+
     BenchConfig config;
     config.experiment = "R1";
-    config.title = "robustness: realised/static makespan under runtime noise (n=100, P=8)";
+    config.title = "robustness: realised/static makespan under runtime noise (n=" +
+                   std::to_string(n) + ", P=" + std::to_string(procs) + ")";
     config.axis = "noise";
     config.algos = {"ils", "ils-d", "heft", "cpop"};
     config.trials = 15;
@@ -35,10 +41,10 @@ int main(int argc, char** argv) {
         for (std::size_t trial = 0; trial < config.trials; ++trial) {
             workload::InstanceParams params;
             params.shape = workload::Shape::kLayered;
-            params.size = 100;
-            params.num_procs = 8;
-            params.ccr = 1.0;
-            params.beta = 0.5;
+            params.size = n;
+            params.num_procs = procs;
+            params.ccr = ccr;
+            params.beta = beta;
             const Problem problem =
                 workload::make_instance(params, mix_seed(config.seed, trial));
             for (std::size_t s = 0; s < schedulers.size(); ++s) {

@@ -50,6 +50,9 @@ constexpr CodeInfo kCodes[] = {
     {Code::kSchedLoadImbalance, Severity::kWarning, "processor load strongly imbalanced"},
     {Code::kSchedSameProcDuplicate, Severity::kWarning,
      "task duplicated onto a processor it already occupies"},
+    {Code::kFaultPlanInvalid, Severity::kError, "fault plan is invalid or unsurvivable"},
+    {Code::kFaultRepairInvalid, Severity::kError,
+     "repair policy produced an invalid schedule"},
 };
 
 const CodeInfo& info(Code code) {

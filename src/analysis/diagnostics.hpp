@@ -10,6 +10,7 @@
 //   TS03xx  instance calibration         (problem lints)
 //   TS04xx  schedule validity            (schedule lints; all errors)
 //   TS05xx  schedule quality             (schedule lints; warnings/info)
+//   TS06xx  runtime faults & repair      (fault lints; all errors)
 //
 // Codes are append-only: a code, once shipped, never changes meaning, so
 // tooling that filters on "TS0406" keeps working across versions.  The text
@@ -73,6 +74,10 @@ enum class Code : std::uint16_t {
     kSchedIdleFragmentation = 502,   ///< processors mostly idle inside the makespan
     kSchedLoadImbalance = 503,       ///< busy time concentrated on few processors
     kSchedSameProcDuplicate = 504,   ///< task duplicated onto its own processor
+
+    // --- TS06xx: runtime faults & repair ----------------------------------
+    kFaultPlanInvalid = 601,   ///< fault plan references bad ids/times or is unsurvivable
+    kFaultRepairInvalid = 602, ///< repair policy produced an invalid schedule
 };
 
 /// "TS0406"-style stable name.

@@ -1,0 +1,86 @@
+#include "analysis/fault_lints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tsched::analysis {
+
+namespace {
+
+std::string num(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+}  // namespace
+
+void lint_fault_plan(const sim::FaultPlan& plan, const Problem& problem, Diagnostics& diags) {
+    const auto procs = static_cast<std::int64_t>(problem.num_procs());
+    const auto tasks = static_cast<std::int64_t>(problem.num_tasks());
+
+    std::vector<bool> crashed(problem.num_procs(), false);
+    for (const sim::ProcCrash& c : plan.crashes) {
+        if (c.proc < 0 || c.proc >= procs) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{kInvalidTask, c.proc, -1},
+                      "crash of processor " + std::to_string(c.proc) + " out of range [0, " +
+                          std::to_string(procs) + ")");
+            continue;
+        }
+        if (!(c.time >= 0.0) || !std::isfinite(c.time)) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{kInvalidTask, c.proc, -1},
+                      "crash of P" + std::to_string(c.proc) + " at invalid time " +
+                          num(c.time));
+        }
+        if (crashed[static_cast<std::size_t>(c.proc)]) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{kInvalidTask, c.proc, -1},
+                      "P" + std::to_string(c.proc) + " crashes more than once");
+        }
+        crashed[static_cast<std::size_t>(c.proc)] = true;
+    }
+    if (!plan.crashes.empty() &&
+        static_cast<std::size_t>(std::count(crashed.begin(), crashed.end(), true)) ==
+            problem.num_procs()) {
+        diags.add(Code::kFaultPlanInvalid, SourceLoc{},
+                  "plan crashes every processor; no repair can survive it");
+    }
+
+    for (const sim::TaskFault& f : plan.task_faults) {
+        if (f.task < 0 || f.task >= tasks) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{f.task, kInvalidProc, -1},
+                      "transient fault on task " + std::to_string(f.task) +
+                          " out of range [0, " + std::to_string(tasks) + ")");
+        }
+        if (f.failures == 0) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{f.task, kInvalidProc, -1},
+                      "transient fault on task " + std::to_string(f.task) +
+                          " with a zero failure budget (no effect)");
+        }
+    }
+
+    for (const sim::LinkSlowdown& s : plan.slowdowns) {
+        if (!(s.begin >= 0.0) || !std::isfinite(s.begin) || !std::isfinite(s.end) ||
+            s.end < s.begin) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{},
+                      "link slowdown window [" + num(s.begin) + ", " + num(s.end) +
+                          ") is invalid");
+        }
+        if (!(s.factor >= 1.0) || !std::isfinite(s.factor)) {
+            diags.add(Code::kFaultPlanInvalid, SourceLoc{},
+                      "link slowdown factor " + num(s.factor) +
+                          " must be finite and >= 1");
+        }
+        for (const ProcId endpoint : {s.src, s.dst}) {
+            if (endpoint != kInvalidProc && (endpoint < 0 || endpoint >= procs)) {
+                diags.add(Code::kFaultPlanInvalid, SourceLoc{kInvalidTask, endpoint, -1},
+                          "link slowdown endpoint P" + std::to_string(endpoint) +
+                              " out of range [0, " + std::to_string(procs) + ")");
+            }
+        }
+    }
+}
+
+}  // namespace tsched::analysis

@@ -1,0 +1,28 @@
+// Static analysis of fault plans (TS06xx).
+//
+// A FaultPlan is user input (bench flags, CLI, Monte-Carlo samplers), so the
+// fault simulator validates it with coded diagnostics before running:
+// out-of-range processor/task ids, negative or non-finite times, zero
+// failure budgets, inverted slowdown windows, shrinking factors, duplicate
+// crashes of one processor, and plans that kill every processor (no repair
+// can survive those) all emit TS0601.  sim::simulate_faulty emits TS0602
+// itself when a repair policy returns a schedule that fails the validity
+// lints; the code lives in the shared registry so tsched_lint can explain
+// both.
+//
+// This header only reads the plan's plain data — tsched_analysis does not
+// link against tsched_sim.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "platform/problem.hpp"
+#include "sim/faults.hpp"
+
+namespace tsched::analysis {
+
+/// Append a TS0601 diagnostic for every defect found in `plan` against
+/// `problem`'s task/processor ranges.  Purely additive; callers decide
+/// whether errors are fatal.
+void lint_fault_plan(const sim::FaultPlan& plan, const Problem& problem, Diagnostics& diags);
+
+}  // namespace tsched::analysis

@@ -1,0 +1,87 @@
+#include "metrics/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "util/rng.hpp"
+
+namespace tsched {
+
+RobustnessStats monte_carlo_degradation(const Schedule& schedule, const Problem& problem,
+                                        const RepairPolicy& policy,
+                                        const RobustnessParams& params, std::uint64_t seed) {
+    if (params.samples == 0) {
+        throw std::invalid_argument("monte_carlo_degradation: samples must be >= 1");
+    }
+    Rng rng(seed);
+    std::vector<double> degradations;
+    degradations.reserve(params.samples);
+    double sum = 0.0;
+    for (std::size_t s = 0; s < params.samples; ++s) {
+        const sim::FaultPlan plan =
+            sim::random_crash_plan(schedule, rng, params.min_fraction, params.max_fraction);
+        const sim::FaultReport report =
+            sim::simulate_faulty(schedule, problem, plan, policy);
+        degradations.push_back(report.degradation);
+        sum += report.degradation;
+    }
+    std::sort(degradations.begin(), degradations.end());
+    RobustnessStats stats;
+    stats.expected_degradation = sum / static_cast<double>(params.samples);
+    const auto n = static_cast<double>(degradations.size());
+    const auto rank = static_cast<std::size_t>(std::ceil(0.99 * n));
+    stats.p99_degradation = degradations[rank == 0 ? 0 : rank - 1];
+    stats.worst_degradation = degradations.back();
+    return stats;
+}
+
+double slack_robustness(const Schedule& schedule, const Problem& problem) {
+    constexpr double kEps = 1e-9;
+    const Dag& dag = problem.dag();
+    const LinkModel& links = problem.machine().links();
+    const double makespan = schedule.makespan();
+    if (makespan <= 0.0) return 0.0;
+
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t p = 0; p < schedule.num_procs(); ++p) {
+        const auto timeline = schedule.processor_timeline(static_cast<ProcId>(p));
+        for (std::size_t i = 0; i < timeline.size(); ++i) {
+            const Placement& pl = timeline[i];
+            // Slipping pl may not push the makespan nor its processor
+            // successor.
+            double slack = makespan - pl.finish;
+            if (i + 1 < timeline.size()) {
+                slack = std::min(slack, timeline[i + 1].start - pl.finish);
+            }
+            // Nor may any consumer that only pl can feed miss its input.
+            for (const AdjEdge& e : dag.successors(pl.task)) {
+                for (const Placement& cv : schedule.placements(e.task)) {
+                    const double arrival =
+                        pl.finish + links.comm_time(e.data, pl.proc, cv.proc);
+                    if (arrival > cv.start + kEps) continue;  // pl is not a supplier
+                    bool other_supplier = false;
+                    for (const Placement& pu : schedule.placements(pl.task)) {
+                        if (pu.proc == pl.proc && pu.start == pl.start) continue;
+                        if (pu.finish + links.comm_time(e.data, pu.proc, cv.proc) <=
+                            cv.start + kEps) {
+                            other_supplier = true;
+                            break;
+                        }
+                    }
+                    if (!other_supplier) {
+                        slack = std::min(slack, cv.start - arrival);
+                    }
+                }
+            }
+            total += std::max(slack, 0.0) / makespan;
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace tsched

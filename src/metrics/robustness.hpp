@@ -1,0 +1,48 @@
+// Robustness metrics: how much a static schedule degrades under runtime
+// faults, and how much slack it carries to absorb them.
+//
+// monte_carlo_degradation samples random single-processor crashes (uniform
+// processor, uniform crash fraction of the makespan), repairs each with the
+// given policy via sim::simulate_faulty, and summarises the realised
+// degradation distribution (mean, p99 by nearest rank, worst).  Everything
+// derives deterministically from the seed.
+//
+// slack_robustness is the static (simulation-free) counterpart: the mean,
+// over all placements, of the placement's *slack* — how far it can slip
+// without moving the makespan, delaying its processor successor, or making
+// any consumer miss the input it planned to use — normalised by the
+// makespan.  Higher is more robust.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/problem.hpp"
+#include "sched/repair.hpp"
+#include "sched/schedule.hpp"
+
+namespace tsched {
+
+struct RobustnessParams {
+    std::size_t samples = 32;
+    /// Crash-time window as fractions of the static makespan.
+    double min_fraction = 0.1;
+    double max_fraction = 0.9;
+};
+
+struct RobustnessStats {
+    double expected_degradation = 1.0;  ///< mean realised/static makespan
+    double p99_degradation = 1.0;       ///< nearest-rank 99th percentile
+    double worst_degradation = 1.0;     ///< max over the samples
+};
+
+/// Monte-Carlo crash sampling; throws what sim::simulate_faulty throws.
+[[nodiscard]] RobustnessStats monte_carlo_degradation(const Schedule& schedule,
+                                                      const Problem& problem,
+                                                      const RepairPolicy& policy,
+                                                      const RobustnessParams& params,
+                                                      std::uint64_t seed);
+
+/// Mean normalised placement slack in [0, 1]; higher absorbs more delay.
+[[nodiscard]] double slack_robustness(const Schedule& schedule, const Problem& problem);
+
+}  // namespace tsched

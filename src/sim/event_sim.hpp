@@ -41,6 +41,17 @@ struct SimResult {
 /// from U(1 - noise, 1 + noise) and every communication time by an
 /// independent such factor (noise in [0, 1)).  Models runtime deviation from
 /// the static estimates while keeping the static decisions fixed.
+///
+/// Rng stream-consumption contract: the call consumes exactly
+/// `num_placements + total_predecessor_edges` uniform draws from `rng`, all
+/// of them up front and in a fixed order — one duration factor per placement
+/// in enumerate_placements order (task-major, insertion order within a
+/// task), then one communication factor per (task, predecessor-edge) pair in
+/// task order.  The draw sequence is therefore a function of the schedule's
+/// shape alone, never of event interleaving, which makes the result — and
+/// the rng state afterwards — bit-identical for the same seed across
+/// platforms and repeat runs.  Callers sharing one Rng across replays rely
+/// on this to get a reproducible replay sequence.
 [[nodiscard]] SimResult simulate_noisy(const Schedule& schedule, const Problem& problem,
                                        double noise, Rng& rng);
 

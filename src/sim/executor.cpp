@@ -2,20 +2,26 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace tsched::sim {
 
 ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
-                                 const TaskBody& body) {
+                                 const TaskBody& body, const ExecutorOptions& options) {
     if (!schedule.complete()) {
         throw std::invalid_argument("execute_threaded: schedule is incomplete");
     }
     if (schedule.num_tasks() != dag.num_tasks()) {
         throw std::invalid_argument("execute_threaded: schedule does not match dag");
+    }
+    if (options.max_attempts == 0) {
+        throw std::invalid_argument("execute_threaded: max_attempts must be >= 1");
     }
     const std::size_t n = schedule.num_tasks();
     const std::size_t procs = schedule.num_procs();
@@ -28,6 +34,11 @@ ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
     std::vector<bool> done(n, false);
     bool failed = false;
     std::exception_ptr first_error;
+    // Placements abandoned by quarantined workers, in their original order;
+    // any idle worker may pick up any runnable entry.
+    std::deque<Placement> overflow;
+    std::vector<bool> quarantined(procs, false);
+    std::size_t remaining = 0;
 
     ExecutionReport report;
     report.placements_run.assign(procs, 0);
@@ -42,6 +53,7 @@ ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
     std::vector<std::vector<Placement>> orders(procs);
     for (std::size_t p = 0; p < procs; ++p) {
         orders[p] = schedule.processor_timeline(static_cast<ProcId>(p));
+        remaining += orders[p].size();
     }
 
     auto preds_done = [&](TaskId v) {
@@ -51,31 +63,101 @@ ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
         return true;
     };
 
-    auto worker = [&](std::size_t p) {
-        for (const Placement& pl : orders[p]) {
-            {
-                std::unique_lock lock(mutex);
-                cv.wait(lock, [&] { return failed || preds_done(pl.task); });
-                if (failed) return;
-            }
+    // Run one placement through the attempt ladder.  Returns the error that
+    // exhausted the attempts, or nullptr on success.
+    auto attempt_all = [&](const Placement& pl, std::size_t p) -> std::exception_ptr {
+        for (std::size_t attempt = 1;; ++attempt) {
             try {
                 body(pl.task, static_cast<ProcId>(p));
+                return nullptr;
             } catch (...) {
-                std::lock_guard lock(mutex);
-                if (!first_error) first_error = std::current_exception();
-                failed = true;
-                cv.notify_all();
-                return;
-            }
-            {
-                std::lock_guard lock(mutex);
-                if (!done[static_cast<std::size_t>(pl.task)]) {
-                    done[static_cast<std::size_t>(pl.task)] = true;
-                    completion[static_cast<std::size_t>(pl.task)] = elapsed();
+                if (attempt >= options.max_attempts) return std::current_exception();
+                {
+                    std::lock_guard lock(mutex);
+                    ++report.retries;
                 }
-                ++report.placements_run[p];
+                TSCHED_COUNT("executor_retries");
+                if (options.retry_backoff.count() > 0) {
+                    std::this_thread::sleep_for(options.retry_backoff *
+                                                (std::int64_t{1} << (attempt - 1)));
+                }
             }
+        }
+    };
+
+    auto worker = [&](std::size_t p) {
+        std::size_t idx = 0;
+        while (true) {
+            Placement pl{};
+            bool from_overflow = false;
+            {
+                std::unique_lock lock(mutex);
+                auto runnable_overflow = [&] {
+                    for (auto it = overflow.begin(); it != overflow.end(); ++it) {
+                        if (preds_done(it->task)) return it;
+                    }
+                    return overflow.end();
+                };
+                cv.wait(lock, [&] {
+                    return failed || remaining == 0 ||
+                           (!quarantined[p] && idx < orders[p].size() &&
+                            preds_done(orders[p][idx].task)) ||
+                           runnable_overflow() != overflow.end();
+                });
+                if (failed || remaining == 0) return;
+                if (!quarantined[p] && idx < orders[p].size() &&
+                    preds_done(orders[p][idx].task)) {
+                    pl = orders[p][idx++];
+                } else {
+                    const auto it = runnable_overflow();
+                    pl = *it;
+                    overflow.erase(it);
+                    from_overflow = true;
+                }
+            }
+
+            const std::exception_ptr err = attempt_all(pl, p);
+            if (!err) {
+                {
+                    std::lock_guard lock(mutex);
+                    if (!done[static_cast<std::size_t>(pl.task)]) {
+                        done[static_cast<std::size_t>(pl.task)] = true;
+                        completion[static_cast<std::size_t>(pl.task)] = elapsed();
+                    }
+                    ++report.placements_run[p];
+                    if (from_overflow) {
+                        ++report.migrations;
+                        TSCHED_COUNT("executor_migrations");
+                    }
+                    --remaining;
+                }
+                cv.notify_all();
+                continue;
+            }
+
+            std::unique_lock lock(mutex);
+            if (!from_overflow && options.reassign_on_failure) {
+                bool other_alive = false;
+                for (std::size_t q = 0; q < procs; ++q) {
+                    if (q != p && !quarantined[q]) other_alive = true;
+                }
+                if (other_alive) {
+                    // Quarantine: hand this and every remaining own placement
+                    // to the surviving workers and exit the thread.
+                    quarantined[p] = true;
+                    TSCHED_COUNT("executor_quarantines");
+                    overflow.push_back(pl);
+                    for (; idx < orders[p].size(); ++idx) overflow.push_back(orders[p][idx]);
+                    lock.unlock();
+                    cv.notify_all();
+                    return;
+                }
+            }
+            if (!first_error) first_error = err;
+            failed = true;
+            lock.unlock();
             cv.notify_all();
+            return;
         }
     };
 
@@ -87,7 +169,13 @@ ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
     if (first_error) std::rethrow_exception(first_error);
     report.wall_seconds = elapsed();
     report.task_completion = std::move(completion);
+    report.worker_quarantined = std::move(quarantined);
     return report;
+}
+
+ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
+                                 const TaskBody& body) {
+    return execute_threaded(schedule, dag, body, ExecutorOptions{});
 }
 
 }  // namespace tsched::sim

@@ -7,8 +7,15 @@
 // user supplies the task body; the executor supplies ordering, so this is
 // the end-to-end proof that a tsched schedule drives a real parallel
 // computation correctly.
+//
+// ExecutorOptions add the runtime-hardening layer: a task body that throws
+// can be retried up to `max_attempts` times with exponential backoff, and a
+// worker whose placement keeps failing can be quarantined — its remaining
+// queue moves to an overflow pool that the surviving workers drain (the
+// executor-level analogue of sched/repair.hpp's remap-pending policy).
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <vector>
 
@@ -17,13 +24,32 @@
 
 namespace tsched::sim {
 
+struct ExecutorOptions {
+    /// Execution attempts per placement (>= 1); attempts after the first are
+    /// retries of a body that threw.
+    std::size_t max_attempts = 1;
+    /// Sleep before retry k is `retry_backoff * 2^(k-1)`; zero disables.
+    std::chrono::nanoseconds retry_backoff{0};
+    /// After a placement exhausts its attempts, quarantine the worker and
+    /// hand its remaining placements to the other workers instead of
+    /// failing the run.  A placement that also fails on a second worker
+    /// stops execution (no endless hot-potato).
+    bool reassign_on_failure = false;
+};
+
 struct ExecutionReport {
     double wall_seconds = 0.0;
     /// Wall-clock completion (seconds since execution start) of each task's
     /// first finished instance.
     std::vector<double> task_completion;
-    /// Number of placements each worker executed.
+    /// Number of placements each worker executed (including stolen ones).
     std::vector<std::size_t> placements_run;
+    /// Failed execution attempts that were retried.
+    std::size_t retries = 0;
+    /// Placements executed by a different worker than planned.
+    std::size_t migrations = 0;
+    /// Workers quarantined after exhausting a placement's attempts.
+    std::vector<bool> worker_quarantined;
 };
 
 /// Body invoked per executed placement: (task, processor).  Must be
@@ -33,7 +59,14 @@ using TaskBody = std::function<void(TaskId, ProcId)>;
 /// Execute `schedule` of `dag` with one thread per processor.  Throws
 /// std::invalid_argument when the schedule is incomplete or sized
 /// differently from the DAG.  Exceptions thrown by the body stop execution
-/// and propagate after all workers exit.
+/// (after the retry/quarantine ladder of `options` is exhausted) and
+/// propagate after all workers exit.
+[[nodiscard]] ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
+                                               const TaskBody& body,
+                                               const ExecutorOptions& options);
+
+/// Fail-fast overload: one attempt, no reassignment (the pre-hardening
+/// behaviour).
 [[nodiscard]] ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
                                                const TaskBody& body);
 

@@ -1,0 +1,130 @@
+// Fault injection for static schedules: run the event simulator against a
+// deterministic, seed-derivable plan of runtime faults and (optionally)
+// repair the schedule on the fly.
+//
+// Three fault kinds:
+//   ProcCrash     a processor fail-stops permanently at time t.  Work that
+//                 completed before t keeps its outputs (data already shipped
+//                 or checkpointed); the in-flight placement and everything
+//                 still queued on the processor is lost and handed to the
+//                 RepairPolicy.
+//   TaskFault     a task fails its first `failures` execution attempts and
+//                 then succeeds; every failed attempt occupies its processor
+//                 for the task's full duration before the immediate retry
+//                 (fail-at-completion detection).  The failure budget is per
+//                 task and shared across duplicate instances.
+//   LinkSlowdown  cross-processor transfers whose producer finishes inside
+//                 [begin, end) are stretched by `factor` (src/dst of
+//                 kInvalidProc match any processor).
+//
+// simulate_faulty is a single continuous run, not a re-simulation: when the
+// simulated time reaches a crash, the in-flight placement on the dead
+// processor is aborted (provably unconsumed — the simulator commits
+// placements in non-decreasing start order), the surviving state is frozen,
+// and the RepairPolicy's schedule replaces the remainder of the plan.  All
+// repaired work is floored at the crash time, so causality holds and the
+// whole run is deterministic: same inputs, bit-identical FaultReport.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/repair.hpp"
+#include "sched/schedule.hpp"
+#include "sim/event_sim.hpp"
+#include "util/rng.hpp"
+
+namespace tsched::sim {
+
+/// Processor `proc` fail-stops at time `time`.
+struct ProcCrash {
+    ProcId proc = kInvalidProc;
+    double time = 0.0;
+
+    friend bool operator==(const ProcCrash&, const ProcCrash&) = default;
+};
+
+/// Task `task` fails its first `failures` execution attempts, then succeeds.
+struct TaskFault {
+    TaskId task = kInvalidTask;
+    std::size_t failures = 1;
+
+    friend bool operator==(const TaskFault&, const TaskFault&) = default;
+};
+
+/// Remote transfers leaving a producer that finishes in [begin, end) take
+/// `factor` times as long (factor >= 1); kInvalidProc matches any endpoint.
+struct LinkSlowdown {
+    double begin = 0.0;
+    double end = 0.0;
+    double factor = 1.0;
+    ProcId src = kInvalidProc;
+    ProcId dst = kInvalidProc;
+
+    friend bool operator==(const LinkSlowdown&, const LinkSlowdown&) = default;
+};
+
+struct FaultPlan {
+    std::vector<ProcCrash> crashes;
+    std::vector<TaskFault> task_faults;
+    std::vector<LinkSlowdown> slowdowns;
+
+    [[nodiscard]] bool empty() const noexcept {
+        return crashes.empty() && task_faults.empty() && slowdowns.empty();
+    }
+};
+
+/// Crash the processor carrying the most busy time at `fraction` of the
+/// schedule's makespan — the adversarial scenario the F-series sweeps.
+[[nodiscard]] FaultPlan crash_busiest(const Schedule& schedule, double fraction);
+
+/// One crash of a uniformly random processor at a uniformly random fraction
+/// of the makespan in [min_fraction, max_fraction) — the Monte-Carlo sample.
+[[nodiscard]] FaultPlan random_crash_plan(const Schedule& schedule, Rng& rng,
+                                          double min_fraction, double max_fraction);
+
+enum class FaultEventKind : std::uint8_t {
+    kCrash,             ///< processor fail-stopped
+    kTransientFailure,  ///< an execution attempt failed (will retry)
+    kRepair,            ///< a repair policy replaced the remaining plan
+    kMigration,         ///< a lost placement re-appeared on another processor
+    kReexecution,       ///< aborted in-flight work was run again
+};
+
+[[nodiscard]] const char* fault_event_kind_name(FaultEventKind kind) noexcept;
+
+struct FaultEvent {
+    FaultEventKind kind = FaultEventKind::kCrash;
+    double time = 0.0;
+    TaskId task = kInvalidTask;
+    ProcId proc = kInvalidProc;
+
+    friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Everything a faulty run produced.  `sim.finish_times` indexes the
+/// *repaired* schedule's placements (task-major, like sim::simulate).
+struct FaultReport {
+    SimResult sim;                  ///< realised run of the repaired schedule
+    Schedule repaired{0, 1};        ///< the plan as of the end of the run
+    double static_makespan = 0.0;   ///< the input schedule's planned makespan
+    double degradation = 1.0;       ///< sim.makespan / static_makespan
+    std::size_t retries = 0;            ///< failed execution attempts
+    std::size_t migrated_tasks = 0;     ///< tasks whose lost work moved processor
+    std::size_t reexecuted_tasks = 0;   ///< tasks whose aborted work ran again
+    std::size_t dropped_placements = 0; ///< planned placements repair did not re-create
+    double repair_latency = 0.0;    ///< worst crash-to-first-replacement-start gap
+    std::vector<FaultEvent> events; ///< faults and repairs in simulation order
+};
+
+/// Run `schedule` under `plan`, repairing each crash with `policy`.
+///
+/// Throws std::invalid_argument when the plan fails analysis::lint_fault_plan
+/// (TS0601) or the repair policy returns a schedule that fails the validity
+/// lints or loses the executed prefix (TS0602); std::runtime_error when the
+/// crashes leave no live processor to repair onto.
+[[nodiscard]] FaultReport simulate_faulty(const Schedule& schedule, const Problem& problem,
+                                          const FaultPlan& plan, const RepairPolicy& policy);
+
+}  // namespace tsched::sim

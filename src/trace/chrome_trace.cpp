@@ -15,6 +15,7 @@ namespace {
 
 constexpr int kExecPid = 0;
 constexpr int kCommPid = 1;
+constexpr int kFaultPid = 2;
 
 std::string num(double v) {
     char buf[48];
@@ -57,6 +58,15 @@ public:
         out_ += "{\"name\":\"" + name + "\",\"cat\":\"" + cat + "\",\"ph\":\"X\",\"ts\":" +
                 num(ts) + ",\"dur\":" + num(dur) + ",\"pid\":" + std::to_string(pid) +
                 ",\"tid\":" + std::to_string(tid) + ",\"args\":" + args_json + "}";
+    }
+
+    void instant(const std::string& name, const char* cat, double ts, int pid, int tid,
+                 const std::string& args_json) {
+        begin();
+        out_ += "{\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                "\",\"ph\":\"i\",\"s\":\"g\",\"ts\":" + num(ts) +
+                ",\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                ",\"args\":" + args_json + "}";
     }
 
     [[nodiscard]] std::string document() && {
@@ -193,6 +203,30 @@ std::string chrome_trace_json(const Schedule& schedule) {
     EventWriter writer;
     write_track_names(writer, schedule.num_procs(), /*comm=*/false);
     write_exec_events(writer, schedule, nullptr, nullptr, nullptr);
+    return std::move(writer).document();
+}
+
+std::string chrome_trace_json(const sim::FaultReport& report, const Problem& problem) {
+    EventWriter writer;
+    const Schedule& schedule = report.repaired;
+    write_track_names(writer, schedule.num_procs(), /*comm=*/true);
+    writer.metadata(kFaultPid, 0, false, "faults");
+    for (std::size_t p = 0; p < schedule.num_procs(); ++p) {
+        writer.metadata(kFaultPid, static_cast<int>(p), true, "P" + std::to_string(p));
+    }
+    const Dag* dag = &problem.dag();
+    write_exec_events(writer, schedule, dag, &problem, &report.sim.finish_times);
+    write_nominal_comm_events(writer, schedule, problem, &report.sim.finish_times);
+    for (const sim::FaultEvent& ev : report.events) {
+        std::string args = "{\"kind\":\"" + std::string(sim::fault_event_kind_name(ev.kind)) +
+                           "\",\"time\":" + num(ev.time);
+        if (ev.task != kInvalidTask) args += ",\"task\":" + std::to_string(ev.task);
+        args += "}";
+        std::string name{sim::fault_event_kind_name(ev.kind)};
+        if (ev.task != kInvalidTask) name += " " + task_label(ev.task, dag);
+        const int tid = ev.proc != kInvalidProc ? static_cast<int>(ev.proc) : 0;
+        writer.instant(name, "fault", ev.time, kFaultPid, tid, args);
+    }
     return std::move(writer).document();
 }
 

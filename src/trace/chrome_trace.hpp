@@ -17,12 +17,17 @@
 //   kContended  — times from sim::simulate_contended(): execution shifts
 //                 and the transfer windows are the one-port model's actual
 //                 port reservations.
+// A faulty run (sim::simulate_faulty) adds a third process (pid 2): one
+// instant event per fault-timeline entry — crashes, transient failures,
+// repairs, migrations, re-executions — on the affected processor's row, over
+// the repaired schedule's realised execution tracks.
 #pragma once
 
 #include <string>
 
 #include "platform/problem.hpp"
 #include "sched/schedule.hpp"
+#include "sim/faults.hpp"
 
 namespace tsched::trace {
 
@@ -39,5 +44,10 @@ enum class TraceMode { kPlanned, kSimulated, kContended };
 /// schedules).
 [[nodiscard]] std::string chrome_trace_json(const Schedule& schedule, const Problem& problem,
                                             TraceMode mode = TraceMode::kPlanned);
+
+/// A faulty run: the repaired schedule's realised execution and
+/// communication tracks plus the fault timeline (pid 2).
+[[nodiscard]] std::string chrome_trace_json(const sim::FaultReport& report,
+                                            const Problem& problem);
 
 }  // namespace tsched::trace

@@ -63,8 +63,14 @@ TEST(Diagnostics, ValidityCodesDefaultToError) {
         if (value >= 400 && value < 500) {
             EXPECT_EQ(default_severity(code), Severity::kError) << code_name(code);
         }
-        if (value >= 500) {
+        // TS05xx is the quality band (warnings/info); the TS06xx fault band
+        // is back to hard errors (an invalid fault plan or repair cannot be
+        // simulated at all).
+        if (value >= 500 && value < 600) {
             EXPECT_NE(default_severity(code), Severity::kError) << code_name(code);
+        }
+        if (value >= 600) {
+            EXPECT_EQ(default_severity(code), Severity::kError) << code_name(code);
         }
     }
 }

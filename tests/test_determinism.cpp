@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "sched/repair.hpp"
+#include "sim/faults.hpp"
 #include "workload/instance.hpp"
 
 namespace tsched {
@@ -279,6 +281,118 @@ TEST(Determinism, RepeatRunsAreBitIdentical) {
             for (std::size_t i = 0; i < pa.size(); ++i) {
                 EXPECT_EQ(pa[i], pb[i]) << algo << " task " << v;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection golden battery.
+//
+// The acceptance scenario for the fault pipeline: the busiest processor of
+// the schedule crashes at 50% of the static makespan on a 100-task, 8-proc
+// instance, once per repair policy.  The rows pin the realised degradation
+// (1e-9 relative, same FMA caveat as above) and the exact repair
+// bookkeeping; any change to the fault simulator's event ordering, the
+// repair policies, or the frozen-prefix rebuild will move at least one
+// value.  Regenerate by running simulate_faulty at these points and printing
+// degradation with %.17g.
+
+struct FaultGoldenRow {
+    std::uint64_t seed;
+    const char* algo;
+    const char* policy;
+    double degradation;
+    std::size_t migrated;
+    std::size_t reexecuted;
+    std::size_t dropped;
+    std::size_t placements;  ///< placements in the repaired schedule
+};
+
+const std::vector<FaultGoldenRow>& fault_golden_rows() {
+    static const std::vector<FaultGoldenRow> rows{
+    {2007ULL, "heft", "none", 1.4103228225931157, 9, 1, 0, 100},
+    {2007ULL, "heft", "remap-pending", 1.2741887853197527, 9, 1, 0, 100},
+    {2007ULL, "heft", "reschedule-suffix", 1.0426744164951278, 9, 1, 0, 100},
+    {2007ULL, "heft", "use-duplicates", 1.2741887853197527, 9, 1, 0, 100},
+    {2007ULL, "ils-d", "none", 1.3245078850937724, 6, 0, 3, 120},
+    {2007ULL, "ils-d", "remap-pending", 1.2581083509420612, 8, 1, 0, 123},
+    {2007ULL, "ils-d", "reschedule-suffix", 1.0612455005355346, 6, 0, 14, 109},
+    {2007ULL, "ils-d", "use-duplicates", 1.2581083509420612, 6, 0, 3, 120},
+    {42ULL, "heft", "none", 1.2220419973927381, 9, 1, 0, 100},
+    {42ULL, "heft", "remap-pending", 1.1452383665040282, 9, 1, 0, 100},
+    {42ULL, "heft", "reschedule-suffix", 1.0301768502078403, 9, 1, 0, 100},
+    {42ULL, "heft", "use-duplicates", 1.1452383665040282, 9, 1, 0, 100},
+    {42ULL, "ils-d", "none", 1.2592356905841562, 9, 1, 4, 131},
+    {42ULL, "ils-d", "remap-pending", 1.2309604139594821, 9, 1, 0, 135},
+    {42ULL, "ils-d", "reschedule-suffix", 1.0752381687626615, 9, 1, 11, 124},
+    {42ULL, "ils-d", "use-duplicates", 1.2146753468221125, 9, 1, 4, 131},
+    };
+    return rows;
+}
+
+TEST(Determinism, FaultGoldenBatteryDegradationsAndRepairCounts) {
+    std::optional<Problem> problem;
+    std::uint64_t cached_seed = 0;
+    std::string cached_algo;
+    std::optional<Schedule> schedule;
+    for (const FaultGoldenRow& row : fault_golden_rows()) {
+        if (!problem || row.seed != cached_seed) {
+            workload::InstanceParams params;
+            params.size = 100;
+            params.num_procs = 8;
+            params.ccr = 1.0;
+            params.beta = 0.75;
+            problem.emplace(workload::make_instance(params, row.seed));
+            cached_seed = row.seed;
+            cached_algo.clear();
+        }
+        if (!schedule || row.algo != cached_algo) {
+            schedule.emplace(make_scheduler(row.algo)->schedule(*problem));
+            cached_algo = row.algo;
+        }
+        const sim::FaultPlan plan = sim::crash_busiest(*schedule, 0.5);
+        const auto policy = make_repair_policy(row.policy);
+        const auto report = sim::simulate_faulty(*schedule, *problem, plan, *policy);
+        const std::string where =
+            std::string(row.algo) + "/" + row.policy + " seed=" + std::to_string(row.seed);
+        EXPECT_NEAR(report.degradation, row.degradation, 1e-9 * row.degradation) << where;
+        EXPECT_EQ(report.migrated_tasks, row.migrated) << where;
+        EXPECT_EQ(report.reexecuted_tasks, row.reexecuted) << where;
+        EXPECT_EQ(report.dropped_placements, row.dropped) << where;
+        EXPECT_EQ(report.repaired.num_placements(), row.placements) << where;
+    }
+}
+
+/// One level stronger, mirroring RepeatRunsAreBitIdentical: the same faulty
+/// run replayed twice must agree in *every* FaultReport field, bit for bit.
+TEST(Determinism, FaultReportsAreBitIdenticalAcrossRepeatRuns) {
+    workload::InstanceParams params;
+    params.size = 100;
+    params.num_procs = 8;
+    params.ccr = 1.0;
+    params.beta = 0.75;
+    const Problem problem = workload::make_instance(params, 2007);
+    for (const char* algo : {"heft", "ils-d"}) {
+        const Schedule schedule = make_scheduler(algo)->schedule(problem);
+        const sim::FaultPlan plan = sim::crash_busiest(schedule, 0.5);
+        for (const char* pol :
+             {"none", "remap-pending", "reschedule-suffix", "use-duplicates"}) {
+            const auto policy = make_repair_policy(pol);
+            const auto a = sim::simulate_faulty(schedule, problem, plan, *policy);
+            const auto b = sim::simulate_faulty(schedule, problem, plan, *policy);
+            const std::string where = std::string(algo) + "/" + pol;
+            EXPECT_EQ(a.sim.makespan, b.sim.makespan) << where;
+            EXPECT_EQ(a.sim.proc_busy, b.sim.proc_busy) << where;
+            EXPECT_EQ(a.sim.remote_messages, b.sim.remote_messages) << where;
+            EXPECT_EQ(a.sim.comm_volume, b.sim.comm_volume) << where;
+            EXPECT_EQ(a.sim.finish_times, b.sim.finish_times) << where;
+            EXPECT_EQ(a.degradation, b.degradation) << where;
+            EXPECT_EQ(a.retries, b.retries) << where;
+            EXPECT_EQ(a.migrated_tasks, b.migrated_tasks) << where;
+            EXPECT_EQ(a.reexecuted_tasks, b.reexecuted_tasks) << where;
+            EXPECT_EQ(a.dropped_placements, b.dropped_placements) << where;
+            EXPECT_EQ(a.repair_latency, b.repair_latency) << where;
+            EXPECT_EQ(a.events, b.events) << where;
         }
     }
 }

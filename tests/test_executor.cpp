@@ -93,6 +93,104 @@ TEST(Executor, PropagatesBodyExceptions) {
         std::runtime_error);
 }
 
+TEST(Executor, AllWorkersExitBeforeThrowPropagates) {
+    // The throw must happen after every worker joined: no body can still be
+    // in flight once execute_threaded returns control to the caller.
+    const Problem problem = sample_problem(4, 4);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    std::atomic<int> in_flight{0};
+    EXPECT_THROW((void)sim::execute_threaded(schedule, problem.dag(),
+                                             [&](TaskId v, ProcId) {
+                                                 in_flight.fetch_add(1);
+                                                 if (v == 5) {
+                                                     in_flight.fetch_sub(1);
+                                                     throw std::runtime_error("boom");
+                                                 }
+                                                 in_flight.fetch_sub(1);
+                                             }),
+                 std::runtime_error);
+    EXPECT_EQ(in_flight.load(), 0);
+}
+
+TEST(Executor, RetriesTransientFailures) {
+    const Problem problem = sample_problem(11, 4);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    std::atomic<int> attempts{0};
+    sim::ExecutorOptions options;
+    options.max_attempts = 3;
+    options.retry_backoff = std::chrono::microseconds(10);
+    const auto report = sim::execute_threaded(
+        schedule, problem.dag(),
+        [&](TaskId v, ProcId) {
+            if (v == 5 && attempts.fetch_add(1) < 2) throw std::runtime_error("flaky");
+        },
+        options);
+    EXPECT_EQ(attempts.load(), 3);  // two failures, then success
+    EXPECT_EQ(report.retries, 2u);
+    EXPECT_EQ(report.migrations, 0u);
+    std::size_t total = 0;
+    for (const std::size_t c : report.placements_run) total += c;
+    EXPECT_EQ(total, problem.num_tasks());
+}
+
+TEST(Executor, ExhaustedRetriesPropagate) {
+    const Problem problem = sample_problem(12, 2);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    std::atomic<int> attempts{0};
+    sim::ExecutorOptions options;
+    options.max_attempts = 3;
+    EXPECT_THROW((void)sim::execute_threaded(schedule, problem.dag(),
+                                             [&](TaskId v, ProcId) {
+                                                 if (v == 5) {
+                                                     attempts.fetch_add(1);
+                                                     throw std::runtime_error("dead");
+                                                 }
+                                             },
+                                             options),
+                 std::runtime_error);
+    EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(Executor, QuarantinesFailingWorkerAndMigratesItsQueue) {
+    const Problem problem = sample_problem(13, 4);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    // Pick a processor that actually carries work.
+    ProcId bad = 0;
+    for (std::size_t p = 0; p < problem.num_procs(); ++p) {
+        if (!schedule.processor_timeline(static_cast<ProcId>(p)).empty()) {
+            bad = static_cast<ProcId>(p);
+            break;
+        }
+    }
+    sim::ExecutorOptions options;
+    options.reassign_on_failure = true;
+    std::atomic<int> runs{0};
+    const auto report = sim::execute_threaded(
+        schedule, problem.dag(),
+        [&](TaskId, ProcId p) {
+            if (p == bad) throw std::runtime_error("broken worker");
+            runs.fetch_add(1);
+        },
+        options);
+    // Every placement still ran exactly once, just not on the bad worker.
+    EXPECT_EQ(runs.load(), static_cast<int>(problem.num_tasks()));
+    EXPECT_TRUE(report.worker_quarantined[static_cast<std::size_t>(bad)]);
+    EXPECT_EQ(report.placements_run[static_cast<std::size_t>(bad)], 0u);
+    EXPECT_EQ(report.migrations,
+              schedule.processor_timeline(bad).size());
+    for (const double t : report.task_completion) EXPECT_GE(t, 0.0);
+}
+
+TEST(Executor, RejectsZeroAttempts) {
+    const Problem problem = sample_problem(14, 2);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    sim::ExecutorOptions options;
+    options.max_attempts = 0;
+    EXPECT_THROW((void)sim::execute_threaded(schedule, problem.dag(),
+                                             [](TaskId, ProcId) {}, options),
+                 std::invalid_argument);
+}
+
 TEST(Executor, RejectsIncompleteSchedule) {
     const Problem problem = sample_problem(5, 2);
     Schedule empty(problem.num_tasks(), problem.num_procs());

@@ -5,6 +5,7 @@
 #include "core/registry.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/pairwise.hpp"
+#include "metrics/robustness.hpp"
 #include "metrics/runner.hpp"
 #include "workload/instance.hpp"
 
@@ -165,6 +166,73 @@ TEST(Runner, RejectsEmptySchedulerSet) {
     workload::InstanceParams params;
     EXPECT_THROW((void)run_point(params, std::span<const Scheduler* const>{}, 1, 0),
                  std::invalid_argument);
+}
+
+TEST(Robustness, MonteCarloIsDeterministicAndSane) {
+    workload::InstanceParams params;
+    params.size = 40;
+    params.num_procs = 4;
+    const Problem problem = workload::make_instance(params, 17);
+    const Schedule schedule = make_scheduler("heft")->schedule(problem);
+    const auto policy = make_repair_policy("reschedule-suffix");
+    RobustnessParams rp;
+    rp.samples = 16;
+    const auto a = monte_carlo_degradation(schedule, problem, *policy, rp, 5);
+    const auto b = monte_carlo_degradation(schedule, problem, *policy, rp, 5);
+    EXPECT_EQ(a.expected_degradation, b.expected_degradation);
+    EXPECT_EQ(a.p99_degradation, b.p99_degradation);
+    EXPECT_EQ(a.worst_degradation, b.worst_degradation);
+    // The ordering mean <= p99 <= worst holds by construction, and a crash
+    // can never *shrink* the realised makespan below... well, it can with a
+    // smarter repair, but never below a loose floor of the static CP bound.
+    EXPECT_LE(a.expected_degradation, a.p99_degradation + 1e-12);
+    EXPECT_LE(a.p99_degradation, a.worst_degradation + 1e-12);
+    EXPECT_GT(a.expected_degradation, 0.0);
+    // A different seed samples different crashes.
+    const auto c = monte_carlo_degradation(schedule, problem, *policy, rp, 6);
+    EXPECT_NE(a.expected_degradation, c.expected_degradation);
+}
+
+TEST(Robustness, MonteCarloRejectsZeroSamples) {
+    const Problem problem = chain2();
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 1.0);
+    s.add(1, 0, 1.0, 2.0);
+    RobustnessParams rp;
+    rp.samples = 0;
+    const auto policy = make_repair_policy("none");
+    EXPECT_THROW((void)monte_carlo_degradation(s, problem, *policy, rp, 1),
+                 std::invalid_argument);
+}
+
+TEST(Robustness, SlackScoreBoundsAndHandValue) {
+    // Two independent unit tasks on separate procs, makespan 2: the task
+    // finishing at 1 has one unit of slack, the critical one has none.
+    Dag dag;
+    dag.add_task(1.0);
+    dag.add_task(2.0);
+    const auto links = std::make_shared<UniformLinkModel>(0.0, 1.0);
+    Machine machine = Machine::homogeneous(2, links);
+    CostMatrix costs = CostMatrix::uniform(dag, 2);
+    const Problem problem(std::move(dag), std::move(machine), std::move(costs));
+    Schedule s(2, 2);
+    s.add(0, 0, 0.0, 1.0);
+    s.add(1, 1, 0.0, 2.0);
+    // Slacks: task 0 -> (2 - 1)/2 = 0.5, task 1 -> 0.  Mean = 0.25.
+    EXPECT_DOUBLE_EQ(slack_robustness(s, problem), 0.25);
+}
+
+TEST(Robustness, SlackScoreStaysInUnitIntervalOnRealSchedules) {
+    workload::InstanceParams params;
+    params.size = 50;
+    params.num_procs = 8;
+    const Problem problem = workload::make_instance(params, 23);
+    for (const auto* name : {"heft", "ils", "ils-d", "dsh"}) {
+        const Schedule s = make_scheduler(name)->schedule(problem);
+        const double score = slack_robustness(s, problem);
+        EXPECT_GE(score, 0.0) << name;
+        EXPECT_LE(score, 1.0) << name;
+    }
 }
 
 }  // namespace

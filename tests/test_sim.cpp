@@ -127,6 +127,39 @@ TEST(SimulateNoisy, ZeroNoiseEqualsExact) {
     EXPECT_DOUBLE_EQ(noisy.makespan, exact.makespan);
 }
 
+TEST(SimulateNoisy, SameSeedRunsAreBitIdenticalInEveryField) {
+    const Problem problem = sample_problem(21, 4.0);
+    const Schedule schedule = make_scheduler("ils-d")->schedule(problem);
+    Rng rng1(77);
+    Rng rng2(77);
+    const auto a = sim::simulate_noisy(schedule, problem, 0.3, rng1);
+    const auto b = sim::simulate_noisy(schedule, problem, 0.3, rng2);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.proc_busy, b.proc_busy);
+    EXPECT_EQ(a.remote_messages, b.remote_messages);
+    EXPECT_EQ(a.comm_volume, b.comm_volume);
+    EXPECT_EQ(a.finish_times, b.finish_times);
+    // The rngs are in identical states afterwards too.
+    EXPECT_EQ(rng1.uniform(0.0, 1.0), rng2.uniform(0.0, 1.0));
+}
+
+TEST(SimulateNoisy, ConsumesAFixedNumberOfDraws) {
+    // The documented contract: exactly one uniform draw per placement plus
+    // one per (task, predecessor-edge) pair, regardless of interleaving.
+    const Problem problem = sample_problem(22);
+    const Schedule schedule = make_scheduler("dsh")->schedule(problem);
+    std::size_t expected = 0;
+    for (std::size_t v = 0; v < problem.num_tasks(); ++v) {
+        expected += schedule.placements(static_cast<TaskId>(v)).size();
+        expected += problem.dag().predecessors(static_cast<TaskId>(v)).size();
+    }
+    Rng used(123);
+    (void)sim::simulate_noisy(schedule, problem, 0.2, used);
+    Rng skipped(123);
+    for (std::size_t i = 0; i < expected; ++i) (void)skipped.uniform(0.8, 1.2);
+    EXPECT_EQ(used.uniform(0.0, 1.0), skipped.uniform(0.0, 1.0));
+}
+
 TEST(SimulateNoisy, DeterministicPerSeedAndPerturbsResult) {
     const Problem problem = sample_problem(9);
     const Schedule schedule = make_scheduler("ils")->schedule(problem);

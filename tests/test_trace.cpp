@@ -16,6 +16,8 @@
 #include "platform/machine.hpp"
 #include "platform/problem.hpp"
 #include "sched/heft.hpp"
+#include "sched/repair.hpp"
+#include "sim/faults.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/counters.hpp"
 #include "trace/decision.hpp"
@@ -418,6 +420,30 @@ TEST(ChromeTrace, ScheduleOnlyOverloadParsesBack) {
     const std::string json = trace::chrome_trace_json(schedule);
     EXPECT_NO_THROW(JsonReader(json).parse());
     EXPECT_EQ(count_key(json, "process_name"), 1u) << "no communication group without a problem";
+}
+
+TEST(ChromeTrace, FaultReportOverloadAddsFaultTrack) {
+    const Problem problem = small_problem();
+    const Schedule schedule = HeftScheduler().schedule(problem);
+    const sim::FaultPlan plan = sim::crash_busiest(schedule, 0.5);
+    const auto policy = make_repair_policy("remap-pending");
+    const auto report = sim::simulate_faulty(schedule, problem, plan, *policy);
+    const std::string json = trace::chrome_trace_json(report, problem);
+    EXPECT_NO_THROW(JsonReader(json).parse());
+    EXPECT_EQ(count_key(json, "process_name"), 3u)
+        << "execution + communication + faults groups";
+    // One instant event per FaultEvent: a crash, a repair, and each
+    // migration/re-execution show up as ph:"i" markers.
+    ASSERT_FALSE(report.events.empty());
+    std::size_t instants = 0;
+    const std::string needle = "\"ph\":\"i\"";
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+        ++instants;
+    }
+    EXPECT_EQ(instants, report.events.size());
+    // Every repaired placement still gets a complete exec event.
+    EXPECT_GE(count_key(json, "ph"), report.repaired.num_placements() + report.events.size());
 }
 
 TEST(ChromeTrace, TaskNamesAreEscaped) {

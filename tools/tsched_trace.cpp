@@ -24,6 +24,12 @@
 //   --explain=T|all   print the decision record for task T (an id) or for
 //                     every task of the winning pass
 //   --decisions=PATH  write the full decision trace (all passes) as JSON
+//   --crash=P@F       export a faulty run instead: processor P fail-stops at
+//                     fraction F of the static makespan (e.g. --crash=2@0.5),
+//                     the repair policy patches the schedule mid-run, and the
+//                     trace gains a fault timeline (needs .tsg and .tsp)
+//   --repair=NAME     repair policy for --crash: none, remap-pending
+//                     (default), reschedule-suffix, or use-duplicates
 //   --counters[=fmt]  after the run, print every trace counter and span
 //                     recorded in this process: fmt = md (default) or csv
 //                     (empty in a TSCHED_TRACE=OFF build)
@@ -39,6 +45,7 @@
 #include "graph/serialize.hpp"
 #include "platform/platform_io.hpp"
 #include "sched/schedule_io.hpp"
+#include "sim/faults.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/counters.hpp"
 #include "trace/decision.hpp"
@@ -55,6 +62,7 @@ void print_usage(std::ostream& os) {
     os << "usage: tsched_trace <file.tsg> <file.tsp> [file.tss]\n"
        << "                    [--out=PATH] [--mode=planned|sim|contended]\n"
        << "                    [--algo=NAME] [--explain=TASK|all] [--decisions=PATH]\n"
+       << "                    [--crash=P@F] [--repair=POLICY]\n"
        << "                    [--counters[=md|csv]] [--version] [--help]\n"
        << "Convert a schedule to Chrome trace_event JSON, or run a scheduler\n"
        << "with a decision trace and explain every placement.\n";
@@ -128,7 +136,7 @@ int main(int argc, char** argv) {
     }
     try {
         args.check_known({"dag", "platform", "schedule", "out", "mode", "algo", "explain",
-                          "decisions", "counters", "help", "version"});
+                          "decisions", "crash", "repair", "counters", "help", "version"});
     } catch (const std::exception& err) {
         usage_error(err.what());
     }
@@ -207,7 +215,33 @@ int main(int argc, char** argv) {
         const bool explicit_out = args.has("out");
         const bool export_by_default =
             schedule_path && explain.empty() && decisions_path.empty() && !want_counters;
-        if (schedule && (explicit_out || export_by_default)) {
+        const std::string crash_spec = args.get_string("crash", "");
+        if (!crash_spec.empty()) {
+            if (!schedule || !problem) {
+                usage_error("--crash needs a schedule (.tss or --algo) plus .tsg and .tsp");
+            }
+            const std::size_t at = crash_spec.find('@');
+            if (at == std::string::npos) {
+                usage_error("--crash expects PROC@FRACTION, e.g. --crash=2@0.5");
+            }
+            sim::FaultPlan plan;
+            plan.crashes.push_back(
+                {static_cast<ProcId>(std::stol(crash_spec.substr(0, at))),
+                 std::stod(crash_spec.substr(at + 1)) * schedule->makespan()});
+            const RepairPolicyPtr policy =
+                make_repair_policy(args.get_string("repair", "remap-pending"));
+            const sim::FaultReport report =
+                sim::simulate_faulty(*schedule, *problem, plan, *policy);
+            std::cerr << "crash P" << plan.crashes[0].proc << " at t=" << plan.crashes[0].time
+                      << " repair=" << policy->name() << ": makespan "
+                      << report.static_makespan << " -> " << report.sim.makespan
+                      << " (degradation " << report.degradation << ", "
+                      << report.migrated_tasks << " migrated)\n";
+            if (!write_or_print(args.get_string("out", ""),
+                                trace::chrome_trace_json(report, *problem))) {
+                return 2;
+            }
+        } else if (schedule && (explicit_out || export_by_default)) {
             const std::string json = problem ? trace::chrome_trace_json(*schedule, *problem, mode)
                                              : trace::chrome_trace_json(*schedule);
             if (!write_or_print(args.get_string("out", ""), json)) return 2;
