@@ -1,0 +1,285 @@
+// E17 — serving core under request streams (bench_serve).
+//
+// Replays generated .tsr request streams through the ServeEngine and sweeps
+// batch size x cache capacity x repeat-fraction, reporting QPS, latency
+// p50/p95/p99, and cache hit rate per point (EXPERIMENTS.md E17).
+//
+// Protocol: every point materializes its requests before the clock starts
+// and replays the stream --epochs times against one persistent engine
+// (steady-state serving; see serve/replay.hpp).  The stream itself carries
+// an exact repeat fraction, so single-epoch numbers are the cold-cache view
+// and multi-epoch numbers the steady-state view.
+//
+//   --requests=N         stream length (default 64)
+//   --n=N                instance size (default 150)
+//   --procs=P            processors (default 8)
+//   --algo=NAME          scheduler under service (default ils-d)
+//   --threads=T          serving pool workers (default 0 = hardware)
+//   --epochs=E           passes per measurement (default 2)
+//   --batches=a,b        batch sizes to sweep (default 1,8,32)
+//   --capacities=a,b     cache capacities to sweep (default 8,1024)
+//   --repeat-fracs=a,b   repeat fractions to sweep (default 0,0.5,0.9)
+//   --seed=S             trace generation seed (default 2007)
+//   --csv=PATH           also write the sweep table as CSV
+//
+//   --check              acceptance gate (registered as ctest bench_serve_check):
+//                        1. cache-hit schedules are bit-identical (same TSS
+//                           bytes, same object) to cold-computed ones;
+//                        2. cache-on serving equals cache-off serving
+//                           request-for-request;
+//                        3. concurrent identical requests coalesce onto one
+//                           computation;
+//                        4. a 50%-repeat stream serves >= 2x the QPS of
+//                           --cache=off at steady state (2 epochs; the ideal
+//                           ratio there is 4x, so the gate has 2x headroom).
+//
+// Exit status: 0 success (check included), 1 check failure, 2 usage errors.
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/registry.hpp"
+#include "sched/schedule_io.hpp"
+#include "serve/replay.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tsched;
+
+struct ServeBenchConfig {
+    std::size_t requests = 64;
+    std::size_t n = 150;
+    std::size_t procs = 8;
+    std::string algo = "ils-d";
+    std::size_t threads = 0;
+    std::size_t epochs = 2;
+    std::vector<std::size_t> batches = {1, 8, 32};
+    std::vector<std::size_t> capacities = {8, 1024};
+    std::vector<double> repeat_fracs = {0.0, 0.5, 0.9};
+    std::uint64_t seed = 2007;
+    std::string csv_path;
+};
+
+serve::TraceGenParams trace_params(const ServeBenchConfig& config, double repeat_frac) {
+    serve::TraceGenParams params;
+    params.requests = config.requests;
+    params.repeat_frac = repeat_frac;
+    params.algos = {config.algo};
+    params.size = config.n;
+    params.procs = config.procs;
+    params.seed = config.seed;
+    return params;
+}
+
+int run_sweep(const ServeBenchConfig& config) {
+    std::cout << "== E17: serving core (" << config.algo << ", n=" << config.n << ", P="
+              << config.procs << ", " << config.requests << " requests x " << config.epochs
+              << " epochs, threads=" << (config.threads ? std::to_string(config.threads)
+                                                        : std::string("hw"))
+              << ") ==\n";
+    ThreadPool pool(config.threads);
+    Table table({"repeat", "capacity", "batch", "qps", "p50 ms", "p95 ms", "p99 ms",
+                 "hit %", "evict"});
+    for (const double frac : config.repeat_fracs) {
+        const auto trace = serve::generate_trace(trace_params(config, frac));
+        for (const std::size_t capacity : config.capacities) {
+            for (const std::size_t batch : config.batches) {
+                serve::ReplayOptions options;
+                options.config.cache_capacity = capacity;
+                options.batch = batch;
+                options.epochs = config.epochs;
+                const auto report = serve::replay_trace(trace, options, pool);
+                table.new_row()
+                    .add(frac, 2)
+                    .add(capacity)
+                    .add(batch)
+                    .add(report.qps, 1)
+                    .add(report.latency_p50_ms, 3)
+                    .add(report.latency_p95_ms, 3)
+                    .add(report.latency_p99_ms, 3)
+                    .add(report.stats.hit_rate() * 100.0, 1)
+                    .add(static_cast<std::size_t>(report.stats.cache.evictions));
+            }
+        }
+    }
+    // Cache-off reference row (repeat fraction 0.5, largest batch).
+    {
+        const auto trace = serve::generate_trace(trace_params(config, 0.5));
+        serve::ReplayOptions options;
+        options.config.enable_cache = false;
+        options.config.enable_dedup = false;
+        options.batch = config.batches.back();
+        options.epochs = config.epochs;
+        const auto report = serve::replay_trace(trace, options, pool);
+        table.new_row()
+            .add("0.50*")
+            .add("off")
+            .add(options.batch)
+            .add(report.qps, 1)
+            .add(report.latency_p50_ms, 3)
+            .add(report.latency_p95_ms, 3)
+            .add(report.latency_p99_ms, 3)
+            .add(0.0, 1)
+            .add(std::size_t{0});
+    }
+    std::cout << table.to_markdown() << "(* = cache off)\n";
+    if (!config.csv_path.empty() && !table.write_csv(config.csv_path))
+        std::cerr << "bench_serve: could not write " << config.csv_path << '\n';
+    return 0;
+}
+
+int fail(const std::string& what) {
+    std::cout << "check: FAIL — " << what << '\n';
+    return 1;
+}
+
+int run_check(const ServeBenchConfig& config) {
+    ThreadPool pool(config.threads);
+    const auto params = trace_params(config, 0.5);
+    const auto trace = serve::generate_trace(params);
+
+    // 1. Cache hits are bit-identical to cold runs: serve every distinct
+    //    request twice through a caching engine and compare the hit against
+    //    an engine-free cold computation, byte for byte through the TSS
+    //    serializer.
+    {
+        serve::ServeConfig cfg;
+        serve::ServeEngine engine(cfg, pool);
+        const auto scheduler = make_scheduler(config.algo);
+        std::set<std::uint64_t> seen;
+        for (const serve::TraceRequest& tr : trace) {
+            auto request = serve::materialize(tr);
+            if (!seen.insert(serve::fingerprint_request(request)).second) continue;
+            const auto cold_text = to_tss(scheduler->schedule(*request.problem));
+            const auto first = engine.serve(request);
+            const auto second = engine.serve(request);
+            if (!second.cache_hit) return fail("second serve of an identical request missed");
+            if (first.schedule != second.schedule)
+                return fail("cache hit returned a different object than the cold run");
+            if (to_tss(*second.schedule) != cold_text)
+                return fail("cached schedule is not bit-identical to the cold computation");
+        }
+        std::cout << "check: " << seen.size()
+                  << " distinct requests: hits bit-identical to cold runs\n";
+    }
+
+    // 2. Cache-on serving equals cache-off serving, request for request.
+    {
+        std::vector<serve::ScheduleRequest> prepared;
+        for (const serve::TraceRequest& tr : trace) prepared.push_back(serve::materialize(tr));
+        serve::ServeConfig on;
+        serve::ServeConfig off;
+        off.enable_cache = false;
+        off.enable_dedup = false;
+        serve::ServeEngine engine_on(on, pool);
+        serve::ServeEngine engine_off(off, pool);
+        const auto results_on = engine_on.run_batch(prepared);
+        const auto results_off = engine_off.run_batch(prepared);
+        for (std::size_t i = 0; i < prepared.size(); ++i) {
+            if (to_tss(*results_on[i].schedule) != to_tss(*results_off[i].schedule))
+                return fail("cache-on and cache-off disagree on request " + std::to_string(i));
+        }
+        std::cout << "check: cache-on == cache-off on all " << prepared.size() << " requests\n";
+    }
+
+    // 3. Concurrent identical requests coalesce onto one computation.
+    {
+        serve::ServeConfig cfg;
+        serve::ServeEngine engine(cfg, pool);
+        std::vector<serve::ScheduleRequest> burst(16, serve::materialize(trace.front()));
+        const auto results = engine.run_batch(std::move(burst));
+        const auto stats = engine.stats();
+        if (stats.computed != 1)
+            return fail("burst of 16 identical requests ran " + std::to_string(stats.computed) +
+                        " computations (want 1)");
+        for (const auto& r : results)
+            if (!r.schedule) return fail("burst request came back without a schedule");
+        if (stats.coalesced + stats.cache_hits != 15)
+            return fail("burst accounting is off: " + std::to_string(stats.coalesced) +
+                        " coalesced + " + std::to_string(stats.cache_hits) + " hits != 15");
+        std::cout << "check: 16 concurrent identical requests -> 1 computation ("
+                  << stats.coalesced << " coalesced, " << stats.cache_hits << " cache hits)\n";
+    }
+
+    // 4. Steady-state QPS on the 50%-repeat stream: cache on vs off.
+    {
+        serve::ReplayOptions on;
+        on.epochs = 2;
+        on.batch = 16;
+        serve::ReplayOptions off = on;
+        off.config.enable_cache = false;
+        off.config.enable_dedup = false;
+        // Warm-up replay so first-touch effects (allocator, pool) hit
+        // neither measured run.
+        (void)serve::replay_trace(trace, off, pool);
+        const auto report_off = serve::replay_trace(trace, off, pool);
+        const auto report_on = serve::replay_trace(trace, on, pool);
+        const double ratio = report_off.qps > 0.0 ? report_on.qps / report_off.qps : 0.0;
+        std::cout.precision(1);
+        std::cout << std::fixed;
+        std::cout << "check: 50%-repeat stream, " << on.epochs << " epochs: cache-on "
+                  << report_on.qps << " qps (hit rate "
+                  << report_on.stats.hit_rate() * 100 << "%), cache-off "
+                  << report_off.qps << " qps -> " << ratio << "x\n";
+        if (report_on.stats.hit_rate() < 0.70)
+            return fail("steady-state hit rate below 70% on a 50%-repeat stream");
+        if (ratio < 2.0) return fail("cache-on QPS is below 2x cache-off");
+    }
+
+    std::cout << "check: OK\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args(argc, argv);
+    try {
+        args.check_known({"requests", "n", "procs", "algo", "threads", "epochs", "batches",
+                          "capacities", "repeat-fracs", "seed", "csv", "check", "help",
+                          "version"});
+    } catch (const std::exception& e) {
+        std::cerr << "bench_serve: " << e.what() << '\n';
+        return 2;
+    }
+    if (args.has("version")) {
+        std::cout << "bench_serve 1.0.0\n";
+        return 0;
+    }
+    if (args.has("help")) {
+        std::cout << "usage: bench_serve [--check] [--requests=N] [--n=N] [--procs=P]\n"
+                     "                   [--algo=NAME] [--threads=T] [--epochs=E]\n"
+                     "                   [--batches=a,b] [--capacities=a,b]\n"
+                     "                   [--repeat-fracs=a,b] [--seed=S] [--csv=PATH]\n";
+        return 0;
+    }
+
+    ServeBenchConfig config;
+    config.requests = static_cast<std::size_t>(args.get_int("requests", 64));
+    config.n = static_cast<std::size_t>(args.get_int("n", 150));
+    config.procs = static_cast<std::size_t>(args.get_int("procs", 8));
+    config.algo = args.get_string("algo", "ils-d");
+    config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    config.epochs = static_cast<std::size_t>(args.get_int("epochs", 2));
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2007));
+    config.csv_path = args.get_string("csv", "");
+    config.batches.clear();
+    for (const auto b : args.get_int_list("batches", {1, 8, 32}))
+        config.batches.push_back(static_cast<std::size_t>(b));
+    config.capacities.clear();
+    for (const auto c : args.get_int_list("capacities", {8, 1024}))
+        config.capacities.push_back(static_cast<std::size_t>(c));
+    config.repeat_fracs = args.get_double_list("repeat-fracs", {0.0, 0.5, 0.9});
+
+    try {
+        if (args.has("check")) return run_check(config);
+        return run_sweep(config);
+    } catch (const std::exception& e) {
+        std::cerr << "bench_serve: " << e.what() << '\n';
+        return 2;
+    }
+}

@@ -82,7 +82,7 @@ void dump_point_trace(const std::string& dir, const BenchConfig& config,
     std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
     out << "{\"experiment\": \"" << config.experiment << "\", \"label\": \"" << label
         << "\", \"wall_ms\": " << wall << ", \"trace\": " << trace::to_json(delta) << "}\n";
-    if (!out) TSCHED_WARN << "trace-dir: write failed for " << path.string();
+    if (!out) { TSCHED_WARN << "trace-dir: write failed for " << path.string(); }
 }
 
 const RunningStats& pick(const SchedulerAggregate& agg, Metric metric) {

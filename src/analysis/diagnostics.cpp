@@ -55,14 +55,6 @@ constexpr CodeInfo kCodes[] = {
      "repair policy produced an invalid schedule"},
 };
 
-const CodeInfo& info(Code code) {
-    for (const CodeInfo& ci : kCodes) {
-        if (ci.code == code) return ci;
-    }
-    throw std::invalid_argument("unknown diagnostic code " +
-                                std::to_string(static_cast<int>(code)));
-}
-
 }  // namespace
 
 const char* severity_name(Severity severity) noexcept {

@@ -1,0 +1,54 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace tsched::serve {
+
+ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOptions& options,
+                          ThreadPool& pool) {
+    if (options.batch == 0) throw std::invalid_argument("replay_trace: batch must be >= 1");
+    if (options.epochs == 0) throw std::invalid_argument("replay_trace: epochs must be >= 1");
+
+    std::vector<ScheduleRequest> prepared;
+    prepared.reserve(trace.size());
+    for (const TraceRequest& r : trace) prepared.push_back(materialize(r));
+
+    ServeEngine engine(options.config, pool);
+    std::vector<double> latencies;
+    latencies.reserve(prepared.size() * options.epochs);
+
+    Stopwatch wall;
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        for (std::size_t begin = 0; begin < prepared.size(); begin += options.batch) {
+            const std::size_t end = std::min(begin + options.batch, prepared.size());
+            std::vector<ScheduleRequest> batch(prepared.begin() + static_cast<std::ptrdiff_t>(begin),
+                                               prepared.begin() + static_cast<std::ptrdiff_t>(end));
+            for (const ServeResult& result : engine.run_batch(std::move(batch)))
+                latencies.push_back(result.latency_ms);
+        }
+    }
+    const double wall_ms = wall.elapsed_ms();
+
+    ReplayReport report;
+    report.requests = latencies.size();
+    report.wall_ms = wall_ms;
+    report.qps =
+        wall_ms > 0.0 ? static_cast<double>(report.requests) / (wall_ms / 1e3) : 0.0;
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (const double l : latencies) sum += l;
+        report.latency_mean_ms = sum / static_cast<double>(latencies.size());
+        std::sort(latencies.begin(), latencies.end());
+        report.latency_p50_ms = quantile_sorted(latencies, 0.50);
+        report.latency_p95_ms = quantile_sorted(latencies, 0.95);
+        report.latency_p99_ms = quantile_sorted(latencies, 0.99);
+    }
+    report.stats = engine.stats();
+    return report;
+}
+
+}  // namespace tsched::serve

@@ -1,0 +1,44 @@
+// Trace replay driver: the measurement loop shared by tools/tsched_serve and
+// bench/bench_serve.
+//
+// Replays a .tsr request stream against a ServeEngine in fixed-size batches
+// and reports serving metrics: QPS, latency order statistics (p50/p95/p99
+// over per-request submit->ready times), and cache behaviour.
+//
+// Protocol: all requests are materialized (descriptor -> Problem) *before*
+// the clock starts, so cache-on and cache-off runs time exactly the same
+// non-serving work; the stream is then replayed `epochs` times against one
+// persistent engine.  Epochs model steady-state serving — a cache outlives
+// any single pass of traffic — and are reported as one aggregate window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request_trace.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace tsched::serve {
+
+struct ReplayOptions {
+    ServeConfig config;
+    std::size_t batch = 16;  ///< requests submitted per run_batch call (>= 1)
+    std::size_t epochs = 1;  ///< full passes over the stream (>= 1)
+};
+
+struct ReplayReport {
+    std::size_t requests = 0;  ///< total served (stream length x epochs)
+    double wall_ms = 0.0;
+    double qps = 0.0;
+    double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    EngineStats stats;  ///< engine totals at end of replay (hit rate etc.)
+};
+
+/// Replay `trace` on a fresh engine over `pool`; see protocol above.
+[[nodiscard]] ReplayReport replay_trace(const std::vector<TraceRequest>& trace,
+                                        const ReplayOptions& options, ThreadPool& pool);
+
+}  // namespace tsched::serve

@@ -1,0 +1,66 @@
+#include "serve/request.hpp"
+
+#include "util/fingerprint.hpp"
+
+namespace tsched::serve {
+
+namespace {
+
+void absorb_dag(Fnv1a& h, const Dag& dag) {
+    h.u64(dag.num_tasks());
+    h.u64(dag.num_edges());
+    for (TaskId v = 0; v < static_cast<TaskId>(dag.num_tasks()); ++v) {
+        h.f64(dag.work(v));
+        const auto succs = dag.successors(v);
+        h.u64(succs.size());
+        for (const AdjEdge& e : succs) {
+            h.i64(e.task);
+            h.f64(e.data);
+        }
+    }
+}
+
+void absorb_costs(Fnv1a& h, const CostMatrix& costs) {
+    h.u64(costs.num_tasks());
+    h.u64(costs.num_procs());
+    for (TaskId v = 0; v < static_cast<TaskId>(costs.num_tasks()); ++v)
+        for (ProcId p = 0; p < static_cast<ProcId>(costs.num_procs()); ++p) h.f64(costs(v, p));
+}
+
+void absorb_machine(Fnv1a& h, const Machine& machine) {
+    const auto procs = static_cast<ProcId>(machine.num_procs());
+    h.u64(machine.num_procs());
+    for (const double s : machine.speeds()) h.f64(s);
+    // Behavioral link-model canonicalization: two sample volumes pin the
+    // affine comm-time function per ordered pair (see request.hpp).
+    const LinkModel& links = machine.links();
+    for (ProcId p = 0; p < procs; ++p) {
+        for (ProcId q = 0; q < procs; ++q) {
+            if (p == q) continue;
+            h.f64(links.comm_time(0.0, p, q));
+            h.f64(links.comm_time(1.0, p, q));
+        }
+    }
+    h.f64(links.mean_comm_time(1.0, machine.num_procs()));
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_problem(const Problem& problem) {
+    Fnv1a h;
+    absorb_dag(h, problem.dag());
+    absorb_costs(h, problem.costs());
+    absorb_machine(h, problem.machine());
+    return h.value();
+}
+
+std::uint64_t fingerprint_request(const ScheduleRequest& request) {
+    Fnv1a h;
+    h.u64(kFingerprintVersion);
+    h.u64(fingerprint_problem(*request.problem));
+    h.str(request.algo);
+    h.str(request.options);
+    return h.value();
+}
+
+}  // namespace tsched::serve

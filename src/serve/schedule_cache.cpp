@@ -1,0 +1,102 @@
+#include "serve/schedule_cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace tsched::serve {
+
+namespace {
+
+/// Largest power of two <= n (n >= 1).
+std::size_t floor_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return p;
+}
+
+/// Finalizing mix (SplitMix64's) so nearby fingerprints spread across
+/// shards even though FNV-1a's low bits are weakly mixed.
+std::uint64_t spread(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("ScheduleCache: capacity must be > 0");
+    if (shards == 0) throw std::invalid_argument("ScheduleCache: shards must be > 0");
+    std::size_t count = floor_pow2(shards);
+    // Never allocate more shards than entries: each shard needs budget >= 1.
+    while (count > 1 && count > capacity) count /= 2;
+    shards_.reserve(count);
+    for (std::size_t s = 0; s < count; ++s) {
+        auto shard = std::make_unique<Shard>();
+        // Split the budget evenly; earlier shards absorb the remainder.
+        shard->capacity = capacity / count + (s < capacity % count ? 1 : 0);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ScheduleCache::Shard& ScheduleCache::shard_for(std::uint64_t key) noexcept {
+    return *shards_[spread(key) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const Schedule> ScheduleCache::get(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        shard.misses.fetch_add(1, std::memory_order_relaxed);
+        TSCHED_COUNT("serve/cache_misses");
+        return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    TSCHED_COUNT("serve/cache_hits");
+    return it->second->second;
+}
+
+std::shared_ptr<const Schedule> ScheduleCache::peek(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+}
+
+void ScheduleCache::put(std::uint64_t key, std::shared_ptr<const Schedule> value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+        it->second->second = std::move(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > shard.capacity) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+        TSCHED_COUNT("serve/cache_evictions");
+    }
+}
+
+CacheStats ScheduleCache::stats() const {
+    CacheStats total;
+    for (const auto& shard : shards_) {
+        total.hits += shard->hits.load(std::memory_order_relaxed);
+        total.misses += shard->misses.load(std::memory_order_relaxed);
+        total.evictions += shard->evictions.load(std::memory_order_relaxed);
+        std::lock_guard lock(shard->mutex);
+        total.size += shard->lru.size();
+    }
+    return total;
+}
+
+}  // namespace tsched::serve

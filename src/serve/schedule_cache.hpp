@@ -1,0 +1,90 @@
+// Content-addressed schedule cache: LRU with sharded locks.
+//
+// Maps request fingerprints (serve/request.hpp) to immutable, shared
+// Schedule results.  The key space is split across kShards independent
+// shards — each with its own mutex, hash map, and LRU list — so concurrent
+// lookups from the serving thread pool contend only when they land on the
+// same shard.  Capacity is divided evenly across shards (each shard evicts
+// its own least-recently-used entry when it overflows), which bounds total
+// residency at `capacity` while keeping eviction O(1) and lock-local.
+//
+// Values are shared_ptr<const Schedule>: a hit hands back the *same object*
+// the cold computation produced, so a cached answer is bit-identical to the
+// cold one by construction (the determinism tests also pin this through the
+// TSS serializer).
+//
+// Every operation feeds both the per-cache atomic counters (stats(), usable
+// in any build) and the process-wide trace registry via TSCHED_COUNT
+// ("serve/cache_hits", "serve/cache_misses", "serve/cache_evictions") so
+// `tsched_serve --counters` and bench trace dumps see cache behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace tsched::serve {
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t size = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+    }
+};
+
+class ScheduleCache {
+public:
+    /// `capacity` is the total entry budget across all shards (min 1 per
+    /// shard); `shards` must be > 0 and is rounded down to a power of two
+    /// so shard selection is a mask, not a division.
+    explicit ScheduleCache(std::size_t capacity, std::size_t shards = 8);
+
+    /// Look up a fingerprint; returns nullptr (and counts a miss) when
+    /// absent.  A hit refreshes the entry's recency.
+    [[nodiscard]] std::shared_ptr<const Schedule> get(std::uint64_t key);
+
+    /// Like get(), but records no hit/miss counters — the serve engine's
+    /// double-checked lookup uses this so one request never counts two
+    /// cache operations.  Still refreshes recency on a hit.
+    [[nodiscard]] std::shared_ptr<const Schedule> peek(std::uint64_t key);
+
+    /// Insert or overwrite; evicts the shard's least-recently-used entry
+    /// when the shard is over budget.
+    void put(std::uint64_t key, std::shared_ptr<const Schedule> value);
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
+
+    /// Point-in-time totals across shards.
+    [[nodiscard]] CacheStats stats() const;
+
+private:
+    struct Shard {
+        std::mutex mutex;
+        /// Most-recently-used at the front.
+        std::list<std::pair<std::uint64_t, std::shared_ptr<const Schedule>>> lru;
+        std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+        std::size_t capacity = 1;
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> evictions{0};
+    };
+
+    [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept;
+
+    std::size_t capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tsched::serve

@@ -1,0 +1,161 @@
+#include "serve/serve_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/registry.hpp"
+#include "trace/trace.hpp"
+
+#ifdef TSCHED_DEBUG_CHECKS
+#include "sched/validate.hpp"
+#endif
+
+namespace tsched::serve {
+
+namespace {
+
+ServeResult make_hit(std::shared_ptr<const Schedule> schedule, std::uint64_t fp,
+                     const Stopwatch& submitted) {
+    return ServeResult{std::move(schedule), fp, true, false, submitted.elapsed_ms()};
+}
+
+void debug_check_hit([[maybe_unused]] const Schedule& hit,
+                     [[maybe_unused]] const Problem& problem) {
+#ifdef TSCHED_DEBUG_CHECKS
+    // A fingerprint collision would serve a schedule for a *different*
+    // problem; under debug checks every hit must validate against the
+    // problem that asked for it.
+    const auto result = validate(hit, problem);
+    if (!result.ok)
+        throw std::logic_error(
+            "serve: cache hit failed validation (fingerprint collision?):\n" + result.message());
+#endif
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(ServeConfig config, ThreadPool& pool)
+    : config_(config),
+      pool_(pool),
+      cache_(std::make_unique<ScheduleCache>(config.cache_capacity, config.cache_shards)) {}
+
+ServeEngine::~ServeEngine() { pool_.wait_idle(); }
+
+const Scheduler& ServeEngine::scheduler_for(const std::string& algo) {
+    std::lock_guard lock(schedulers_mutex_);
+    auto it = schedulers_.find(algo);
+    if (it == schedulers_.end()) it = schedulers_.emplace(algo, make_scheduler(algo)).first;
+    return *it->second;
+}
+
+std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
+    if (!request.problem) throw std::invalid_argument("ServeEngine::submit: null problem");
+    Stopwatch submitted;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    TSCHED_COUNT("serve/requests");
+    const std::uint64_t fp = fingerprint_request(request);
+
+    if (config_.enable_cache) {
+        if (auto hit = cache_->get(fp)) {
+            debug_check_hit(*hit, *request.problem);
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/served_from_cache");
+            std::promise<ServeResult> ready;
+            ready.set_value(make_hit(std::move(hit), fp, submitted));
+            return ready.get_future();
+        }
+    }
+
+    std::promise<ServeResult> owner;
+    std::future<ServeResult> future = owner.get_future();
+    if (config_.enable_dedup) {
+        std::lock_guard lock(inflight_mutex_);
+        if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/inflight_coalesced");
+            it->second->waiters.push_back(Waiter{std::move(owner), submitted});
+            return future;
+        }
+        // Double-check the cache under the in-flight lock: the computation
+        // this request just missed may have completed and published between
+        // the first lookup and here.  peek() keeps the raw cache counters at
+        // one operation per request.
+        if (config_.enable_cache) {
+            if (auto hit = cache_->peek(fp)) {
+                debug_check_hit(*hit, *request.problem);
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                TSCHED_COUNT("serve/served_from_cache");
+                owner.set_value(make_hit(std::move(hit), fp, submitted));
+                return future;
+            }
+        }
+        inflight_.emplace(fp, std::make_shared<InFlight>());
+    }
+
+    pool_.submit(
+        [this, req = std::move(request), fp, own = std::move(owner), submitted]() mutable {
+            compute_and_publish(std::move(req), fp, std::move(own), submitted);
+        });
+    return future;
+}
+
+void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
+                                      std::promise<ServeResult> owner, Stopwatch submitted) {
+    std::shared_ptr<const Schedule> result;
+    std::exception_ptr error;
+    try {
+        const Scheduler& scheduler = scheduler_for(request.algo);
+        TSCHED_SPAN("serve/compute");
+        result = std::make_shared<const Schedule>(scheduler.schedule(*request.problem));
+        computed_.fetch_add(1, std::memory_order_relaxed);
+        TSCHED_COUNT("serve/computed");
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    if (result && config_.enable_cache) cache_->put(fp, result);
+
+    std::vector<Waiter> waiters;
+    if (config_.enable_dedup) {
+        std::lock_guard lock(inflight_mutex_);
+        if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+            waiters = std::move(it->second->waiters);
+            inflight_.erase(it);
+        }
+    }
+
+    const auto fulfill = [&](std::promise<ServeResult>& promise, const Stopwatch& clock,
+                             bool coalesced) {
+        if (error) {
+            promise.set_exception(error);
+        } else {
+            promise.set_value(ServeResult{result, fp, false, coalesced, clock.elapsed_ms()});
+        }
+    };
+    fulfill(owner, submitted, false);
+    for (Waiter& waiter : waiters) fulfill(waiter.promise, waiter.submitted, true);
+}
+
+std::vector<ServeResult> ServeEngine::run_batch(std::vector<ScheduleRequest> batch) {
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(batch.size());
+    for (ScheduleRequest& request : batch) futures.push_back(submit(std::move(request)));
+    std::vector<ServeResult> results;
+    results.reserve(futures.size());
+    for (auto& future : futures) results.push_back(future.get());
+    return results;
+}
+
+ServeResult ServeEngine::serve(ScheduleRequest request) { return submit(std::move(request)).get(); }
+
+EngineStats ServeEngine::stats() const {
+    EngineStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.computed = computed_.load(std::memory_order_relaxed);
+    s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.cache = cache_->stats();
+    return s;
+}
+
+}  // namespace tsched::serve

@@ -1,0 +1,129 @@
+// ServeEngine: the batched scheduling service core.
+//
+// Turns the one-shot library ("call make_scheduler, call schedule()") into a
+// request-serving layer: ScheduleRequest streams are fanned out onto a
+// ThreadPool, and every scheduler is front-ended by the content-addressed
+// ScheduleCache so fingerprint-identical requests share one computation.
+//
+// Request lifecycle (submit):
+//   1. fingerprint the request (serve/request.hpp canonicalization);
+//   2. cache lookup — a hit resolves the future immediately with the cached
+//      immutable Schedule (bit-identical to the cold result: it *is* the
+//      cold result);
+//   3. miss — if an identical request is already being computed, the new
+//      request *coalesces*: it parks a promise on the in-flight entry and
+//      is resolved by the computing task ("serve/inflight_coalesced");
+//   4. otherwise the request registers itself in-flight and enqueues the
+//      computation on the pool; on completion it populates the cache and
+//      resolves every coalesced waiter.
+//
+// Concurrency notes: the in-flight table has one engine-level mutex (held
+// only for map operations, never during scheduling); the cache has its own
+// sharded locks.  Lock order is inflight -> cache shard, never the reverse.
+// Scheduler instances are resolved through core/registry once per algorithm
+// and shared; Scheduler::schedule() is const and safe to run concurrently
+// (the metrics runner already relies on this).
+//
+// Determinism: schedulers are pure functions of the Problem, so cache-off
+// and cache-on serving return identical schedules; with TSCHED_DEBUG_CHECKS
+// every cache hit is re-validated against the incoming request's problem,
+// making the fingerprint trust auditable (a collision would surface as a
+// validation failure).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "serve/request.hpp"
+#include "serve/schedule_cache.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tsched::serve {
+
+struct ServeConfig {
+    bool enable_cache = true;   ///< content-addressed result cache
+    bool enable_dedup = true;   ///< coalesce concurrent identical requests
+    std::size_t cache_capacity = 1024;
+    std::size_t cache_shards = 8;
+};
+
+struct EngineStats {
+    std::uint64_t requests = 0;    ///< total submitted
+    std::uint64_t computed = 0;    ///< cold scheduler runs actually executed
+    std::uint64_t coalesced = 0;   ///< requests resolved by an in-flight twin
+    std::uint64_t cache_hits = 0;  ///< requests answered from the completed cache
+    CacheStats cache;              ///< raw cache-operation counters
+
+    /// Request-level hit rate (cache_hits / requests).
+    [[nodiscard]] double hit_rate() const noexcept {
+        return requests > 0 ? static_cast<double>(cache_hits) / static_cast<double>(requests)
+                            : 0.0;
+    }
+};
+
+class ServeEngine {
+public:
+    /// The pool is borrowed and must outlive the engine.
+    ServeEngine(ServeConfig config, ThreadPool& pool);
+
+    /// Destructor waits for in-flight computations (pool.wait_idle()).
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine&) = delete;
+    ServeEngine& operator=(const ServeEngine&) = delete;
+
+    /// Asynchronous entry point; the future reports the result or rethrows
+    /// the scheduler's exception.  Throws std::invalid_argument up front for
+    /// a null problem (unknown algorithm names surface through the future).
+    [[nodiscard]] std::future<ServeResult> submit(ScheduleRequest request);
+
+    /// Submit a whole batch, then block for all of it; results come back in
+    /// request order.
+    [[nodiscard]] std::vector<ServeResult> run_batch(std::vector<ScheduleRequest> batch);
+
+    /// Synchronous convenience: submit + get.
+    [[nodiscard]] ServeResult serve(ScheduleRequest request);
+
+    [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+    [[nodiscard]] EngineStats stats() const;
+
+private:
+    struct Waiter {
+        std::promise<ServeResult> promise;
+        Stopwatch submitted;  ///< per-request latency clock
+    };
+    struct InFlight {
+        std::vector<Waiter> waiters;  ///< coalesced requests (not the owner)
+    };
+
+    /// Resolve (and memoize) a scheduler instance by registry name.
+    [[nodiscard]] const Scheduler& scheduler_for(const std::string& algo);
+
+    void compute_and_publish(ScheduleRequest request, std::uint64_t fp,
+                             std::promise<ServeResult> owner, Stopwatch submitted);
+
+    ServeConfig config_;
+    ThreadPool& pool_;
+    std::unique_ptr<ScheduleCache> cache_;
+
+    std::mutex inflight_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+
+    std::mutex schedulers_mutex_;
+    std::unordered_map<std::string, SchedulerPtr> schedulers_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> computed_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+}  // namespace tsched::serve

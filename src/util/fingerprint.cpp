@@ -1,0 +1,11 @@
+#include "util/fingerprint.hpp"
+
+namespace tsched {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+    Fnv1a h;
+    h.bytes(s.data(), s.size());
+    return h.value();
+}
+
+}  // namespace tsched

@@ -1,0 +1,82 @@
+// 64-bit FNV-1a content fingerprinting.
+//
+// The serving layer (serve/) content-addresses schedule-cache entries by a
+// fingerprint over the canonicalized request (graph + platform + algorithm);
+// this header provides the byte-level hasher those canonicalization rules
+// are written against.
+//
+// Canonical encodings (the fingerprint contract — changing any of these
+// changes every fingerprint, so they are append-only like TS codes):
+//   * integers    — 8 bytes, little-endian, after widening to uint64;
+//   * doubles     — IEEE-754 bit pattern, little-endian, with -0.0
+//                   normalized to +0.0 and every NaN to one canonical quiet
+//                   NaN so semantically equal costs hash equal;
+//   * strings     — u64 length prefix followed by the raw bytes, so
+//                   ("ab","c") and ("a","bc") cannot collide.
+//
+// FNV-1a is not cryptographic: collisions are possible in principle
+// (2^-64 per pair) and the serving cache documents that it trusts the
+// fingerprint.  TSCHED_DEBUG_CHECKS builds re-validate cache hits against
+// the request to make the trust auditable (see serve/serve_engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace tsched {
+
+class Fnv1a {
+public:
+    static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+    static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+    /// Absorb raw bytes.
+    void bytes(const void* data, std::size_t n) noexcept {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    /// Absorb one unsigned 64-bit value (canonical little-endian encoding).
+    void u64(std::uint64_t v) noexcept {
+        unsigned char buf[8];
+        for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+        bytes(buf, 8);
+    }
+
+    /// Absorb a signed integer (two's-complement widened to 64 bits).
+    void i64(std::int64_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+
+    /// Absorb a double via its canonicalized IEEE-754 bit pattern.
+    void f64(double v) noexcept { u64(canonical_bits(v)); }
+
+    /// Absorb a string with a length prefix.
+    void str(std::string_view s) noexcept {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+    /// Canonical bit pattern of a double: -0.0 maps to +0.0, every NaN to
+    /// the canonical quiet NaN, so semantically equal values hash equal.
+    [[nodiscard]] static std::uint64_t canonical_bits(double v) noexcept {
+        if (v == 0.0) return 0;  // +0.0 and -0.0 compare equal
+        if (v != v) return 0x7ff8000000000000ULL;
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        return bits;
+    }
+
+private:
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// One-shot convenience: FNV-1a of a byte string.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
+
+}  // namespace tsched

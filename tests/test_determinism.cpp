@@ -22,7 +22,11 @@
 
 #include "core/registry.hpp"
 #include "sched/repair.hpp"
+#include "sched/schedule_io.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_engine.hpp"
 #include "sim/faults.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/instance.hpp"
 
 namespace tsched {
@@ -394,6 +398,84 @@ TEST(Determinism, FaultReportsAreBitIdenticalAcrossRepeatRuns) {
             EXPECT_EQ(a.repair_latency, b.repair_latency) << where;
             EXPECT_EQ(a.events, b.events) << where;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer golden battery.
+//
+// The schedule cache trusts 64-bit request fingerprints, so the
+// canonicalization rules (serve/request.hpp) are a compatibility contract:
+// any change to the canonical encodings silently invalidates every cached
+// entry and breaks cross-build reproducibility of .tsr replays.  The rows
+// below pin exact fingerprints of hand-built problems whose every cost is
+// exactly representable (3.0, 2.5, 0.25, ...), so no instance generator —
+// and therefore no cross-compiler FP contraction — is involved; these
+// values must be bit-stable on every platform.
+
+std::shared_ptr<const Problem> serve_golden_problem(double fork_work) {
+    Dag dag;
+    const TaskId a = dag.add_task(fork_work);
+    const TaskId b = dag.add_task(2.0);
+    const TaskId c = dag.add_task(4.0);
+    const TaskId d = dag.add_task(1.0);
+    dag.add_edge(a, b, 1.5);
+    dag.add_edge(a, c, 2.5);
+    dag.add_edge(b, d, 0.5);
+    dag.add_edge(c, d, 1.0);
+    auto links = std::make_shared<const UniformLinkModel>(0.25, 2.0);
+    Machine machine({1.0, 2.0}, links);
+    CostMatrix costs = CostMatrix::from_speeds(dag, machine);
+    return std::make_shared<const Problem>(std::move(dag), std::move(machine), std::move(costs));
+}
+
+struct ServeGoldenRow {
+    double fork_work;
+    const char* algo;
+    const char* options;
+    std::uint64_t fingerprint;
+};
+
+TEST(Determinism, ServeRequestFingerprintsAreGolden) {
+    const std::vector<ServeGoldenRow> rows{
+        {3.0, "heft", "", 16161705895780441590ULL},
+        {3.0, "cpop", "", 9131931451316144527ULL},
+        {3.0, "heft", "k=3", 316665473736544322ULL},
+        {3.5, "heft", "", 18192048142213196343ULL},
+    };
+    for (const ServeGoldenRow& row : rows) {
+        serve::ScheduleRequest request;
+        request.problem = serve_golden_problem(row.fork_work);
+        request.algo = row.algo;
+        request.options = row.options;
+        EXPECT_EQ(serve::fingerprint_request(request), row.fingerprint)
+            << row.algo << " options='" << row.options << "' fork_work=" << row.fork_work;
+    }
+}
+
+/// A cache hit must hand back a schedule that serializes to exactly the
+/// bytes a cold, engine-free scheduler run produces — over the same seeded
+/// battery the scheduler goldens use.
+TEST(Determinism, ServeCacheHitsAreByteIdenticalToColdRuns) {
+    const BatteryPoint& pt = battery().front();
+    workload::InstanceParams params;
+    params.shape = pt.shape;
+    params.size = pt.size;
+    params.num_procs = pt.procs;
+    params.ccr = pt.ccr;
+    params.beta = pt.beta;
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    for (const char* algo : {"heft", "ils-d", "dsh"}) {
+        serve::ScheduleRequest request;
+        request.problem = std::make_shared<const Problem>(workload::make_instance(params, 2007));
+        request.algo = algo;
+        const std::string cold = to_tss(make_scheduler(algo)->schedule(*request.problem));
+        const auto first = engine.serve(request);
+        const auto second = engine.serve(request);
+        EXPECT_FALSE(first.cache_hit) << algo;
+        EXPECT_TRUE(second.cache_hit) << algo;
+        EXPECT_EQ(to_tss(*second.schedule), cold) << algo;
     }
 }
 

@@ -1,0 +1,444 @@
+// Serving-layer tests: request fingerprinting (canonicalization contract),
+// the sharded LRU schedule cache, the ServeEngine (cache hits, in-flight
+// coalescing, cache-off equivalence, error propagation), and the .tsr
+// request-trace format.
+//
+// The engine tests run real concurrency on a ThreadPool and are written to
+// be meaningful under TSan: the coalescing test submits identical requests
+// from many threads and asserts exactly one computation happened.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "platform/problem.hpp"
+#include "sched/schedule_io.hpp"
+#include "serve/replay.hpp"
+#include "serve/request.hpp"
+#include "serve/request_trace.hpp"
+#include "serve/schedule_cache.hpp"
+#include "serve/serve_engine.hpp"
+#include "util/fingerprint.hpp"
+
+namespace tsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-built problem with exact-representable costs (no generator involved,
+// so fingerprints depend only on the canonicalization rules, never on
+// floating-point quirks of instance synthesis).
+
+std::shared_ptr<const Problem> make_problem(double fork_work = 3.0, double edge_data = 1.5,
+                                            double latency = 0.25) {
+    Dag dag;
+    const TaskId a = dag.add_task(fork_work);
+    const TaskId b = dag.add_task(2.0);
+    const TaskId c = dag.add_task(4.0);
+    const TaskId d = dag.add_task(1.0);
+    dag.add_edge(a, b, edge_data);
+    dag.add_edge(a, c, 2.5);
+    dag.add_edge(b, d, 0.5);
+    dag.add_edge(c, d, 1.0);
+    auto links = std::make_shared<const UniformLinkModel>(latency, 2.0);
+    Machine machine({1.0, 2.0}, links);
+    CostMatrix costs = CostMatrix::from_speeds(dag, machine);
+    return std::make_shared<const Problem>(std::move(dag), std::move(machine), std::move(costs));
+}
+
+serve::ScheduleRequest make_request(std::string algo = "heft") {
+    serve::ScheduleRequest request;
+    request.problem = make_problem();
+    request.algo = std::move(algo);
+    return request;
+}
+
+std::shared_ptr<const Schedule> make_dummy_schedule(double finish) {
+    auto schedule = std::make_shared<Schedule>(1, 1);
+    schedule->add(0, 0, 0.0, finish);
+    return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Fnv1a canonical encodings.
+
+TEST(Fingerprint, NegativeZeroHashesLikePositiveZero) {
+    Fnv1a a;
+    a.f64(0.0);
+    Fnv1a b;
+    b.f64(-0.0);
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fingerprint, AllNansHashIdentically) {
+    Fnv1a a;
+    a.f64(std::numeric_limits<double>::quiet_NaN());
+    Fnv1a b;
+    b.f64(-std::nan("0x5"));
+    EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fingerprint, StringLengthPrefixPreventsConcatenationCollisions) {
+    Fnv1a a;
+    a.str("ab");
+    a.str("c");
+    Fnv1a b;
+    b.str("a");
+    b.str("bc");
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fingerprint, DistinctDoublesHashDistinct) {
+    Fnv1a a;
+    a.f64(1.0);
+    Fnv1a b;
+    b.f64(std::nextafter(1.0, 2.0));
+    EXPECT_NE(a.value(), b.value());
+}
+
+// ---------------------------------------------------------------------------
+// Request canonicalization.
+
+TEST(RequestFingerprint, StableAcrossCallsAndCopies) {
+    const auto request = make_request();
+    const auto fp = serve::fingerprint_request(request);
+    EXPECT_EQ(fp, serve::fingerprint_request(request));
+
+    // An independently built but identical problem fingerprints identically.
+    auto twin = make_request();
+    EXPECT_EQ(fp, serve::fingerprint_request(twin));
+}
+
+TEST(RequestFingerprint, TaskNamesAreExcluded) {
+    const auto base = make_problem();
+    // Rebuild the same problem but with task names attached.
+    Dag dag;
+    for (TaskId v = 0; v < static_cast<TaskId>(base->num_tasks()); ++v)
+        dag.add_task(base->dag().work(v), "task_" + std::to_string(v));
+    for (TaskId v = 0; v < static_cast<TaskId>(base->num_tasks()); ++v)
+        for (const AdjEdge& e : base->dag().successors(v)) dag.add_edge(v, e.task, e.data);
+    auto links = std::make_shared<const UniformLinkModel>(0.25, 2.0);
+    Machine machine({1.0, 2.0}, links);
+    CostMatrix costs = CostMatrix::from_speeds(dag, machine);
+    const auto named_problem =
+        std::make_shared<const Problem>(std::move(dag), std::move(machine), std::move(costs));
+    EXPECT_EQ(serve::fingerprint_problem(*base), serve::fingerprint_problem(*named_problem));
+}
+
+TEST(RequestFingerprint, SensitiveToEveryInput) {
+    const auto base = serve::fingerprint_request(make_request());
+
+    {
+        serve::ScheduleRequest r = make_request();
+        r.problem = make_problem(3.5);  // different task work
+        EXPECT_NE(base, serve::fingerprint_request(r));
+    }
+    {
+        serve::ScheduleRequest r = make_request();
+        r.problem = make_problem(3.0, 1.25);  // different edge data
+        EXPECT_NE(base, serve::fingerprint_request(r));
+    }
+    {
+        serve::ScheduleRequest r = make_request();
+        r.problem = make_problem(3.0, 1.5, 0.5);  // different link latency
+        EXPECT_NE(base, serve::fingerprint_request(r));
+    }
+    {
+        serve::ScheduleRequest r = make_request("cpop");  // different algorithm
+        EXPECT_NE(base, serve::fingerprint_request(r));
+    }
+    {
+        serve::ScheduleRequest r = make_request();
+        r.options = "k=3";  // different options
+        EXPECT_NE(base, serve::fingerprint_request(r));
+    }
+}
+
+TEST(RequestFingerprint, TopologyMattersNotJustTotals) {
+    // Same tasks, same total edge data, different wiring.
+    const auto build = [](bool cross) {
+        Dag dag;
+        dag.add_task(1.0);
+        dag.add_task(1.0);
+        dag.add_task(1.0);
+        if (cross) {
+            dag.add_edge(0, 1, 2.0);
+        } else {
+            dag.add_edge(0, 2, 2.0);
+        }
+        auto links = std::make_shared<const UniformLinkModel>(0.0, 1.0);
+        Machine machine = Machine::homogeneous(2, links);
+        CostMatrix costs = CostMatrix::from_speeds(dag, machine);
+        return std::make_shared<const Problem>(std::move(dag), std::move(machine),
+                                               std::move(costs));
+    };
+    EXPECT_NE(serve::fingerprint_problem(*build(true)), serve::fingerprint_problem(*build(false)));
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleCache.
+
+TEST(ScheduleCache, PutGetReturnsTheSameObject) {
+    serve::ScheduleCache cache(4, 1);
+    const auto value = make_dummy_schedule(1.0);
+    cache.put(42, value);
+    const auto hit = cache.get(42);
+    EXPECT_EQ(hit.get(), value.get());
+    EXPECT_EQ(cache.get(7), nullptr);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ScheduleCache, EvictsLeastRecentlyUsed) {
+    serve::ScheduleCache cache(2, 1);
+    cache.put(1, make_dummy_schedule(1.0));
+    cache.put(2, make_dummy_schedule(2.0));
+    ASSERT_NE(cache.get(1), nullptr);  // refresh 1 -> 2 is now LRU
+    cache.put(3, make_dummy_schedule(3.0));
+    EXPECT_NE(cache.get(1), nullptr);
+    EXPECT_EQ(cache.get(2), nullptr);  // evicted
+    EXPECT_NE(cache.get(3), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ScheduleCache, PeekCountsNothingButRefreshesRecency) {
+    serve::ScheduleCache cache(2, 1);
+    cache.put(1, make_dummy_schedule(1.0));
+    cache.put(2, make_dummy_schedule(2.0));
+    EXPECT_NE(cache.peek(1), nullptr);
+    EXPECT_EQ(cache.peek(99), nullptr);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    // peek refreshed key 1, so inserting a third entry evicts key 2.
+    cache.put(3, make_dummy_schedule(3.0));
+    EXPECT_NE(cache.peek(1), nullptr);
+    EXPECT_EQ(cache.peek(2), nullptr);
+}
+
+TEST(ScheduleCache, CapacityBoundsResidencyAcrossShards) {
+    serve::ScheduleCache cache(8, 4);
+    for (std::uint64_t k = 0; k < 100; ++k) cache.put(k, make_dummy_schedule(1.0));
+    const auto stats = cache.stats();
+    EXPECT_LE(stats.size, 8u);
+    EXPECT_EQ(stats.evictions, 100u - stats.size);
+}
+
+TEST(ScheduleCache, OverwriteDoesNotGrowOrEvict) {
+    serve::ScheduleCache cache(2, 1);
+    cache.put(1, make_dummy_schedule(1.0));
+    const auto replacement = make_dummy_schedule(9.0);
+    cache.put(1, replacement);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.size, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(cache.get(1).get(), replacement.get());
+}
+
+TEST(ScheduleCache, ShardCountIsPowerOfTwoAndBoundedByCapacity) {
+    EXPECT_EQ(serve::ScheduleCache(16, 5).num_shards(), 4u);
+    EXPECT_EQ(serve::ScheduleCache(16, 8).num_shards(), 8u);
+    EXPECT_EQ(serve::ScheduleCache(2, 8).num_shards(), 2u);
+    EXPECT_EQ(serve::ScheduleCache(1, 8).num_shards(), 1u);
+    EXPECT_THROW(serve::ScheduleCache(0, 1), std::invalid_argument);
+    EXPECT_THROW(serve::ScheduleCache(1, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine.
+
+TEST(ServeEngine, SecondServeOfIdenticalRequestHitsTheCache) {
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    const auto first = engine.serve(make_request());
+    const auto second = engine.serve(make_request());
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(first.fingerprint, second.fingerprint);
+    // Bit-identical by construction: the hit *is* the cold result object.
+    EXPECT_EQ(first.schedule.get(), second.schedule.get());
+    EXPECT_EQ(to_tss(*first.schedule), to_tss(*second.schedule));
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(ServeEngine, ConcurrentIdenticalRequestsComputeOnce) {
+    ThreadPool pool(8);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    std::vector<serve::ScheduleRequest> burst(32, make_request());
+    const auto results = engine.run_batch(std::move(burst));
+    ASSERT_EQ(results.size(), 32u);
+    for (const auto& r : results) {
+        ASSERT_NE(r.schedule, nullptr);
+        EXPECT_EQ(r.schedule.get(), results.front().schedule.get());
+    }
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_EQ(stats.computed + stats.coalesced + stats.cache_hits, 32u);
+}
+
+TEST(ServeEngine, CacheOffStillDeduplicatesNothingAndMatchesCacheOn) {
+    ThreadPool pool(4);
+    serve::TraceGenParams params;
+    params.requests = 12;
+    params.repeat_frac = 0.5;
+    params.size = 24;
+    params.procs = 4;
+    const auto trace = serve::generate_trace(params);
+    std::vector<serve::ScheduleRequest> requests;
+    for (const auto& tr : trace) requests.push_back(serve::materialize(tr));
+
+    serve::ServeConfig off;
+    off.enable_cache = false;
+    off.enable_dedup = false;
+    serve::ServeEngine engine_on(serve::ServeConfig{}, pool);
+    serve::ServeEngine engine_off(off, pool);
+    const auto results_on = engine_on.run_batch(requests);
+    const auto results_off = engine_off.run_batch(requests);
+    ASSERT_EQ(results_on.size(), results_off.size());
+    for (std::size_t i = 0; i < results_on.size(); ++i)
+        EXPECT_EQ(to_tss(*results_on[i].schedule), to_tss(*results_off[i].schedule)) << i;
+
+    const auto stats_off = engine_off.stats();
+    EXPECT_EQ(stats_off.computed, requests.size());
+    EXPECT_EQ(stats_off.cache_hits, 0u);
+    EXPECT_EQ(stats_off.coalesced, 0u);
+}
+
+TEST(ServeEngine, BatchResultsComeBackInRequestOrder) {
+    ThreadPool pool(4);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    std::vector<serve::ScheduleRequest> batch;
+    std::vector<std::uint64_t> expected;
+    for (double work : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+        serve::ScheduleRequest r = make_request();
+        r.problem = make_problem(work);
+        expected.push_back(serve::fingerprint_request(r));
+        batch.push_back(std::move(r));
+    }
+    const auto results = engine.run_batch(std::move(batch));
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].fingerprint, expected[i]) << i;
+}
+
+TEST(ServeEngine, TinyCacheEvictsButEveryRequestIsStillServed) {
+    ThreadPool pool(4);
+    serve::ServeConfig config;
+    config.cache_capacity = 1;
+    config.cache_shards = 1;
+    serve::ServeEngine engine(config, pool);
+    for (int round = 0; round < 2; ++round) {
+        for (double work : {1.0, 2.0, 3.0}) {
+            serve::ScheduleRequest r = make_request();
+            r.problem = make_problem(work);
+            const auto result = engine.serve(std::move(r));
+            ASSERT_NE(result.schedule, nullptr);
+        }
+    }
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.requests, 6u);
+    EXPECT_GT(stats.cache.evictions, 0u);
+    EXPECT_EQ(stats.computed + stats.coalesced + stats.cache_hits, 6u);
+}
+
+TEST(ServeEngine, UnknownAlgorithmSurfacesThroughTheFuture) {
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    auto future = engine.submit(make_request("no-such-algorithm"));
+    EXPECT_THROW((void)future.get(), std::exception);
+    // The engine stays usable afterwards.
+    EXPECT_NE(engine.serve(make_request()).schedule, nullptr);
+}
+
+TEST(ServeEngine, NullProblemIsRejectedUpFront) {
+    ThreadPool pool(1);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    serve::ScheduleRequest request;
+    request.problem = nullptr;
+    EXPECT_THROW((void)engine.submit(std::move(request)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Request traces (.tsr) and replay.
+
+TEST(RequestTrace, RoundTripsThroughText) {
+    serve::TraceGenParams params;
+    params.requests = 20;
+    params.repeat_frac = 0.4;
+    params.algos = {"heft", "cpop"};
+    params.shapes = {workload::Shape::kLayered, workload::Shape::kFft};
+    const auto trace = serve::generate_trace(params);
+    const auto parsed = serve::read_tsr_string(serve::to_tsr(trace));
+    EXPECT_EQ(parsed, trace);
+}
+
+TEST(RequestTrace, GenerateHonorsExactRepeatFraction) {
+    serve::TraceGenParams params;
+    params.requests = 40;
+    params.repeat_frac = 0.5;
+    const auto trace = serve::generate_trace(params);
+    ASSERT_EQ(trace.size(), 40u);
+    std::set<std::uint64_t> distinct;
+    for (const auto& tr : trace) distinct.insert(serve::fingerprint_request(serve::materialize(tr)));
+    EXPECT_EQ(distinct.size(), 20u);  // 40 - floor(40 * 0.5) fresh instances
+}
+
+TEST(RequestTrace, GenerationIsDeterministicInTheSeed) {
+    serve::TraceGenParams params;
+    params.requests = 16;
+    const auto a = serve::generate_trace(params);
+    const auto b = serve::generate_trace(params);
+    EXPECT_EQ(a, b);
+    params.seed += 1;
+    EXPECT_NE(serve::generate_trace(params), a);
+}
+
+TEST(RequestTrace, MaterializeIsDeterministic) {
+    serve::TraceRequest tr;
+    tr.size = 30;
+    tr.procs = 4;
+    const auto a = serve::materialize(tr);
+    const auto b = serve::materialize(tr);
+    EXPECT_EQ(serve::fingerprint_request(a), serve::fingerprint_request(b));
+}
+
+TEST(RequestTrace, ParseErrorsAreLineNumbered) {
+    try {
+        (void)serve::read_tsr_string("tsr 1\nr heft layered not-a-number\n");
+        FAIL() << "malformed trace accepted";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    }
+}
+
+TEST(Replay, SteadyStateAccountingAddsUp) {
+    ThreadPool pool(4);
+    serve::TraceGenParams params;
+    params.requests = 10;
+    params.repeat_frac = 0.5;
+    params.size = 24;
+    params.procs = 4;
+    const auto trace = serve::generate_trace(params);
+    serve::ReplayOptions options;
+    options.batch = 4;
+    options.epochs = 3;
+    const auto report = serve::replay_trace(trace, options, pool);
+    EXPECT_EQ(report.requests, 30u);
+    EXPECT_EQ(report.stats.computed, 5u);  // distinct instances only
+    EXPECT_EQ(report.stats.computed + report.stats.coalesced + report.stats.cache_hits, 30u);
+    EXPECT_GT(report.qps, 0.0);
+    EXPECT_LE(report.latency_p50_ms, report.latency_p95_ms);
+    EXPECT_LE(report.latency_p95_ms, report.latency_p99_ms);
+}
+
+}  // namespace
+}  // namespace tsched

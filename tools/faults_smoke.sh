@@ -10,6 +10,15 @@
 set -u
 
 BENCH="${1:?usage: faults_smoke.sh path/to/bench_faults}"
+# cwd-safe: absolutize the binary path before leaving the caller's directory
+# (try the caller's cwd first, then the repo root), then run from the repo
+# root so the script behaves identically no matter where it was launched.
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+case "$BENCH" in
+    /*) ;;
+    *) if [ -x "$BENCH" ]; then BENCH="$(pwd)/$BENCH"; else BENCH="$ROOT/$BENCH"; fi ;;
+esac
+cd "$ROOT" || exit 1
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 

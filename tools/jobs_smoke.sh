@@ -6,6 +6,15 @@
 set -euo pipefail
 
 BENCH=${1:?usage: jobs_smoke.sh path/to/bench_binary}
+# cwd-safe: absolutize the binary path before leaving the caller's directory
+# (try the caller's cwd first, then the repo root), then run from the repo
+# root so the script behaves identically no matter where it was launched.
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+case "$BENCH" in
+    /*) ;;
+    *) if [ -x "$BENCH" ]; then BENCH="$(pwd)/$BENCH"; else BENCH="$ROOT/$BENCH"; fi ;;
+esac
+cd "$ROOT"
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 

@@ -7,6 +7,15 @@
 set -u
 
 LINT="${1:?usage: lint_smoke.sh path/to/tsched_lint}"
+# cwd-safe: absolutize the binary path before leaving the caller's directory
+# (try the caller's cwd first, then the repo root), then run from the repo
+# root so the script behaves identically no matter where it was launched.
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+case "$LINT" in
+    /*) ;;
+    *) if [ -x "$LINT" ]; then LINT="$(pwd)/$LINT"; else LINT="$ROOT/$LINT"; fi ;;
+esac
+cd "$ROOT" || exit 1
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 

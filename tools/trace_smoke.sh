@@ -9,6 +9,15 @@ set -u
 
 TRACE="${1:?usage: trace_smoke.sh path/to/tsched_trace [python3]}"
 PYTHON="${2:-python3}"
+# cwd-safe: absolutize the binary path before leaving the caller's directory
+# (try the caller's cwd first, then the repo root), then run from the repo
+# root so the script behaves identically no matter where it was launched.
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+case "$TRACE" in
+    /*) ;;
+    *) if [ -x "$TRACE" ]; then TRACE="$(pwd)/$TRACE"; else TRACE="$ROOT/$TRACE"; fi ;;
+esac
+cd "$ROOT" || exit 1
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 

@@ -1,0 +1,211 @@
+// tsched_serve — generate and replay scheduling-request traces against the
+// serving core (ServeEngine + content-addressed schedule cache).
+//
+//   tsched_serve --gen=trace.tsr --requests=200 --repeat-frac=0.5
+//       write a .tsr request trace: a deterministic mix of repeated
+//       (cache-hittable) and perturbed (fresh-seed) graphs
+//   tsched_serve trace.tsr --threads=4 --batch=16
+//       replay the trace through a ServeEngine and report QPS, latency
+//       p50/p95/p99, and cache hit rate
+//
+// Generation flags (with --gen=PATH):
+//   --requests=N      stream length (default 128)
+//   --repeat-frac=F   exact fraction of requests repeating an earlier one
+//                     (default 0.5)
+//   --algos=a,b       algorithms drawn per request (default heft)
+//   --shapes=s1,s2    DAG families drawn per request (default layered)
+//   --n=N             instance size parameter (default 100)
+//   --procs=P         processors (default 8)
+//   --net=NAME        interconnect (default uniform)
+//   --ccr=X --beta=X  cost calibration (defaults 1.0 / 0.5)
+//   --seed=S          generation seed (default 2007)
+//
+// Replay flags (with a positional trace.tsr):
+//   --cache=on|off    content-addressed schedule cache (default on)
+//   --dedup=on|off    in-flight coalescing of identical requests (default on)
+//   --capacity=K      cache entry budget (default 1024)
+//   --shards=S        cache lock shards (default 8)
+//   --threads=T       serving pool workers (default 0 = hardware)
+//   --batch=B         requests per submitted batch (default 16)
+//   --epochs=E        passes over the stream against one engine (default 1;
+//                     >1 measures steady-state serving with a warm cache)
+//   --json=PATH       also write the report as JSON ('-' = stdout)
+//   --counters        print the process trace counters after the replay
+//   --version/--help  print and exit 0
+//
+// Exit status: 0 success, 2 usage or file errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/replay.hpp"
+#include "serve/request_trace.hpp"
+#include "trace/counters.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace tsched;
+
+constexpr const char* kVersion = "tsched_serve 1.0.0";
+
+void print_usage(std::ostream& os) {
+    os << "usage: tsched_serve --gen=trace.tsr [--requests=N] [--repeat-frac=F]\n"
+       << "                    [--algos=a,b] [--shapes=s1,s2] [--n=N] [--procs=P]\n"
+       << "                    [--net=NAME] [--ccr=X] [--beta=X] [--seed=S]\n"
+       << "       tsched_serve trace.tsr [--cache=on|off] [--dedup=on|off]\n"
+       << "                    [--capacity=K] [--shards=S] [--threads=T]\n"
+       << "                    [--batch=B] [--epochs=E] [--json=PATH] [--counters]\n"
+       << "Generate a scheduling-request trace, or replay one through the\n"
+       << "serving core and report QPS / latency percentiles / cache hit rate.\n";
+}
+
+[[noreturn]] void usage_error(const std::string& error) {
+    std::cerr << "tsched_serve: " << error << '\n';
+    print_usage(std::cerr);
+    std::exit(2);
+}
+
+bool parse_on_off(const Args& args, const std::string& key, bool def) {
+    const std::string v = args.get_string(key, def ? "on" : "off");
+    if (v == "on" || v == "true" || v == "1") return true;
+    if (v == "off" || v == "false" || v == "0") return false;
+    usage_error("--" + key + " expects on|off, got '" + v + "'");
+}
+
+int generate(const Args& args) {
+    serve::TraceGenParams params;
+    params.requests = static_cast<std::size_t>(args.get_int("requests", 128));
+    params.repeat_frac = args.get_double("repeat-frac", 0.5);
+    params.algos = args.get_string_list("algos", {"heft"});
+    params.size = static_cast<std::size_t>(args.get_int("n", 100));
+    params.procs = static_cast<std::size_t>(args.get_int("procs", 8));
+    params.ccr = args.get_double("ccr", 1.0);
+    params.beta = args.get_double("beta", 0.5);
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 2007));
+    params.shapes.clear();
+    for (const std::string& name : args.get_string_list("shapes", {"layered"}))
+        params.shapes.push_back(workload::shape_from_name(name));
+    params.net = workload::net_from_name(args.get_string("net", "uniform"));
+
+    const std::string path = args.get_string("gen", "");
+    const auto trace = serve::generate_trace(params);
+    serve::save_tsr(path, trace);
+    std::cout << "tsched_serve: wrote " << trace.size() << " requests to " << path << " ("
+              << params.repeat_frac * 100 << "% repeats)\n";
+    return 0;
+}
+
+std::string report_json(const serve::ReplayReport& report, const serve::ReplayOptions& options) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"schema\":1,"
+       << "\"requests\":" << report.requests << ','
+       << "\"batch\":" << options.batch << ','
+       << "\"epochs\":" << options.epochs << ','
+       << "\"cache\":" << (options.config.enable_cache ? "true" : "false") << ','
+       << "\"capacity\":" << options.config.cache_capacity << ','
+       << "\"wall_ms\":" << report.wall_ms << ','
+       << "\"qps\":" << report.qps << ','
+       << "\"latency_ms\":{\"mean\":" << report.latency_mean_ms << ",\"p50\":"
+       << report.latency_p50_ms << ",\"p95\":" << report.latency_p95_ms << ",\"p99\":"
+       << report.latency_p99_ms << "},"
+       << "\"computed\":" << report.stats.computed << ','
+       << "\"coalesced\":" << report.stats.coalesced << ','
+       << "\"hits\":" << report.stats.cache_hits << ','
+       << "\"evictions\":" << report.stats.cache.evictions << ','
+       << "\"hit_rate\":" << report.stats.hit_rate() << '}';
+    return os.str();
+}
+
+int replay(const Args& args, const std::string& trace_path) {
+    serve::ReplayOptions options;
+    options.config.enable_cache = parse_on_off(args, "cache", true);
+    options.config.enable_dedup = parse_on_off(args, "dedup", true);
+    options.config.cache_capacity = static_cast<std::size_t>(args.get_int("capacity", 1024));
+    options.config.cache_shards = static_cast<std::size_t>(args.get_int("shards", 8));
+    options.batch = static_cast<std::size_t>(args.get_int("batch", 16));
+    options.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
+    const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+
+    const auto trace = serve::load_tsr(trace_path);
+    if (trace.empty()) {
+        std::cerr << "tsched_serve: trace " << trace_path << " has no requests\n";
+        return 2;
+    }
+
+    ThreadPool pool(threads);
+    const auto report = serve::replay_trace(trace, options, pool);
+
+    std::cout << "tsched_serve: replayed " << trace.size() << " requests x " << options.epochs
+              << " epoch(s) on " << pool.size() << " worker(s), batch=" << options.batch
+              << ", cache=" << (options.config.enable_cache ? "on" : "off")
+              << " (capacity=" << options.config.cache_capacity << ")\n";
+    std::cout.precision(3);
+    std::cout << std::fixed;
+    std::cout << "  wall      " << report.wall_ms << " ms\n"
+              << "  qps       " << report.qps << '\n'
+              << "  latency   mean " << report.latency_mean_ms << " ms | p50 "
+              << report.latency_p50_ms << " | p95 " << report.latency_p95_ms << " | p99 "
+              << report.latency_p99_ms << '\n'
+              << "  cache     " << report.stats.cache_hits << " hits / "
+              << report.stats.cache.evictions
+              << " evictions (hit rate " << report.stats.hit_rate() * 100 << "%)\n"
+              << "  computed  " << report.stats.computed << " cold runs, "
+              << report.stats.coalesced << " coalesced\n";
+
+    const std::string json_path = args.get_string("json", "");
+    if (!json_path.empty()) {
+        const std::string doc = report_json(report, options);
+        if (json_path == "-") {
+            std::cout << doc << '\n';
+        } else {
+            std::ofstream out(json_path);
+            out << doc << '\n';
+            if (!out) {
+                std::cerr << "tsched_serve: could not write " << json_path << '\n';
+                return 2;
+            }
+        }
+    }
+
+    if (args.has("counters")) {
+        const auto snapshot = trace::registry().snapshot();
+        for (const auto& counter : snapshot.counters)
+            if (counter.value > 0) std::cout << counter.name << " = " << counter.value << '\n';
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args(argc, argv);
+    if (args.has("version")) {
+        std::cout << kVersion << '\n';
+        return 0;
+    }
+    if (args.has("help")) {
+        print_usage(std::cout);
+        return 0;
+    }
+    try {
+        args.check_known({"gen", "requests", "repeat-frac", "algos", "shapes", "n", "procs",
+                          "net", "ccr", "beta", "seed", "cache", "dedup", "capacity", "shards",
+                          "threads", "batch", "epochs", "json", "counters", "version", "help"});
+    } catch (const std::exception& e) {
+        usage_error(e.what());
+    }
+    try {
+        if (args.has("gen")) return generate(args);
+        if (args.positional().size() != 1)
+            usage_error("expected exactly one trace.tsr argument (or --gen=PATH)");
+        return replay(args, args.positional().front());
+    } catch (const std::exception& e) {
+        std::cerr << "tsched_serve: " << e.what() << '\n';
+        return 2;
+    }
+}
