@@ -45,44 +45,55 @@ ScheduleCache::Shard& ScheduleCache::shard_for(std::uint64_t key) noexcept {
     return *shards_[spread(key) & (shards_.size() - 1)];
 }
 
+std::shared_ptr<const Schedule> ScheduleCache::Shard::find_and_touch_locked(std::uint64_t key) {
+    const auto it = index.find(key);
+    if (it == index.end()) return nullptr;
+    lru.splice(lru.begin(), lru, it->second);
+    return it->second->second;
+}
+
+bool ScheduleCache::Shard::insert_locked(std::uint64_t key,
+                                         std::shared_ptr<const Schedule> value) {
+    if (const auto it = index.find(key); it != index.end()) {
+        it->second->second = std::move(value);
+        lru.splice(lru.begin(), lru, it->second);
+        return false;
+    }
+    lru.emplace_front(key, std::move(value));
+    index.emplace(key, lru.begin());
+    if (lru.size() > capacity) {
+        index.erase(lru.back().first);
+        lru.pop_back();
+        return true;
+    }
+    return false;
+}
+
 std::shared_ptr<const Schedule> ScheduleCache::get(std::uint64_t key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mutex);
-    const auto it = shard.index.find(key);
-    if (it == shard.index.end()) {
-        shard.misses.fetch_add(1, std::memory_order_relaxed);
+    LockGuard lock(shard.mutex);
+    auto value = shard.find_and_touch_locked(key);
+    if (!value) {
+        ++shard.misses;
         TSCHED_COUNT("serve/cache_misses");
         return nullptr;
     }
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    ++shard.hits;
     TSCHED_COUNT("serve/cache_hits");
-    return it->second->second;
+    return value;
 }
 
 std::shared_ptr<const Schedule> ScheduleCache::peek(std::uint64_t key) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mutex);
-    const auto it = shard.index.find(key);
-    if (it == shard.index.end()) return nullptr;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    LockGuard lock(shard.mutex);
+    return shard.find_and_touch_locked(key);
 }
 
 void ScheduleCache::put(std::uint64_t key, std::shared_ptr<const Schedule> value) {
     Shard& shard = shard_for(key);
-    std::lock_guard lock(shard.mutex);
-    if (const auto it = shard.index.find(key); it != shard.index.end()) {
-        it->second->second = std::move(value);
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        return;
-    }
-    shard.lru.emplace_front(key, std::move(value));
-    shard.index.emplace(key, shard.lru.begin());
-    if (shard.lru.size() > shard.capacity) {
-        shard.index.erase(shard.lru.back().first);
-        shard.lru.pop_back();
-        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    LockGuard lock(shard.mutex);
+    if (shard.insert_locked(key, std::move(value))) {
+        ++shard.evictions;
         TSCHED_COUNT("serve/cache_evictions");
     }
 }
@@ -90,10 +101,10 @@ void ScheduleCache::put(std::uint64_t key, std::shared_ptr<const Schedule> value
 CacheStats ScheduleCache::stats() const {
     CacheStats total;
     for (const auto& shard : shards_) {
-        total.hits += shard->hits.load(std::memory_order_relaxed);
-        total.misses += shard->misses.load(std::memory_order_relaxed);
-        total.evictions += shard->evictions.load(std::memory_order_relaxed);
-        std::lock_guard lock(shard->mutex);
+        LockGuard lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.evictions += shard->evictions;
         total.size += shard->lru.size();
     }
     return total;

@@ -13,21 +13,36 @@
 // cold one by construction (the determinism tests also pin this through the
 // TSS serializer).
 //
-// Every operation feeds both the per-cache atomic counters (stats(), usable
+// Lock discipline (clang thread-safety checked, DESIGN §13): every mutable
+// shard member — map, LRU list, *and* the hit/miss/eviction counters — is
+// GUARDED_BY the shard mutex; the counters are plain integers, not atomics,
+// because every touch already happens under the lock.  stats() therefore
+// reads each shard's counters and size under one lock hold, giving a
+// per-shard-consistent snapshot (the pre-annotation code read the counters
+// outside the lock and could observe a hit whose LRU update was not yet
+// visible).  Shards are never locked nested; cross-shard totals are sums of
+// sequential per-shard snapshots.
+//
+// peek() is *counter-neutral*, not lock-free: it takes the shard mutex like
+// every other operation (there is no unsynchronized fast path), but records
+// no hit/miss counter and no trace event, so the serve engine's
+// double-checked lookup costs one counted cache operation per request.  It
+// still refreshes recency on a hit.
+//
+// Every counted operation feeds both the per-shard counters (stats(), usable
 // in any build) and the process-wide trace registry via TSCHED_COUNT
 // ("serve/cache_hits", "serve/cache_misses", "serve/cache_evictions") so
 // `tsched_serve --counters` and bench trace dumps see cache behaviour.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "sched/schedule.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tsched::serve {
 
@@ -54,9 +69,10 @@ public:
     /// absent.  A hit refreshes the entry's recency.
     [[nodiscard]] std::shared_ptr<const Schedule> get(std::uint64_t key);
 
-    /// Like get(), but records no hit/miss counters — the serve engine's
-    /// double-checked lookup uses this so one request never counts two
-    /// cache operations.  Still refreshes recency on a hit.
+    /// Counter-neutral lookup: takes the shard lock like get() but records
+    /// no hit/miss counters — the serve engine's double-checked lookup uses
+    /// this so one request never counts two cache operations.  Still
+    /// refreshes recency on a hit.
     [[nodiscard]] std::shared_ptr<const Schedule> peek(std::uint64_t key);
 
     /// Insert or overwrite; evicts the shard's least-recently-used entry
@@ -66,19 +82,38 @@ public:
     [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::size_t num_shards() const noexcept { return shards_.size(); }
 
-    /// Point-in-time totals across shards.
+    /// Point-in-time totals across shards.  Each shard's contribution is
+    /// internally consistent (read under that shard's lock); the cross-shard
+    /// sum is only as coherent as sequential per-shard sampling can be.
     [[nodiscard]] CacheStats stats() const;
 
 private:
     struct Shard {
-        std::mutex mutex;
+        Mutex mutex;
         /// Most-recently-used at the front.
-        std::list<std::pair<std::uint64_t, std::shared_ptr<const Schedule>>> lru;
-        std::unordered_map<std::uint64_t, decltype(lru)::iterator> index;
+        std::list<std::pair<std::uint64_t, std::shared_ptr<const Schedule>>> lru
+            TSCHED_GUARDED_BY(mutex);
+        std::unordered_map<std::uint64_t,
+                           std::list<std::pair<std::uint64_t,
+                                               std::shared_ptr<const Schedule>>>::iterator>
+            index TSCHED_GUARDED_BY(mutex);
+        /// Entry budget; set once at construction, immutable afterwards.
         std::size_t capacity = 1;
-        std::atomic<std::uint64_t> hits{0};
-        std::atomic<std::uint64_t> misses{0};
-        std::atomic<std::uint64_t> evictions{0};
+        std::uint64_t hits TSCHED_GUARDED_BY(mutex) = 0;
+        std::uint64_t misses TSCHED_GUARDED_BY(mutex) = 0;
+        std::uint64_t evictions TSCHED_GUARDED_BY(mutex) = 0;
+
+        /// Find `key`, move it to the MRU position, and return its value;
+        /// nullptr when absent.  Counter updates stay with the callers so
+        /// get() and peek() share one lookup path.
+        [[nodiscard]] std::shared_ptr<const Schedule> find_and_touch_locked(std::uint64_t key)
+            TSCHED_REQUIRES(mutex);
+
+        /// Insert or overwrite `key`, evicting the LRU entry if the shard
+        /// went over budget; returns true when an eviction happened.
+        [[nodiscard]] bool insert_locked(std::uint64_t key,
+                                         std::shared_ptr<const Schedule> value)
+            TSCHED_REQUIRES(mutex);
     };
 
     [[nodiscard]] Shard& shard_for(std::uint64_t key) noexcept;

@@ -42,7 +42,7 @@ ServeEngine::ServeEngine(ServeConfig config, ThreadPool& pool)
 ServeEngine::~ServeEngine() { pool_.wait_idle(); }
 
 const Scheduler& ServeEngine::scheduler_for(const std::string& algo) {
-    std::lock_guard lock(schedulers_mutex_);
+    LockGuard lock(schedulers_mutex_);
     auto it = schedulers_.find(algo);
     if (it == schedulers_.end()) it = schedulers_.emplace(algo, make_scheduler(algo)).first;
     return *it->second;
@@ -69,7 +69,7 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
     std::promise<ServeResult> owner;
     std::future<ServeResult> future = owner.get_future();
     if (config_.enable_dedup) {
-        std::lock_guard lock(inflight_mutex_);
+        LockGuard lock(inflight_mutex_);
         if (const auto it = inflight_.find(fp); it != inflight_.end()) {
             coalesced_.fetch_add(1, std::memory_order_relaxed);
             TSCHED_COUNT("serve/inflight_coalesced");
@@ -92,11 +92,34 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
         inflight_.emplace(fp, std::make_shared<InFlight>());
     }
 
-    pool_.submit(
-        [this, req = std::move(request), fp, own = std::move(owner), submitted]() mutable {
-            compute_and_publish(std::move(req), fp, std::move(own), submitted);
-        });
+    try {
+        pool_.submit(
+            [this, req = std::move(request), fp, own = std::move(owner), submitted]() mutable {
+                compute_and_publish(std::move(req), fp, std::move(own), submitted);
+            });
+    } catch (...) {
+        // The pool refused the work (shut down): roll back this request's
+        // in-flight registration, or later identical requests would coalesce
+        // onto an entry that no computation will ever resolve and hang.  Any
+        // waiter that coalesced in the meantime fails with the same error.
+        if (config_.enable_dedup) {
+            for (Waiter& waiter : claim_waiters(fp)) {
+                waiter.promise.set_exception(std::current_exception());
+            }
+        }
+        throw;
+    }
     return future;
+}
+
+std::vector<ServeEngine::Waiter> ServeEngine::claim_waiters(std::uint64_t fp) {
+    std::vector<Waiter> waiters;
+    LockGuard lock(inflight_mutex_);
+    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+        waiters = std::move(it->second->waiters);
+        inflight_.erase(it);
+    }
+    return waiters;
 }
 
 void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
@@ -116,13 +139,7 @@ void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
     if (result && config_.enable_cache) cache_->put(fp, result);
 
     std::vector<Waiter> waiters;
-    if (config_.enable_dedup) {
-        std::lock_guard lock(inflight_mutex_);
-        if (const auto it = inflight_.find(fp); it != inflight_.end()) {
-            waiters = std::move(it->second->waiters);
-            inflight_.erase(it);
-        }
-    }
+    if (config_.enable_dedup) waiters = claim_waiters(fp);
 
     const auto fulfill = [&](std::promise<ServeResult>& promise, const Stopwatch& clock,
                              bool coalesced) {

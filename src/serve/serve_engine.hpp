@@ -17,12 +17,16 @@
 //      computation on the pool; on completion it populates the cache and
 //      resolves every coalesced waiter.
 //
-// Concurrency notes: the in-flight table has one engine-level mutex (held
-// only for map operations, never during scheduling); the cache has its own
-// sharded locks.  Lock order is inflight -> cache shard, never the reverse.
-// Scheduler instances are resolved through core/registry once per algorithm
-// and shared; Scheduler::schedule() is const and safe to run concurrently
-// (the metrics runner already relies on this).
+// Concurrency notes (clang thread-safety checked, DESIGN §13): the in-flight
+// table has one engine-level mutex (held only for map operations, never
+// during scheduling); the cache has its own sharded locks.  Lock order is
+// inflight -> cache shard, never the reverse.  Scheduler instances are
+// resolved through core/registry once per algorithm and shared;
+// Scheduler::schedule() is const and safe to run concurrently (the metrics
+// runner already relies on this).  If handing a computation to the pool
+// fails (pool already shut down), the request's in-flight registration is
+// rolled back before the error propagates, so later identical requests
+// cannot coalesce onto an entry nobody will ever resolve.
 //
 // Determinism: schedulers are pure functions of the Problem, so cache-off
 // and cache-on serving return identical schedules; with TSCHED_DEBUG_CHECKS
@@ -35,7 +39,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +47,7 @@
 #include "serve/request.hpp"
 #include "serve/schedule_cache.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tsched::serve {
@@ -82,8 +86,11 @@ public:
 
     /// Asynchronous entry point; the future reports the result or rethrows
     /// the scheduler's exception.  Throws std::invalid_argument up front for
-    /// a null problem (unknown algorithm names surface through the future).
-    [[nodiscard]] std::future<ServeResult> submit(ScheduleRequest request);
+    /// a null problem (unknown algorithm names surface through the future);
+    /// rethrows the pool's error if the pool was already shut down, after
+    /// rolling back this request's in-flight registration.
+    [[nodiscard]] std::future<ServeResult> submit(ScheduleRequest request)
+        TSCHED_EXCLUDES(inflight_mutex_);
 
     /// Submit a whole batch, then block for all of it; results come back in
     /// request order.
@@ -101,24 +108,37 @@ private:
         Stopwatch submitted;  ///< per-request latency clock
     };
     struct InFlight {
-        std::vector<Waiter> waiters;  ///< coalesced requests (not the owner)
+        /// Coalesced requests (not the owner).  Touched only under the
+        /// engine's inflight_mutex_ (a nested struct cannot name the outer
+        /// class's capability, so this contract is enforced at the three
+        /// access sites rather than by annotation).
+        std::vector<Waiter> waiters;
     };
 
     /// Resolve (and memoize) a scheduler instance by registry name.
-    [[nodiscard]] const Scheduler& scheduler_for(const std::string& algo);
+    [[nodiscard]] const Scheduler& scheduler_for(const std::string& algo)
+        TSCHED_EXCLUDES(schedulers_mutex_);
 
     void compute_and_publish(ScheduleRequest request, std::uint64_t fp,
-                             std::promise<ServeResult> owner, Stopwatch submitted);
+                             std::promise<ServeResult> owner, Stopwatch submitted)
+        TSCHED_EXCLUDES(inflight_mutex_, schedulers_mutex_);
+
+    /// Detach and return fp's in-flight entry's waiters (empty when the
+    /// entry is absent, e.g. dedup disabled).
+    [[nodiscard]] std::vector<Waiter> claim_waiters(std::uint64_t fp)
+        TSCHED_EXCLUDES(inflight_mutex_);
 
     ServeConfig config_;
     ThreadPool& pool_;
     std::unique_ptr<ScheduleCache> cache_;
 
-    std::mutex inflight_mutex_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+    Mutex inflight_mutex_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_
+        TSCHED_GUARDED_BY(inflight_mutex_);
 
-    std::mutex schedulers_mutex_;
-    std::unordered_map<std::string, SchedulerPtr> schedulers_;
+    Mutex schedulers_mutex_;
+    std::unordered_map<std::string, SchedulerPtr> schedulers_
+        TSCHED_GUARDED_BY(schedulers_mutex_);
 
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> computed_{0};

@@ -1,16 +1,205 @@
 #include "sim/executor.hpp"
 
 #include <chrono>
-#include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "trace/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace tsched::sim {
+
+namespace {
+
+// All shared execution state, previously a bundle of locals captured by
+// reference in worker lambdas, lives here as members so the lock ownership
+// is expressible: everything mutable is GUARDED_BY(mutex_), helpers that
+// assume the lock carry _locked names and TSCHED_REQUIRES.  Behaviour is
+// identical to the pre-refactor function — same lock, same condition
+// variable, same wake predicate (spelled as an explicit wait loop).
+class ExecContext {
+public:
+    ExecContext(const Schedule& schedule, const Dag& dag, const TaskBody& body,
+                const ExecutorOptions& options)
+        : dag_(dag), body_(body), options_(options) {
+        const std::size_t n = schedule.num_tasks();
+        procs_ = schedule.num_procs();
+        done_.assign(n, false);
+        completion_.assign(n, -1.0);
+        quarantined_.assign(procs_, false);
+        report_.placements_run.assign(procs_, 0);
+        orders_.resize(procs_);
+        for (std::size_t p = 0; p < procs_; ++p) {
+            orders_[p] = schedule.processor_timeline(static_cast<ProcId>(p));
+            remaining_ += orders_[p].size();
+        }
+    }
+
+    ExecutionReport run() TSCHED_EXCLUDES(mutex_) {
+        start_time_ = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        threads.reserve(procs_);
+        for (std::size_t p = 0; p < procs_; ++p) {
+            threads.emplace_back([this, p] { worker(p); });
+        }
+        for (auto& t : threads) t.join();
+
+        // Workers have exited; the lock is still taken so the annotated
+        // members are read with the discipline the analysis can check.
+        LockGuard lock(mutex_);
+        if (first_error_) std::rethrow_exception(first_error_);
+        report_.wall_seconds = elapsed();
+        report_.task_completion = std::move(completion_);
+        report_.worker_quarantined = std::move(quarantined_);
+        return std::move(report_);
+    }
+
+private:
+    [[nodiscard]] double elapsed() const {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_)
+            .count();
+    }
+
+    [[nodiscard]] bool preds_done_locked(TaskId v) const TSCHED_REQUIRES(mutex_) {
+        for (const AdjEdge& e : dag_.predecessors(v)) {
+            if (!done_[static_cast<std::size_t>(e.task)]) return false;
+        }
+        return true;
+    }
+
+    /// First overflow placement whose predecessors are all done.
+    [[nodiscard]] std::deque<Placement>::iterator runnable_overflow_locked()
+        TSCHED_REQUIRES(mutex_) {
+        for (auto it = overflow_.begin(); it != overflow_.end(); ++it) {
+            if (preds_done_locked(it->task)) return it;
+        }
+        return overflow_.end();
+    }
+
+    /// Worker p's next own placement is ready to run.
+    [[nodiscard]] bool own_next_runnable_locked(std::size_t p, std::size_t idx) const
+        TSCHED_REQUIRES(mutex_) {
+        return !quarantined_[p] && idx < orders_[p].size() &&
+               preds_done_locked(orders_[p][idx].task);
+    }
+
+    /// Run one placement through the attempt ladder.  Returns the error that
+    /// exhausted the attempts, or nullptr on success.  Called unlocked; the
+    /// body runs outside any lock.
+    [[nodiscard]] std::exception_ptr attempt_all(const Placement& pl, std::size_t p)
+        TSCHED_EXCLUDES(mutex_) {
+        for (std::size_t attempt = 1;; ++attempt) {
+            try {
+                body_(pl.task, static_cast<ProcId>(p));
+                return nullptr;
+            } catch (...) {
+                if (attempt >= options_.max_attempts) return std::current_exception();
+                {
+                    LockGuard lock(mutex_);
+                    ++report_.retries;
+                }
+                TSCHED_COUNT("executor_retries");
+                if (options_.retry_backoff.count() > 0) {
+                    std::this_thread::sleep_for(options_.retry_backoff *
+                                                (std::int64_t{1} << (attempt - 1)));
+                }
+            }
+        }
+    }
+
+    void worker(std::size_t p) TSCHED_EXCLUDES(mutex_) {
+        std::size_t idx = 0;
+        while (true) {
+            Placement pl{};
+            bool from_overflow = false;
+            {
+                UniqueLock lock(mutex_);
+                while (!(failed_ || remaining_ == 0 || own_next_runnable_locked(p, idx) ||
+                         runnable_overflow_locked() != overflow_.end())) {
+                    cv_.wait(lock);
+                }
+                if (failed_ || remaining_ == 0) return;
+                if (own_next_runnable_locked(p, idx)) {
+                    pl = orders_[p][idx++];
+                } else {
+                    const auto it = runnable_overflow_locked();
+                    pl = *it;
+                    overflow_.erase(it);
+                    from_overflow = true;
+                }
+            }
+
+            const std::exception_ptr err = attempt_all(pl, p);
+            if (!err) {
+                {
+                    LockGuard lock(mutex_);
+                    if (!done_[static_cast<std::size_t>(pl.task)]) {
+                        done_[static_cast<std::size_t>(pl.task)] = true;
+                        completion_[static_cast<std::size_t>(pl.task)] = elapsed();
+                    }
+                    ++report_.placements_run[p];
+                    if (from_overflow) {
+                        ++report_.migrations;
+                        TSCHED_COUNT("executor_migrations");
+                    }
+                    --remaining_;
+                }
+                cv_.notify_all();
+                continue;
+            }
+
+            UniqueLock lock(mutex_);
+            if (!from_overflow && options_.reassign_on_failure) {
+                bool other_alive = false;
+                for (std::size_t q = 0; q < procs_; ++q) {
+                    if (q != p && !quarantined_[q]) other_alive = true;
+                }
+                if (other_alive) {
+                    // Quarantine: hand this and every remaining own placement
+                    // to the surviving workers and exit the thread.
+                    quarantined_[p] = true;
+                    TSCHED_COUNT("executor_quarantines");
+                    overflow_.push_back(pl);
+                    for (; idx < orders_[p].size(); ++idx) overflow_.push_back(orders_[p][idx]);
+                    lock.unlock();
+                    cv_.notify_all();
+                    return;
+                }
+            }
+            if (!first_error_) first_error_ = err;
+            failed_ = true;
+            lock.unlock();
+            cv_.notify_all();
+            return;
+        }
+    }
+
+    // Immutable after construction (workers only read them).
+    const Dag& dag_;
+    const TaskBody& body_;
+    const ExecutorOptions& options_;
+    std::size_t procs_ = 0;
+    std::vector<std::vector<Placement>> orders_;
+    std::chrono::steady_clock::time_point start_time_;
+
+    Mutex mutex_;
+    CondVar cv_;
+    std::vector<bool> done_ TSCHED_GUARDED_BY(mutex_);
+    bool failed_ TSCHED_GUARDED_BY(mutex_) = false;
+    std::exception_ptr first_error_ TSCHED_GUARDED_BY(mutex_);
+    /// Placements abandoned by quarantined workers, in their original order;
+    /// any idle worker may pick up any runnable entry.
+    std::deque<Placement> overflow_ TSCHED_GUARDED_BY(mutex_);
+    std::vector<bool> quarantined_ TSCHED_GUARDED_BY(mutex_);
+    std::size_t remaining_ TSCHED_GUARDED_BY(mutex_) = 0;
+    ExecutionReport report_ TSCHED_GUARDED_BY(mutex_);
+    std::vector<double> completion_ TSCHED_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
                                  const TaskBody& body, const ExecutorOptions& options) {
@@ -23,154 +212,8 @@ ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,
     if (options.max_attempts == 0) {
         throw std::invalid_argument("execute_threaded: max_attempts must be >= 1");
     }
-    const std::size_t n = schedule.num_tasks();
-    const std::size_t procs = schedule.num_procs();
-
-    // All completion state lives behind one mutex + condition variable;
-    // schedules here have at most a few thousand tasks, so the simplicity is
-    // worth far more than a lock-free design.
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::vector<bool> done(n, false);
-    bool failed = false;
-    std::exception_ptr first_error;
-    // Placements abandoned by quarantined workers, in their original order;
-    // any idle worker may pick up any runnable entry.
-    std::deque<Placement> overflow;
-    std::vector<bool> quarantined(procs, false);
-    std::size_t remaining = 0;
-
-    ExecutionReport report;
-    report.placements_run.assign(procs, 0);
-    std::vector<double> completion(n, -1.0);
-
-    const auto start_time = std::chrono::steady_clock::now();
-    auto elapsed = [&] {
-        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
-            .count();
-    };
-
-    std::vector<std::vector<Placement>> orders(procs);
-    for (std::size_t p = 0; p < procs; ++p) {
-        orders[p] = schedule.processor_timeline(static_cast<ProcId>(p));
-        remaining += orders[p].size();
-    }
-
-    auto preds_done = [&](TaskId v) {
-        for (const AdjEdge& e : dag.predecessors(v)) {
-            if (!done[static_cast<std::size_t>(e.task)]) return false;
-        }
-        return true;
-    };
-
-    // Run one placement through the attempt ladder.  Returns the error that
-    // exhausted the attempts, or nullptr on success.
-    auto attempt_all = [&](const Placement& pl, std::size_t p) -> std::exception_ptr {
-        for (std::size_t attempt = 1;; ++attempt) {
-            try {
-                body(pl.task, static_cast<ProcId>(p));
-                return nullptr;
-            } catch (...) {
-                if (attempt >= options.max_attempts) return std::current_exception();
-                {
-                    std::lock_guard lock(mutex);
-                    ++report.retries;
-                }
-                TSCHED_COUNT("executor_retries");
-                if (options.retry_backoff.count() > 0) {
-                    std::this_thread::sleep_for(options.retry_backoff *
-                                                (std::int64_t{1} << (attempt - 1)));
-                }
-            }
-        }
-    };
-
-    auto worker = [&](std::size_t p) {
-        std::size_t idx = 0;
-        while (true) {
-            Placement pl{};
-            bool from_overflow = false;
-            {
-                std::unique_lock lock(mutex);
-                auto runnable_overflow = [&] {
-                    for (auto it = overflow.begin(); it != overflow.end(); ++it) {
-                        if (preds_done(it->task)) return it;
-                    }
-                    return overflow.end();
-                };
-                cv.wait(lock, [&] {
-                    return failed || remaining == 0 ||
-                           (!quarantined[p] && idx < orders[p].size() &&
-                            preds_done(orders[p][idx].task)) ||
-                           runnable_overflow() != overflow.end();
-                });
-                if (failed || remaining == 0) return;
-                if (!quarantined[p] && idx < orders[p].size() &&
-                    preds_done(orders[p][idx].task)) {
-                    pl = orders[p][idx++];
-                } else {
-                    const auto it = runnable_overflow();
-                    pl = *it;
-                    overflow.erase(it);
-                    from_overflow = true;
-                }
-            }
-
-            const std::exception_ptr err = attempt_all(pl, p);
-            if (!err) {
-                {
-                    std::lock_guard lock(mutex);
-                    if (!done[static_cast<std::size_t>(pl.task)]) {
-                        done[static_cast<std::size_t>(pl.task)] = true;
-                        completion[static_cast<std::size_t>(pl.task)] = elapsed();
-                    }
-                    ++report.placements_run[p];
-                    if (from_overflow) {
-                        ++report.migrations;
-                        TSCHED_COUNT("executor_migrations");
-                    }
-                    --remaining;
-                }
-                cv.notify_all();
-                continue;
-            }
-
-            std::unique_lock lock(mutex);
-            if (!from_overflow && options.reassign_on_failure) {
-                bool other_alive = false;
-                for (std::size_t q = 0; q < procs; ++q) {
-                    if (q != p && !quarantined[q]) other_alive = true;
-                }
-                if (other_alive) {
-                    // Quarantine: hand this and every remaining own placement
-                    // to the surviving workers and exit the thread.
-                    quarantined[p] = true;
-                    TSCHED_COUNT("executor_quarantines");
-                    overflow.push_back(pl);
-                    for (; idx < orders[p].size(); ++idx) overflow.push_back(orders[p][idx]);
-                    lock.unlock();
-                    cv.notify_all();
-                    return;
-                }
-            }
-            if (!first_error) first_error = err;
-            failed = true;
-            lock.unlock();
-            cv.notify_all();
-            return;
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(procs);
-    for (std::size_t p = 0; p < procs; ++p) threads.emplace_back(worker, p);
-    for (auto& t : threads) t.join();
-
-    if (first_error) std::rethrow_exception(first_error);
-    report.wall_seconds = elapsed();
-    report.task_completion = std::move(completion);
-    report.worker_quarantined = std::move(quarantined);
-    return report;
+    ExecContext context(schedule, dag, body, options);
+    return context.run();
 }
 
 ExecutionReport execute_threaded(const Schedule& schedule, const Dag& dag,

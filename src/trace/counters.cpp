@@ -42,17 +42,17 @@ void append_json_string(std::string& out, std::string_view s) {
 }  // namespace
 
 Counter& Registry::counter(std::string_view name) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return find_or_create(counters_, name);
 }
 
 SpanTimer& Registry::span(std::string_view name) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return find_or_create(spans_, name);
 }
 
 Snapshot Registry::snapshot() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     Snapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
@@ -66,7 +66,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     for (auto& [name, counter] : counters_) counter->reset();
     for (auto& [name, span] : spans_) span->reset();
 }

@@ -16,10 +16,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace tsched::trace {
 
@@ -75,22 +76,28 @@ struct Snapshot {
     std::vector<SpanSample> spans;
 };
 
+// Lock discipline: the name->entry tables are GUARDED_BY the registry
+// mutex; the Counter/SpanTimer objects they point to are themselves
+// relaxed-atomic (hot-path adds never take the lock — the registration
+// lookup is cached in a function-local static by the macros).
 class Registry {
 public:
     /// Find-or-create; the returned reference is stable for the process
     /// lifetime (entries are never removed).
-    Counter& counter(std::string_view name);
-    SpanTimer& span(std::string_view name);
+    Counter& counter(std::string_view name) TSCHED_EXCLUDES(mutex_);
+    SpanTimer& span(std::string_view name) TSCHED_EXCLUDES(mutex_);
 
-    [[nodiscard]] Snapshot snapshot() const;
+    [[nodiscard]] Snapshot snapshot() const TSCHED_EXCLUDES(mutex_);
 
     /// Zero every value.  Names stay registered (append-only).
-    void reset();
+    void reset() TSCHED_EXCLUDES(mutex_);
 
 private:
-    mutable std::mutex mutex_;
-    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-    std::vector<std::pair<std::string, std::unique_ptr<SpanTimer>>> spans_;
+    mutable Mutex mutex_;
+    std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+        TSCHED_GUARDED_BY(mutex_);
+    std::vector<std::pair<std::string, std::unique_ptr<SpanTimer>>> spans_
+        TSCHED_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry all macros record into.

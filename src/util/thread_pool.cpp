@@ -16,23 +16,31 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
     {
-        std::lock_guard lock(mutex_);
+        LockGuard lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
+    // Joined threads stay in workers_ (joinable() is false afterwards) so
+    // size() keeps reporting the pool's width and a second shutdown() — e.g.
+    // the destructor after an explicit call — is a no-op walk.
     for (auto& t : workers_) {
         if (t.joinable()) t.join();
     }
+    // Workers drain the queue before exiting, so any wait_idle() caller's
+    // condition now holds; wake it in case the final notify raced its wait.
+    idle_cv_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            UniqueLock lock(mutex_);
+            while (!stopping_ && queue_.empty()) cv_.wait(lock);
             if (queue_.empty()) {
                 if (stopping_) return;
                 continue;
@@ -43,7 +51,7 @@ void ThreadPool::worker_loop() {
         }
         task();
         {
-            std::lock_guard lock(mutex_);
+            LockGuard lock(mutex_);
             --active_;
             if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
         }
@@ -51,9 +59,29 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-    std::unique_lock lock(mutex_);
-    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    UniqueLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
+
+namespace {
+
+/// First-exception slot shared by parallel_for chunks; a named struct (not
+/// captured locals) so the guarded_by relation is expressible.
+struct ErrorSlot {
+    Mutex mutex;
+    std::exception_ptr first TSCHED_GUARDED_BY(mutex);
+
+    void record(std::exception_ptr error) TSCHED_EXCLUDES(mutex) {
+        LockGuard lock(mutex);
+        if (!first) first = std::move(error);
+    }
+    [[nodiscard]] std::exception_ptr take() TSCHED_EXCLUDES(mutex) {
+        LockGuard lock(mutex);
+        return first;
+    }
+};
+
+}  // namespace
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
@@ -63,8 +91,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
     const std::size_t chunk_size = (count + chunks - 1) / chunks;
 
     std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    ErrorSlot error;
 
     std::vector<std::future<void>> futures;
     futures.reserve(chunks);
@@ -77,8 +104,7 @@ void parallel_for(ThreadPool& pool, std::size_t count,
                 try {
                     fn(i);
                 } catch (...) {
-                    std::lock_guard lock(error_mutex);
-                    if (!first_error) first_error = std::current_exception();
+                    error.record(std::current_exception());
                     failed.store(true, std::memory_order_relaxed);
                     return;
                 }
@@ -86,7 +112,8 @@ void parallel_for(ThreadPool& pool, std::size_t count,
         }));
     }
     for (auto& f : futures) f.get();
-    if (first_error) std::rethrow_exception(first_error);
+    // f.get() on every chunk orders all record() calls before this read.
+    if (auto first = error.take()) std::rethrow_exception(first);
 }
 
 }  // namespace tsched

@@ -5,16 +5,22 @@
 //     via parallel_for;
 //   * sim::ThreadedExecutor, which pins one worker per simulated processor to
 //     actually run a static schedule's tasks as real closures.
+//
+// Lock discipline (checked by clang thread-safety analysis, DESIGN §13):
+// every piece of queue/lifecycle state is guarded by `mutex_`; workers and
+// producers communicate only through that lock plus the two condition
+// variables.  `workers_` itself is written during construction and shutdown
+// only, both of which happen on the owning thread.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace tsched {
 
@@ -31,12 +37,12 @@ public:
 
     /// Enqueue a task; the future reports completion / exceptions.
     template <typename F>
-    auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    std::future<std::invoke_result_t<F>> submit(F&& fn) TSCHED_EXCLUDES(mutex_) {
         using R = std::invoke_result_t<F>;
         auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
         std::future<R> fut = task->get_future();
         {
-            std::lock_guard lock(mutex_);
+            LockGuard lock(mutex_);
             if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
             queue_.emplace_back([task]() { (*task)(); });
         }
@@ -45,18 +51,26 @@ public:
     }
 
     /// Block until all currently enqueued tasks finish.
-    void wait_idle();
+    void wait_idle() TSCHED_EXCLUDES(mutex_);
+
+    /// Drain the queue and join every worker.  Idempotent; the destructor
+    /// calls it.  Explicit shutdown lets owners of borrowed-pool consumers
+    /// (ServeEngine) sequence teardown deliberately — after shutdown,
+    /// submit() throws instead of enqueueing work that would never run.
+    /// Must not be called from inside a pool task (a worker cannot join
+    /// itself).
+    void shutdown() TSCHED_EXCLUDES(mutex_);
 
 private:
-    void worker_loop();
+    void worker_loop() TSCHED_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::condition_variable idle_cv_;
-    std::size_t active_ = 0;
-    bool stopping_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    CondVar idle_cv_;
+    std::deque<std::function<void()>> queue_ TSCHED_GUARDED_BY(mutex_);
+    std::size_t active_ TSCHED_GUARDED_BY(mutex_) = 0;
+    bool stopping_ TSCHED_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, count), chunked across the pool; blocks until done.

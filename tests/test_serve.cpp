@@ -8,9 +8,12 @@
 // from many threads and asserts exactly one computation happened.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <set>
+#include <thread>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -438,6 +441,103 @@ TEST(Replay, SteadyStateAccountingAddsUp) {
     EXPECT_GT(report.qps, 0.0);
     EXPECT_LE(report.latency_p50_ms, report.latency_p95_ms);
     EXPECT_LE(report.latency_p95_ms, report.latency_p99_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regressions.  These run in the TSan CI leg (the job's -R
+// filter matches ServeEngine/ScheduleCache names) and exercise the lock
+// discipline the thread-safety annotations document.
+
+TEST(ScheduleCacheStress, StatsStayConsistentUnderConcurrentHammer) {
+    // Regression: stats() used to read the hit/miss counters outside the
+    // shard lock while lru.size() was sampled separately, so a concurrent
+    // hammer could observe torn totals (hits + misses != get calls).
+    serve::ScheduleCache cache(16, 4);
+    constexpr int kThreads = 4;
+    constexpr int kOpsPerThread = 2000;
+    std::atomic<std::uint64_t> gets{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &gets, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                const auto key = static_cast<std::uint64_t>((t * kOpsPerThread + i) % 64);
+                if (i % 3 == 0) {
+                    cache.put(key, make_dummy_schedule(static_cast<double>(key)));
+                } else {
+                    (void)cache.get(key);
+                    gets.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, gets.load());
+    EXPECT_LE(stats.size, cache.capacity());
+}
+
+TEST(ServeEngineStress, MixedRepeatAndUniqueClientsGetCorrectResults) {
+    // N client threads × mixed ~50% repeated / ~50% unique requests pushed
+    // through the full cache + in-flight-coalescing path.  Every future must
+    // resolve, repeats must agree bit-for-bit, and the engine's accounting
+    // must add up exactly.
+    ThreadPool pool(4);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    constexpr int kClients = 8;
+    constexpr int kRequestsPerClient = 20;
+    const std::vector<double> shared_works = {1.0, 2.0, 3.0, 4.0};
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                serve::ScheduleRequest request = make_request();
+                // Even iterations draw from a tiny shared set (repeats across
+                // every client); odd ones are globally unique.
+                const double work = (i % 2 == 0)
+                    ? shared_works[static_cast<std::size_t>(i / 2)
+                                   % shared_works.size()]
+                    : 100.0 + c * kRequestsPerClient + i;
+                request.problem = make_problem(work);
+                const auto result = engine.serve(std::move(request));
+                if (result.schedule == nullptr) failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const auto stats = engine.stats();
+    constexpr std::uint64_t kTotal = kClients * kRequestsPerClient;
+    EXPECT_EQ(stats.requests, kTotal);
+    EXPECT_EQ(stats.computed + stats.coalesced + stats.cache_hits, kTotal);
+    // 4 shared instances + 8×10 unique ones = at most 84 cold computations.
+    EXPECT_LE(stats.computed, 84u);
+    EXPECT_GE(stats.computed, 84u - shared_works.size());  // uniques always compute
+
+    // Repeats must be bit-identical to a fresh serve of the same request.
+    for (double work : shared_works) {
+        serve::ScheduleRequest request = make_request();
+        request.problem = make_problem(work);
+        const auto replayed = engine.serve(std::move(request));
+        EXPECT_TRUE(replayed.cache_hit) << work;
+    }
+}
+
+TEST(ServeEngine, SubmitAfterPoolShutdownThrowsAndRollsBackInflight) {
+    // Regression: when handing the computation to the pool fails, the
+    // request's in-flight registration must be rolled back.  Before the fix
+    // the entry leaked, so a *second* identical request would coalesce onto
+    // it, successfully return a future nobody would ever resolve, and hang.
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);  // dedup on
+    pool.shutdown();
+    EXPECT_THROW((void)engine.submit(make_request()), std::runtime_error);
+    // Must throw again (re-registering as owner), not coalesce and hang.
+    EXPECT_THROW((void)engine.submit(make_request()), std::runtime_error);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -98,6 +100,48 @@ TEST(ThreadPool, SubmitAfterDestructionIsImpossibleByDesign) {
         }
     }
     EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksBeforeReturning) {
+    std::atomic<int> counter{0};
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+        (void)pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.shutdown();
+    EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDtorTolerant) {
+    // Explicit shutdown, a second shutdown, then the destructor's implicit
+    // one — none may hang or double-join.  size() must stay truthful so
+    // parallel_for chunking arithmetic on a borrowed pool keeps working.
+    ThreadPool pool(3);
+    (void)pool.submit([] {});
+    pool.shutdown();
+    pool.shutdown();
+    EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ShutdownWakesWaitIdleWaiters) {
+    // wait_idle() parked on the idle condition must not miss the shutdown
+    // wake-up: the queue drains, then shutdown notifies idle waiters.
+    ThreadPool pool(2);
+    std::atomic<bool> woke{false};
+    std::thread waiter([&] {
+        pool.wait_idle();
+        woke.store(true);
+    });
+    (void)pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+    pool.shutdown();
+    waiter.join();
+    EXPECT_TRUE(woke.load());
 }
 
 }  // namespace

@@ -334,7 +334,9 @@ TEST(DecisionTrace, IlsTraceMatchesScheduleAndNamesWinningPass) {
         EXPECT_DOUBLE_EQ(rec->finish, pl.finish);
         ASSERT_EQ(rec->candidates.size(), problem.num_procs());
         for (const auto& c : rec->candidates) {
-            if (c.proc == rec->chosen) EXPECT_NEAR(c.eft, pl.finish, 1e-9);
+            if (c.proc == rec->chosen) {
+                EXPECT_NEAR(c.eft, pl.finish, 1e-9);
+            }
             if (rec->pass == "oct") {
                 EXPECT_NEAR(c.score, c.eft + c.oct_bias, 1e-9);
             } else {

@@ -1,0 +1,31 @@
+// Seeded misuse: re-acquiring a mutex the caller already holds (self-
+// deadlock with std::mutex) — what TSCHED_EXCLUDES on public entry points
+// exists to prevent.
+// EXPECT: that is already held
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit_twice(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        balance_ += amount;
+        tsched::LockGuard again(mutex_);  // BUG: double acquisition
+        balance_ += amount;
+    }
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit_twice(1);
+    return 0;
+}

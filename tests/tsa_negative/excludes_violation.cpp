@@ -1,0 +1,34 @@
+// Seeded misuse: calling a TSCHED_EXCLUDES function while holding the very
+// mutex it will acquire (self-deadlock).  ServeEngine::submit /
+// ScheduleCache::get carry exactly this annotation.
+// EXPECT: while mutex 'mutex_' is held
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        balance_ += amount;
+    }
+
+    void deposit_reentrant(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        deposit(amount);  // BUG: deposit() takes mutex_ itself
+    }
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit_reentrant(1);
+    return 0;
+}

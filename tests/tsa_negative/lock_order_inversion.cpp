@@ -1,0 +1,33 @@
+// Seeded misuse: acquiring two cache-shard mutexes against their declared
+// ACQUIRED_BEFORE order — the deadlock class sharded designs such as
+// ScheduleCache avoid by never nesting shard locks.  Checked under
+// -Wthread-safety-beta.
+// EXPECT: must be acquired
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class ShardPair {
+public:
+    void rebalance_inverted() TSCHED_EXCLUDES(shard_a_, shard_b_) {
+        tsched::LockGuard second(shard_b_);  // BUG: b taken first…
+        tsched::LockGuard first(shard_a_);   // …then a, inverting the order
+        a_entries_ += b_entries_;
+    }
+
+private:
+    tsched::Mutex shard_a_ TSCHED_ACQUIRED_BEFORE(shard_b_);
+    tsched::Mutex shard_b_;
+    std::uint64_t a_entries_ TSCHED_GUARDED_BY(shard_a_) = 0;
+    std::uint64_t b_entries_ TSCHED_GUARDED_BY(shard_b_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    ShardPair shards;
+    shards.rebalance_inverted();
+    return 0;
+}

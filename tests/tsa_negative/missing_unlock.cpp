@@ -1,0 +1,31 @@
+// Seeded misuse: a manual lock() with a return path that never unlocks —
+// the leak class RAII guards exist to prevent.
+// EXPECT: still held at the end of function
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        mutex_.lock();
+        balance_ += amount;
+        // BUG: early return leaks the lock; the fall-through path unlocks.
+        if (balance_ > 100) return;
+        mutex_.unlock();
+    }
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(1);
+    return 0;
+}

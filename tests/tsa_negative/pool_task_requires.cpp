@@ -1,0 +1,32 @@
+// Seeded misuse: a task submitted to the real ThreadPool writes a guarded
+// member without taking the lock.  The closure runs on a worker thread with
+// no locks held, and the analysis checks the lambda body like any other
+// function — exactly the hole the annotations close for ServeEngine's
+// pool-side compute path.
+// EXPECT: requires holding mutex 'mutex_' exclusively
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+class Stats {
+public:
+    void hammer(tsched::ThreadPool& pool) {
+        (void)pool.submit([this] { ++total_; });  // BUG: guarded write, lockless task
+    }
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t total_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    tsched::ThreadPool pool(1);
+    Stats stats;
+    stats.hammer(pool);
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Positive control for the negative-compilation battery: exercises every
+// annotation the misuse cases abuse, *correctly*.  This file must compile
+// with zero thread-safety diagnostics — if it does not, the harness (or the
+// annotation header) is broken and every "expected failure" below would be
+// meaningless.
+#include <cstdint>
+#include <deque>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        balance_ += amount;
+    }
+
+    [[nodiscard]] std::uint64_t balance() TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        return balance_;
+    }
+
+    void try_deposit(std::uint64_t amount) TSCHED_EXCLUDES(mutex_) {
+        if (mutex_.try_lock()) {
+            balance_ += amount;
+            mutex_.unlock();
+        }
+    }
+
+    void drain() TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        drain_locked();
+    }
+
+private:
+    void drain_locked() TSCHED_REQUIRES(mutex_) { balance_ = 0; }
+
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+// Two-capability type with a declared lock order, taken in that order.
+class ShardPair {
+public:
+    void rebalance() TSCHED_EXCLUDES(shard_a_, shard_b_) {
+        tsched::LockGuard first(shard_a_);
+        tsched::LockGuard second(shard_b_);
+        b_entries_ += a_entries_;
+        a_entries_ = 0;
+    }
+
+private:
+    tsched::Mutex shard_a_ TSCHED_ACQUIRED_BEFORE(shard_b_);
+    tsched::Mutex shard_b_;
+    std::uint64_t a_entries_ TSCHED_GUARDED_BY(shard_a_) = 0;
+    std::uint64_t b_entries_ TSCHED_GUARDED_BY(shard_b_) = 0;
+};
+
+// Producer/consumer wait spelled as an explicit loop under UniqueLock —
+// the repo convention for condition waits (DESIGN §13).
+class Queue {
+public:
+    void push(int value) TSCHED_EXCLUDES(mutex_) {
+        {
+            tsched::LockGuard lock(mutex_);
+            items_.push_back(value);
+        }
+        cv_.notify_one();
+    }
+
+    [[nodiscard]] int pop() TSCHED_EXCLUDES(mutex_) {
+        tsched::UniqueLock lock(mutex_);
+        while (items_.empty()) cv_.wait(lock);
+        const int value = items_.front();
+        items_.pop_front();
+        return value;
+    }
+
+    /// Early manual release of a scoped lock.
+    [[nodiscard]] bool empty() TSCHED_EXCLUDES(mutex_) {
+        tsched::UniqueLock lock(mutex_);
+        const bool result = items_.empty();
+        lock.unlock();
+        return result;
+    }
+
+private:
+    tsched::Mutex mutex_;
+    tsched::CondVar cv_;
+    std::deque<int> items_ TSCHED_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(2);
+    account.try_deposit(3);
+    account.drain();
+    ShardPair shards;
+    shards.rebalance();
+    Queue queue;
+    queue.push(1);
+    const int popped = queue.pop();
+    return static_cast<int>(account.balance()) + popped + (queue.empty() ? 0 : 1);
+}

@@ -1,0 +1,28 @@
+// Seeded misuse: dereferencing a PT_GUARDED_BY pointer without the mutex
+// that protects the pointee.
+// EXPECT: pointed to by 'totals_' requires holding mutex 'mutex_'
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+public:
+    explicit Ledger(std::uint64_t* totals) : totals_(totals) {}
+
+    void bump() { ++*totals_; }  // BUG: pointee write without the lock
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t* totals_ TSCHED_PT_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+int main() {
+    std::uint64_t slot = 0;
+    Ledger ledger(&slot);
+    ledger.bump();
+    return static_cast<int>(slot);
+}

@@ -1,0 +1,26 @@
+// Seeded misuse: releasing a mutex the caller never acquired (undefined
+// behaviour on std::mutex).
+// EXPECT: that was not held
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void oops() TSCHED_EXCLUDES(mutex_) {
+        mutex_.unlock();  // BUG: never locked
+    }
+
+private:
+    tsched::Mutex mutex_;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.oops();
+    return 0;
+}

@@ -1,0 +1,28 @@
+// Seeded misuse: calling a _locked() helper (TSCHED_REQUIRES) without the
+// lock.  This is the contract every internal helper in ThreadPool /
+// ScheduleCache / the executor states in its signature.
+// EXPECT: calling function 'drain_locked' requires holding mutex 'mutex_'
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void reset() { drain_locked(); }  // BUG: caller never acquired mutex_
+
+private:
+    void drain_locked() TSCHED_REQUIRES(mutex_) { balance_ = 0; }
+
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.reset();
+    return 0;
+}

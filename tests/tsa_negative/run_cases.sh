@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Negative-compilation battery for the thread-safety annotations
+# (src/util/thread_annotations.hpp).
+#
+# Every *.cpp here except positive_control.cpp seeds one lock-misuse bug and
+# MUST fail to compile under clang's thread-safety analysis with the
+# diagnostic named on its "// EXPECT:" line; positive_control.cpp exercises
+# the same annotations correctly and MUST compile clean.  Together they
+# prove the -Werror=thread-safety CI gate has teeth: a regression that
+# silences the analysis (macro rot, a flag dropped from the build) turns the
+# expected failures into passes and fails this script.
+#
+# Usage: run_cases.sh [src_include_dir]
+#   src_include_dir defaults to <script_dir>/../../src.
+#   TSCHED_CLANGXX overrides clang++ discovery.
+#
+# Exit codes: 0 all cases behaved, 1 any case misbehaved, 77 no clang
+# available (ctest SKIP_RETURN_CODE — the analysis is clang-only).
+set -u
+
+script_dir="$(cd "$(dirname "$0")" && pwd)"
+src_dir="${1:-$script_dir/../../src}"
+
+# --- clang detection -------------------------------------------------------
+clangxx="${TSCHED_CLANGXX:-}"
+if [[ -z "$clangxx" ]]; then
+    for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                     clang++-17 clang++-16 clang++-15 clang++-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            clangxx="$candidate"
+            break
+        fi
+    done
+fi
+if [[ -z "$clangxx" ]] || ! "$clangxx" --version 2>/dev/null | grep -qi clang; then
+    echo "tsa_negative: no clang++ found (thread-safety analysis is clang-only); skipping"
+    exit 77
+fi
+echo "tsa_negative: using $("$clangxx" --version | head -n 1)"
+
+flags=(-std=c++20 -fsyntax-only "-I$src_dir"
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+failures=0
+
+# --- positive control ------------------------------------------------------
+control="$script_dir/positive_control.cpp"
+if out="$("$clangxx" "${flags[@]}" "$control" 2>&1)"; then
+    if [[ -n "$out" ]]; then
+        echo "FAIL  positive_control.cpp: compiled but emitted diagnostics:"
+        echo "$out" | sed 's/^/      /'
+        failures=$((failures + 1))
+    else
+        echo "ok    positive_control.cpp: clean compile"
+    fi
+else
+    echo "FAIL  positive_control.cpp: must compile under the analysis but did not:"
+    echo "$out" | sed 's/^/      /'
+    failures=$((failures + 1))
+fi
+
+# --- seeded misuse cases ---------------------------------------------------
+cases=0
+for case_file in "$script_dir"/*.cpp; do
+    base="$(basename "$case_file")"
+    [[ "$base" == positive_control.cpp ]] && continue
+    cases=$((cases + 1))
+
+    expect="$(sed -n 's|^// EXPECT: ||p' "$case_file" | head -n 1)"
+    if [[ -z "$expect" ]]; then
+        echo "FAIL  $base: no '// EXPECT:' diagnostic marker in the case file"
+        failures=$((failures + 1))
+        continue
+    fi
+
+    if out="$("$clangxx" "${flags[@]}" "$case_file" 2>&1)"; then
+        echo "FAIL  $base: compiled cleanly — the seeded lock misuse was not detected"
+        failures=$((failures + 1))
+    elif ! grep -qF "$expect" <<<"$out"; then
+        echo "FAIL  $base: failed, but without the expected diagnostic"
+        echo "      expected substring: $expect"
+        echo "$out" | sed 's/^/      /'
+        failures=$((failures + 1))
+    else
+        echo "ok    $base: rejected with \"$expect\""
+    fi
+done
+
+echo "tsa_negative: $cases misuse cases + 1 positive control, $failures failure(s)"
+if [[ "$cases" -lt 8 ]]; then
+    echo "FAIL  battery shrank below the 8-case floor"
+    failures=$((failures + 1))
+fi
+exit $((failures > 0 ? 1 : 0))

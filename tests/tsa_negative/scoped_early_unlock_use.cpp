@@ -1,0 +1,31 @@
+// Seeded misuse: touching guarded state after releasing a scoped lock early
+// — the "checked, then used outside the lock" pattern that produces torn
+// reads (the pre-annotation ScheduleCache::stats() shape).
+// EXPECT: requires holding mutex 'mutex_'
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Stats {
+public:
+    [[nodiscard]] std::uint64_t drain() TSCHED_EXCLUDES(mutex_) {
+        tsched::UniqueLock lock(mutex_);
+        const std::uint64_t seen = hits_;
+        lock.unlock();
+        hits_ = 0;  // BUG: write after the early unlock
+        return seen;
+    }
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t hits_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Stats stats;
+    return static_cast<int>(stats.drain());
+}

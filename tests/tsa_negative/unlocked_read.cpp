@@ -1,0 +1,31 @@
+// Seeded misuse: reading a GUARDED_BY member without holding its mutex —
+// the exact bug class ScheduleCache::stats() had before the counters moved
+// under the shard lock (an unguarded read of mutating shared state).
+// EXPECT: requires holding mutex 'mutex_'
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Stats {
+public:
+    void record() TSCHED_EXCLUDES(mutex_) {
+        tsched::LockGuard lock(mutex_);
+        ++hits_;
+    }
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }  // BUG: unguarded read
+
+private:
+    mutable tsched::Mutex mutex_;
+    std::uint64_t hits_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Stats stats;
+    stats.record();
+    return static_cast<int>(stats.hits());
+}

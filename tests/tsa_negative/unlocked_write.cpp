@@ -1,0 +1,26 @@
+// Seeded misuse: writing a GUARDED_BY member without holding its mutex.
+// The annotated-Mutex analogue of forgetting the LockGuard in
+// ScheduleCache::put or ThreadPool::submit.
+// EXPECT: requires holding mutex 'mutex_' exclusively
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+    void deposit(std::uint64_t amount) { balance_ += amount; }  // BUG: no lock taken
+
+private:
+    tsched::Mutex mutex_;
+    std::uint64_t balance_ TSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Account account;
+    account.deposit(1);
+    return 0;
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Local thread-safety-analysis gate: the same check CI's `tsa` job runs.
+#
+#   1. detect clang (the analysis is clang-only; exit 77 = skip elsewhere);
+#   2. configure a dedicated build tree with -DTSCHED_TSA=ON, which adds
+#      -Wthread-safety -Wthread-safety-beta and promotes both groups to
+#      errors (see the top-level CMakeLists);
+#   3. build everything — src/, tools/, bench/, examples/, tests/ — so any
+#      unlocked touch of an annotated member anywhere in the tree breaks the
+#      build;
+#   4. run the negative-compilation battery (tests/tsa_negative/) proving
+#      the analysis still rejects seeded lock misuse.
+#
+# ccache is used when available; the build tree (default build-tsa/, override
+# with TSCHED_TSA_BUILD_DIR) is kept between runs for incremental rebuilds.
+#
+# Usage: tools/tsa_check.sh   (from anywhere; the script cd's to the repo)
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+# --- clang detection (same ladder as tests/tsa_negative/run_cases.sh) ------
+clangxx="${TSCHED_CLANGXX:-}"
+clangcc="${TSCHED_CLANGCC:-}"
+if [[ -z "$clangxx" ]]; then
+    for candidate in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                     clang++-17 clang++-16 clang++-15 clang++-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            clangxx="$candidate"
+            clangcc="${candidate/clang++/clang}"
+            break
+        fi
+    done
+fi
+if [[ -z "$clangxx" ]] || ! "$clangxx" --version 2>/dev/null | grep -qi clang; then
+    echo "tsa_check: no clang++ found (thread-safety analysis is clang-only); skipping"
+    exit 77
+fi
+[[ -z "$clangcc" ]] && clangcc="$clangxx"
+echo "tsa_check: using $("$clangxx" --version | head -n 1)"
+
+build_dir="${TSCHED_TSA_BUILD_DIR:-build-tsa}"
+
+launcher_args=()
+if command -v ccache >/dev/null 2>&1; then
+    launcher_args=(-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_C_COMPILER="$clangcc" \
+    -DCMAKE_CXX_COMPILER="$clangxx" \
+    -DTSCHED_TSA=ON \
+    "${launcher_args[@]}" || exit 1
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+echo "tsa_check: building the full tree under -Werror=thread-safety"
+cmake --build "$build_dir" -j "$jobs" || {
+    echo "tsa_check: FAILED — the tree does not build cleanly under the analysis"
+    exit 1
+}
+
+echo "tsa_check: running the negative-compilation battery"
+TSCHED_CLANGXX="$clangxx" bash tests/tsa_negative/run_cases.sh src || exit 1
+
+echo "tsa_check: OK — clean TSA build + battery"
