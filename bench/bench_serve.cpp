@@ -21,6 +21,8 @@
 //   --repeat-fracs=a,b   repeat fractions to sweep (default 0,0.5,0.9)
 //   --seed=S             trace generation seed (default 2007)
 //   --csv=PATH           also write the sweep table as CSV
+//   --metrics-out=PATH   append each sweep point's engine obs metrics
+//                        document (obs/export.hpp JSON) as one JSONL line
 //
 //   --check              acceptance gate (registered as ctest bench_serve_check):
 //                        1. cache-hit schedules are bit-identical (same TSS
@@ -31,18 +33,29 @@
 //                           computation;
 //                        4. a 50%-repeat stream serves >= 2x the QPS of
 //                           --cache=off at steady state (2 epochs; the ideal
-//                           ratio there is 4x, so the gate has 2x headroom).
+//                           ratio there is 4x, so the gate has 2x headroom);
+//                        5. LatencyHistogram percentiles of the replayed
+//                           stream sit within kMaxRelativeError of the exact
+//                           nearest-rank percentiles of the same latencies
+//                           (the obs error bound, validated on live data).
 //
 // Exit status: 0 success (check included), 1 check failure, 2 usage errors.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "core/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "sched/schedule_io.hpp"
 #include "serve/replay.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -62,6 +75,7 @@ struct ServeBenchConfig {
     std::vector<double> repeat_fracs = {0.0, 0.5, 0.9};
     std::uint64_t seed = 2007;
     std::string csv_path;
+    std::string metrics_path;
 };
 
 serve::TraceGenParams trace_params(const ServeBenchConfig& config, double repeat_frac) {
@@ -83,7 +97,13 @@ int run_sweep(const ServeBenchConfig& config) {
               << ") ==\n";
     ThreadPool pool(config.threads);
     Table table({"repeat", "capacity", "batch", "qps", "p50 ms", "p95 ms", "p99 ms",
-                 "hit %", "evict"});
+                 "p99.9 ms", "hit %", "evict"});
+    std::ofstream metrics_out;
+    if (!config.metrics_path.empty()) {
+        metrics_out.open(config.metrics_path, std::ios::trunc);
+        if (!metrics_out)
+            std::cerr << "bench_serve: could not open " << config.metrics_path << '\n';
+    }
     for (const double frac : config.repeat_fracs) {
         const auto trace = serve::generate_trace(trace_params(config, frac));
         for (const std::size_t capacity : config.capacities) {
@@ -101,8 +121,11 @@ int run_sweep(const ServeBenchConfig& config) {
                     .add(report.latency_p50_ms, 3)
                     .add(report.latency_p95_ms, 3)
                     .add(report.latency_p99_ms, 3)
+                    .add(report.latency_p999_ms, 3)
                     .add(report.stats.hit_rate() * 100.0, 1)
                     .add(static_cast<std::size_t>(report.stats.cache.evictions));
+                if (metrics_out.is_open())
+                    metrics_out << obs::to_json(report.metrics) << '\n';
             }
         }
     }
@@ -123,6 +146,7 @@ int run_sweep(const ServeBenchConfig& config) {
             .add(report.latency_p50_ms, 3)
             .add(report.latency_p95_ms, 3)
             .add(report.latency_p99_ms, 3)
+            .add(report.latency_p999_ms, 3)
             .add(0.0, 1)
             .add(std::size_t{0});
     }
@@ -230,6 +254,49 @@ int run_check(const ServeBenchConfig& config) {
         if (ratio < 2.0) return fail("cache-on QPS is below 2x cache-off");
     }
 
+    // 5. Histogram error bound on live data: push every replayed latency
+    //    through an obs::LatencyHistogram and require each histogram
+    //    percentile to sit within kMaxRelativeError of the exact
+    //    nearest-rank percentile of the same multiset (both sides use the
+    //    same rank rule, util/stats.hpp, so the comparison is exact-vs-
+    //    approximate, never convention-vs-convention).
+    {
+        serve::ServeConfig cfg;
+        serve::ServeEngine engine(cfg, pool);
+        std::vector<serve::ScheduleRequest> prepared;
+        for (const serve::TraceRequest& tr : trace) prepared.push_back(serve::materialize(tr));
+        obs::LatencyHistogram hist;
+        std::vector<double> latencies;
+        for (std::size_t epoch = 0; epoch < 2; ++epoch) {
+            for (const serve::ServeResult& r : engine.run_batch(prepared)) {
+                latencies.push_back(r.latency_ms);
+                hist.record(r.latency_ms);
+            }
+        }
+        std::sort(latencies.begin(), latencies.end());
+        const obs::HistogramSnapshot snap = hist.snapshot();
+        if (snap.count != latencies.size())
+            return fail("histogram count " + std::to_string(snap.count) + " != " +
+                        std::to_string(latencies.size()) + " recorded latencies");
+        if (snap.min != latencies.front() || snap.max != latencies.back())
+            return fail("histogram min/max are not the exact extremes");
+        const double tol = obs::LatencyHistogram::kMaxRelativeError;
+        for (const double q : {0.50, 0.95, 0.99, 0.999}) {
+            const double exact = quantile_nearest_rank(latencies, q);
+            const double approx = snap.quantile(q);
+            if (std::abs(approx - exact) > tol * exact) {
+                std::ostringstream os;
+                os.precision(9);
+                os << "histogram q" << q << " = " << approx << " strays beyond "
+                   << tol * 100 << "% of exact " << exact;
+                return fail(os.str());
+            }
+        }
+        std::cout << "check: histogram p50/p95/p99/p99.9 within "
+                  << tol * 100 << "% of exact nearest-rank over "
+                  << latencies.size() << " latencies\n";
+    }
+
     std::cout << "check: OK\n";
     return 0;
 }
@@ -240,8 +307,8 @@ int main(int argc, char** argv) {
     Args args(argc, argv);
     try {
         args.check_known({"requests", "n", "procs", "algo", "threads", "epochs", "batches",
-                          "capacities", "repeat-fracs", "seed", "csv", "check", "help",
-                          "version"});
+                          "capacities", "repeat-fracs", "seed", "csv", "metrics-out", "check",
+                          "help", "version"});
     } catch (const std::exception& e) {
         std::cerr << "bench_serve: " << e.what() << '\n';
         return 2;
@@ -254,7 +321,8 @@ int main(int argc, char** argv) {
         std::cout << "usage: bench_serve [--check] [--requests=N] [--n=N] [--procs=P]\n"
                      "                   [--algo=NAME] [--threads=T] [--epochs=E]\n"
                      "                   [--batches=a,b] [--capacities=a,b]\n"
-                     "                   [--repeat-fracs=a,b] [--seed=S] [--csv=PATH]\n";
+                     "                   [--repeat-fracs=a,b] [--seed=S] [--csv=PATH]\n"
+                     "                   [--metrics-out=PATH]\n";
         return 0;
     }
 
@@ -267,6 +335,7 @@ int main(int argc, char** argv) {
     config.epochs = static_cast<std::size_t>(args.get_int("epochs", 2));
     config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2007));
     config.csv_path = args.get_string("csv", "");
+    config.metrics_path = args.get_string("metrics-out", "");
     config.batches.clear();
     for (const auto b : args.get_int_list("batches", {1, 8, 32}))
         config.batches.push_back(static_cast<std::size_t>(b));

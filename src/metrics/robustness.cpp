@@ -7,6 +7,7 @@
 
 #include "sim/faults.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace tsched {
 
@@ -31,9 +32,9 @@ RobustnessStats monte_carlo_degradation(const Schedule& schedule, const Problem&
     std::sort(degradations.begin(), degradations.end());
     RobustnessStats stats;
     stats.expected_degradation = sum / static_cast<double>(params.samples);
-    const auto n = static_cast<double>(degradations.size());
-    const auto rank = static_cast<std::size_t>(std::ceil(0.99 * n));
-    stats.p99_degradation = degradations[rank == 0 ? 0 : rank - 1];
+    // Nearest rank, not interpolation: the p99 must be a degradation that an
+    // actual fault draw produced (util/stats.hpp has the convention notes).
+    stats.p99_degradation = quantile_nearest_rank(degradations, 0.99);
     stats.worst_degradation = degradations.back();
     return stats;
 }

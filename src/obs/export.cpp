@@ -1,0 +1,269 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tsched::obs {
+
+namespace {
+
+// %.9g: enough digits that distinct bucket boundaries stay distinct, few
+// enough that the text is stable across libc float-printing quirks.
+void append_double(std::string& out, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+}
+
+// ---- Prometheus helpers ----------------------------------------------------
+
+void append_prom_name(std::string& out, std::string_view name) {
+    out += "tsched_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+}
+
+void append_prom_label_value(std::string& out, std::string_view value) {
+    out += '"';
+    for (const char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+}
+
+/// `{k="v",...}` — with `extra_key`/`extra_value` appended last (used for the
+/// histogram `le` label).  Emits nothing when there are no labels at all.
+void append_prom_labels(std::string& out, const Labels& labels,
+                        std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+    if (labels.empty() && extra_key.empty()) return;
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += '=';
+        append_prom_label_value(out, value);
+    }
+    if (!extra_key.empty()) {
+        if (!first) out += ',';
+        out += extra_key;
+        out += '=';
+        append_prom_label_value(out, extra_value);
+    }
+    out += '}';
+}
+
+void append_prom_type(std::string& out, std::string_view name, std::string_view type) {
+    out += "# TYPE ";
+    append_prom_name(out, name);
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+// ---- JSON helpers ----------------------------------------------------------
+
+void append_json_string(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+    out += "\"labels\":{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out += ',';
+        append_json_string(out, labels[i].first);
+        out += ':';
+        append_json_string(out, labels[i].second);
+    }
+    out += '}';
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+    MetricsSnapshot snap = snapshot;
+    snap.sort();
+
+    std::string out;
+    std::string_view last_type_name;  // one # TYPE header per metric name
+
+    for (const auto& sample : snap.counters) {
+        if (sample.name != last_type_name) {
+            append_prom_type(out, sample.name, "counter");
+            last_type_name = sample.name;
+        }
+        append_prom_name(out, sample.name);
+        append_prom_labels(out, sample.labels);
+        out += ' ';
+        append_u64(out, sample.value);
+        out += '\n';
+    }
+
+    last_type_name = {};
+    for (const auto& sample : snap.gauges) {
+        if (sample.name != last_type_name) {
+            append_prom_type(out, sample.name, "gauge");
+            last_type_name = sample.name;
+        }
+        append_prom_name(out, sample.name);
+        append_prom_labels(out, sample.labels);
+        out += ' ';
+        append_double(out, sample.value);
+        out += '\n';
+    }
+
+    last_type_name = {};
+    for (const auto& sample : snap.histograms) {
+        if (sample.name != last_type_name) {
+            append_prom_type(out, sample.name, "histogram");
+            last_type_name = sample.name;
+        }
+        const HistogramSnapshot& hist = sample.hist;
+        // Cumulative `le` series.  Underflow is below every boundary, so it
+        // seeds the running total; overflow only reaches the +Inf line.
+        std::uint64_t cumulative = hist.underflow;
+        for (const auto& bucket : hist.buckets) {
+            cumulative += bucket.count;
+            char le[40];
+            std::snprintf(le, sizeof(le), "%.9g",
+                          LatencyHistogram::bucket_upper(bucket.index));
+            append_prom_name(out, sample.name);
+            out += "_bucket";
+            append_prom_labels(out, sample.labels, "le", le);
+            out += ' ';
+            append_u64(out, cumulative);
+            out += '\n';
+        }
+        append_prom_name(out, sample.name);
+        out += "_bucket";
+        append_prom_labels(out, sample.labels, "le", "+Inf");
+        out += ' ';
+        append_u64(out, hist.count);
+        out += '\n';
+        // No exact float sum is stored (byte-stability; metrics.hpp), so
+        // _sum is the midpoint approximation mean()*count.
+        append_prom_name(out, sample.name);
+        out += "_sum";
+        append_prom_labels(out, sample.labels);
+        out += ' ';
+        append_double(out, hist.mean() * static_cast<double>(hist.count));
+        out += '\n';
+        append_prom_name(out, sample.name);
+        out += "_count";
+        append_prom_labels(out, sample.labels);
+        out += ' ';
+        append_u64(out, hist.count);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+    MetricsSnapshot snap = snapshot;
+    snap.sort();
+
+    std::string out = "{\"schema\":1,\"counters\":[";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        const auto& sample = snap.counters[i];
+        if (i) out += ',';
+        out += "{\"name\":";
+        append_json_string(out, sample.name);
+        out += ',';
+        append_json_labels(out, sample.labels);
+        out += ",\"value\":";
+        append_u64(out, sample.value);
+        out += '}';
+    }
+    out += "],\"gauges\":[";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        const auto& sample = snap.gauges[i];
+        if (i) out += ',';
+        out += "{\"name\":";
+        append_json_string(out, sample.name);
+        out += ',';
+        append_json_labels(out, sample.labels);
+        out += ",\"value\":";
+        append_double(out, sample.value);
+        out += '}';
+    }
+    out += "],\"histograms\":[";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto& sample = snap.histograms[i];
+        const HistogramSnapshot& hist = sample.hist;
+        if (i) out += ',';
+        out += "{\"name\":";
+        append_json_string(out, sample.name);
+        out += ',';
+        append_json_labels(out, sample.labels);
+        out += ",\"count\":";
+        append_u64(out, hist.count);
+        out += ",\"underflow\":";
+        append_u64(out, hist.underflow);
+        out += ",\"overflow\":";
+        append_u64(out, hist.overflow);
+        out += ",\"min\":";
+        append_double(out, hist.min);
+        out += ",\"max\":";
+        append_double(out, hist.max);
+        out += ",\"mean\":";
+        append_double(out, hist.mean());
+        out += ",\"p50\":";
+        append_double(out, hist.quantile(0.50));
+        out += ",\"p95\":";
+        append_double(out, hist.quantile(0.95));
+        out += ",\"p99\":";
+        append_double(out, hist.quantile(0.99));
+        out += ",\"p999\":";
+        append_double(out, hist.quantile(0.999));
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+            if (b) out += ',';
+            out += '[';
+            append_double(out, LatencyHistogram::bucket_lower(hist.buckets[b].index));
+            out += ',';
+            append_double(out, LatencyHistogram::bucket_upper(hist.buckets[b].index));
+            out += ',';
+            append_u64(out, hist.buckets[b].count);
+            out += ']';
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace tsched::obs

@@ -1,0 +1,41 @@
+// Wire formats for MetricsSnapshot: Prometheus text exposition and JSON.
+//
+// Both exporters are deterministic: the snapshot is sorted into canonical
+// (name, labels) order first, numbers are formatted with fixed printf specs,
+// and no timestamps are emitted — byte-equal snapshots produce byte-equal
+// documents (tools/obs_smoke.sh and tests/test_obs.cpp rely on this).
+//
+// Prometheus specifics:
+//   * metric names are sanitized ('/', '-', '.' and anything else outside
+//     [a-zA-Z0-9_:] become '_') and prefixed "tsched_";
+//   * histograms follow the native convention: cumulative `_bucket` series
+//     with an `le` upper-bound label (underflow folds into the first bucket,
+//     the mandatory `le="+Inf"` line equals `_count`), plus `_sum`.  The
+//     histogram stores no float sum (byte-stability, metrics.hpp), so `_sum`
+//     is the bucket-midpoint approximation used by mean() — within
+//     LatencyHistogram::kMaxRelativeError of the true sum;
+//   * gauges and counters are emitted as-is with `# TYPE` headers.
+//
+// JSON schema (one object, keys sorted as listed):
+//   {"schema":1,
+//    "counters":[{"name":..,"labels":{..},"value":N},..],
+//    "gauges":[{"name":..,"labels":{..},"value":X},..],
+//    "histograms":[{"name":..,"labels":{..},"count":N,"underflow":N,
+//                   "overflow":N,"min":X,"max":X,"mean":X,
+//                   "p50":X,"p95":X,"p99":X,"p999":X,
+//                   "buckets":[[lower,upper,count],..]},..]}
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace tsched::obs {
+
+/// Prometheus text exposition format (version 0.0.4).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Deterministic JSON document (schema above).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace tsched::obs

@@ -1,0 +1,343 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace tsched::obs {
+
+namespace {
+
+void atomic_update_min(std::atomic<double>& slot, double value) noexcept {
+    double current = slot.load(std::memory_order_relaxed);
+    while (value < current &&
+           !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_update_max(std::atomic<double>& slot, double value) noexcept {
+    double current = slot.load(std::memory_order_relaxed);
+    while (value > current &&
+           !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+void canonicalize(Labels& labels) { std::sort(labels.begin(), labels.end()); }
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+std::uint32_t LatencyHistogram::bucket_index(double value) noexcept {
+    // Reject NaN, zero, negatives, and subnormal-or-smaller values in one
+    // comparison: none of them satisfy value >= 2^kMinExp.
+    constexpr double kLowest = 1.0 / (1ull << -kMinExp);  // 2^kMinExp (kMinExp < 0)
+    if (!(value >= kLowest)) return kUnderflowIndex;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    const int exponent = static_cast<int>(bits >> 52) - 1023;  // value is normal and positive
+    if (exponent > kMaxExp) return kOverflowIndex;  // also catches +inf (exponent 1024)
+    const auto sub = static_cast<std::uint32_t>((bits >> (52 - kSubBits)) &
+                                                ((1u << kSubBits) - 1u));
+    return (static_cast<std::uint32_t>(exponent - kMinExp) << kSubBits) | sub;
+}
+
+double LatencyHistogram::bucket_lower(std::uint32_t index) noexcept {
+    const int exponent = kMinExp + static_cast<int>(index >> kSubBits);
+    const auto sub = static_cast<double>(index & ((1u << kSubBits) - 1u));
+    return std::ldexp(1.0 + sub / static_cast<double>(1u << kSubBits), exponent);
+}
+
+double LatencyHistogram::bucket_upper(std::uint32_t index) noexcept {
+    const int exponent = kMinExp + static_cast<int>(index >> kSubBits);
+    const auto sub = static_cast<double>((index & ((1u << kSubBits) - 1u)) + 1u);
+    return std::ldexp(1.0 + sub / static_cast<double>(1u << kSubBits), exponent);
+}
+
+void LatencyHistogram::record(double value) noexcept {
+    const std::uint32_t index = bucket_index(value);
+    if (index == kUnderflowIndex) {
+        underflow_.fetch_add(1, std::memory_order_relaxed);
+    } else if (index == kOverflowIndex) {
+        overflow_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        bucket_counts_[index].fetch_add(1, std::memory_order_relaxed);
+    }
+    // min/max are tracked across everything countable (under/overflow
+    // included) so the extreme quantiles stay exact; NaN never wins a
+    // comparison and is counted (underflow) but ignored here.
+    if (!std::isnan(value)) {
+        atomic_update_min(min_, value);
+        atomic_update_max(max_, value);
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+    HistogramSnapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.underflow = underflow_.load(std::memory_order_relaxed);
+    snap.overflow = overflow_.load(std::memory_order_relaxed);
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    if (snap.min > snap.max) {  // nothing comparable recorded yet (or only NaN)
+        snap.min = 0.0;
+        snap.max = 0.0;
+    }
+    for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t c = bucket_counts_[i].load(std::memory_order_relaxed);
+        if (c > 0) snap.buckets.push_back({i, c});
+    }
+    return snap;
+}
+
+void LatencyHistogram::reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    underflow_.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    for (auto& bucket : bucket_counts_) bucket.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+double HistogramSnapshot::quantile(double q) const {
+    if (count == 0) return 0.0;
+    // Nearest-rank: the ceil(q*count)-th smallest recording, clamped to a
+    // real rank.  Matches quantile_nearest_rank (util/stats.hpp) so the
+    // error bound is stated against a well-defined exact value.
+    const auto rank = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))), 1, count);
+    if (rank <= underflow) return min;  // all underflow values are <= 2^kMinExp
+    std::uint64_t cumulative = underflow;
+    for (const HistogramBucket& bucket : buckets) {
+        cumulative += bucket.count;
+        if (cumulative >= rank) {
+            const double mid = 0.5 * (LatencyHistogram::bucket_lower(bucket.index) +
+                                      LatencyHistogram::bucket_upper(bucket.index));
+            // min/max are exact; clamping can only move the midpoint toward
+            // the in-bucket sample it stands for.
+            return std::clamp(mid, min, max);
+        }
+    }
+    return max;  // rank falls in the overflow count
+}
+
+double HistogramSnapshot::mean() const {
+    if (count == 0) return 0.0;
+    double total = static_cast<double>(underflow) * min + static_cast<double>(overflow) * max;
+    for (const HistogramBucket& bucket : buckets) {
+        const double mid = std::clamp(0.5 * (LatencyHistogram::bucket_lower(bucket.index) +
+                                             LatencyHistogram::bucket_upper(bucket.index)),
+                                      min, max);
+        total += static_cast<double>(bucket.count) * mid;
+    }
+    return total / static_cast<double>(count);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    underflow += other.underflow;
+    overflow += other.overflow;
+    std::vector<HistogramBucket> merged;
+    merged.reserve(buckets.size() + other.buckets.size());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < buckets.size() || b < other.buckets.size()) {
+        if (b >= other.buckets.size() ||
+            (a < buckets.size() && buckets[a].index < other.buckets[b].index)) {
+            merged.push_back(buckets[a++]);
+        } else if (a >= buckets.size() || other.buckets[b].index < buckets[a].index) {
+            merged.push_back(other.buckets[b++]);
+        } else {
+            merged.push_back({buckets[a].index, buckets[a].count + other.buckets[b].count});
+            ++a;
+            ++b;
+        }
+    }
+    buckets = std::move(merged);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+namespace {
+
+template <typename Sample>
+Sample* find_same_identity(std::vector<Sample>& samples, const Sample& probe) {
+    for (Sample& sample : samples) {
+        if (sample.name == probe.name && sample.labels == probe.labels) return &sample;
+    }
+    return nullptr;
+}
+
+template <typename Sample>
+const Sample* find_same_identity(const std::vector<Sample>& samples, const Sample& probe) {
+    for (const Sample& sample : samples) {
+        if (sample.name == probe.name && sample.labels == probe.labels) return &sample;
+    }
+    return nullptr;
+}
+
+template <typename Sample>
+void sort_samples(std::vector<Sample>& samples) {
+    std::sort(samples.begin(), samples.end(), [](const Sample& a, const Sample& b) {
+        if (a.name != b.name) return a.name < b.name;
+        return a.labels < b.labels;
+    });
+}
+
+}  // namespace
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+    for (const CounterSample& sample : other.counters) {
+        if (CounterSample* mine = find_same_identity(counters, sample)) {
+            mine->value += sample.value;
+        } else {
+            counters.push_back(sample);
+        }
+    }
+    for (const GaugeSample& sample : other.gauges) {
+        if (GaugeSample* mine = find_same_identity(gauges, sample)) {
+            mine->value = sample.value;
+        } else {
+            gauges.push_back(sample);
+        }
+    }
+    for (const HistogramSample& sample : other.histograms) {
+        if (HistogramSample* mine = find_same_identity(histograms, sample)) {
+            mine->hist.merge(sample.hist);
+        } else {
+            histograms.push_back(sample);
+        }
+    }
+}
+
+void MetricsSnapshot::sort() {
+    sort_samples(counters);
+    sort_samples(gauges);
+    sort_samples(histograms);
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before, const MetricsSnapshot& after) {
+    MetricsSnapshot delta;
+    for (const CounterSample& sample : after.counters) {
+        const CounterSample* base = find_same_identity(before.counters, sample);
+        const std::uint64_t prior = base != nullptr ? base->value : 0;
+        if (sample.value > prior) {
+            delta.counters.push_back({sample.name, sample.labels, sample.value - prior});
+        }
+    }
+    delta.gauges = after.gauges;
+    for (const HistogramSample& sample : after.histograms) {
+        const HistogramSample* base = find_same_identity(before.histograms, sample);
+        if (base == nullptr || base->hist.count == 0) {
+            if (sample.hist.count > 0) delta.histograms.push_back(sample);
+            continue;
+        }
+        if (sample.hist.count <= base->hist.count) continue;  // no window activity
+        HistogramSample window{sample.name, sample.labels, {}};
+        window.hist.count = sample.hist.count - base->hist.count;
+        window.hist.underflow = sample.hist.underflow - base->hist.underflow;
+        window.hist.overflow = sample.hist.overflow - base->hist.overflow;
+        window.hist.min = sample.hist.min;  // lifetime extremes (see header)
+        window.hist.max = sample.hist.max;
+        for (const HistogramBucket& bucket : sample.hist.buckets) {
+            std::uint64_t prior = 0;
+            for (const HistogramBucket& base_bucket : base->hist.buckets) {
+                if (base_bucket.index == bucket.index) {
+                    prior = base_bucket.count;
+                    break;
+                }
+            }
+            if (bucket.count > prior) {
+                window.hist.buckets.push_back({bucket.index, bucket.count - prior});
+            }
+        }
+        delta.histograms.push_back(std::move(window));
+    }
+    return delta;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name, Labels labels) {
+    canonicalize(labels);
+    LockGuard lock(mutex_);
+    for (const auto& entry : histograms_) {
+        if (entry.name == name && entry.labels == labels) return *entry.instrument;
+    }
+    histograms_.push_back(
+        {std::string(name), std::move(labels), std::make_unique<LatencyHistogram>()});
+    return *histograms_.back().instrument;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+    canonicalize(labels);
+    LockGuard lock(mutex_);
+    for (const auto& entry : gauges_) {
+        if (entry.name == name && entry.labels == labels) return *entry.instrument;
+    }
+    gauges_.push_back({std::string(name), std::move(labels), std::make_unique<Gauge>()});
+    return *gauges_.back().instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot snap;
+    {
+        LockGuard lock(mutex_);
+        snap.gauges.reserve(gauges_.size());
+        for (const auto& entry : gauges_) {
+            snap.gauges.push_back({entry.name, entry.labels, entry.instrument->value()});
+        }
+        snap.histograms.reserve(histograms_.size());
+        for (const auto& entry : histograms_) {
+            snap.histograms.push_back({entry.name, entry.labels, entry.instrument->snapshot()});
+        }
+    }
+    snap.sort();
+    return snap;
+}
+
+MetricsSnapshot MetricsRegistry::delta_since_last() {
+    MetricsSnapshot current = snapshot();
+    LockGuard lock(mutex_);
+    MetricsSnapshot delta = snapshot_delta(last_delta_base_, current);
+    last_delta_base_ = std::move(current);
+    return delta;
+}
+
+void MetricsRegistry::reset() {
+    LockGuard lock(mutex_);
+    for (auto& entry : histograms_) entry.instrument->reset();
+    for (auto& entry : gauges_) entry.instrument->set(0.0);
+    last_delta_base_ = MetricsSnapshot{};
+}
+
+MetricsRegistry& registry() {
+    static MetricsRegistry instance;
+    return instance;
+}
+
+}  // namespace tsched::obs

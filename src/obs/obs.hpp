@@ -1,0 +1,103 @@
+// obs macro front-end: metric recording that compiles to nothing when the
+// metrics subsystem is off.
+//
+//   TSCHED_OBS_RECORD("sched/phase/rank_ms", ms);   // histogram record
+//   TSCHED_OBS_PHASE("sched/phase/rank_ms");        // RAII: records the
+//                                                   // enclosing scope's ms
+//   TSCHED_OBS_GAUGE_SET("pool/queue_depth", n);    // gauge = n
+//
+// Gate: the CMake option TSCHED_OBS (default ON) defines TSCHED_OBS_ENABLED
+// project-wide, mirroring the TSCHED_TRACE pattern (trace/trace.hpp).  With
+// the option OFF every macro expands to a no-op that does not even evaluate
+// its value argument, so instrumented hot paths carry zero cost — no clock
+// reads, no atomic adds, no registry references.  A single translation unit
+// can force the no-op expansion with TSCHED_OBS_FORCE_OFF before including
+// this header (tests/test_obs_off.cpp does exactly that).
+//
+// All name-based macros record into the process-wide obs::registry().
+// Components with their own MetricsRegistry (ServeEngine) cache instrument
+// references as members and guard the recording sites with TSCHED_OBS_ON
+// directly.
+//
+// When enabled, a record costs the registry lookup once per call site (a
+// function-local static), then one bucket computation and relaxed atomic
+// add per hit.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#if defined(TSCHED_OBS_ENABLED) && !defined(TSCHED_OBS_FORCE_OFF)
+#define TSCHED_OBS_ON 1
+#else
+#define TSCHED_OBS_ON 0
+#endif
+
+#if TSCHED_OBS_ON
+
+#include "util/stopwatch.hpp"
+
+namespace tsched::obs {
+
+/// RAII scope timer feeding a LatencyHistogram in milliseconds.
+class ScopedPhase {
+public:
+    explicit ScopedPhase(LatencyHistogram& hist) noexcept : hist_(hist) {}
+    ~ScopedPhase() { hist_.record(watch_.elapsed_ms()); }
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+private:
+    LatencyHistogram& hist_;
+    Stopwatch watch_;
+};
+
+}  // namespace tsched::obs
+
+#define TSCHED_OBS_CONCAT_INNER(a, b) a##b
+#define TSCHED_OBS_CONCAT(a, b) TSCHED_OBS_CONCAT_INNER(a, b)
+
+#define TSCHED_OBS_RECORD(name, value_ms)                                      \
+    do {                                                                       \
+        static ::tsched::obs::LatencyHistogram& TSCHED_OBS_CONCAT(             \
+            tsched_obs_hist_, __LINE__) =                                      \
+            ::tsched::obs::registry().histogram(name);                         \
+        TSCHED_OBS_CONCAT(tsched_obs_hist_, __LINE__)                          \
+            .record(static_cast<double>(value_ms));                            \
+    } while (0)
+
+#define TSCHED_OBS_PHASE(name)                                                 \
+    ::tsched::obs::ScopedPhase TSCHED_OBS_CONCAT(tsched_obs_phase_, __LINE__)( \
+        ::tsched::obs::registry().histogram(name))
+
+#define TSCHED_OBS_GAUGE_SET(name, value)                                      \
+    do {                                                                       \
+        static ::tsched::obs::Gauge& TSCHED_OBS_CONCAT(tsched_obs_gauge_,      \
+                                                       __LINE__) =             \
+            ::tsched::obs::registry().gauge(name);                             \
+        TSCHED_OBS_CONCAT(tsched_obs_gauge_, __LINE__)                         \
+            .set(static_cast<double>(value));                                  \
+    } while (0)
+
+#define TSCHED_OBS_GAUGE_ADD(name, delta)                                      \
+    do {                                                                       \
+        static ::tsched::obs::Gauge& TSCHED_OBS_CONCAT(tsched_obs_gauge_,      \
+                                                       __LINE__) =             \
+            ::tsched::obs::registry().gauge(name);                             \
+        TSCHED_OBS_CONCAT(tsched_obs_gauge_, __LINE__)                         \
+            .add(static_cast<double>(delta));                                  \
+    } while (0)
+
+/// Record into an already-held LatencyHistogram reference (component-local
+/// registries: ServeEngine's cached members) — no global-registry lookup.
+#define TSCHED_OBS_RECORD_INTO(hist, value_ms) \
+    (hist).record(static_cast<double>(value_ms))
+
+#else  // metrics disabled: all macros are no-ops
+
+#define TSCHED_OBS_RECORD(name, value_ms) static_cast<void>(0)
+#define TSCHED_OBS_PHASE(name) static_cast<void>(0)
+#define TSCHED_OBS_GAUGE_SET(name, value) static_cast<void>(0)
+#define TSCHED_OBS_GAUGE_ADD(name, delta) static_cast<void>(0)
+#define TSCHED_OBS_RECORD_INTO(hist, value_ms) static_cast<void>(0)
+
+#endif

@@ -1,0 +1,81 @@
+#include "obs/reporter.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace tsched::obs {
+
+MetricsReporter::MetricsReporter(ReporterOptions options, Provider provider)
+    : options_(std::move(options)), provider_(std::move(provider)) {}
+
+MetricsReporter::~MetricsReporter() { stop(); }
+
+void MetricsReporter::start() {
+    if (options_.path.empty() || thread_.joinable()) return;
+    {
+        LockGuard lock(mutex_);
+        stop_requested_ = false;
+    }
+    thread_ = std::thread([this] { run(); });
+}
+
+void MetricsReporter::run() {
+    const auto interval = std::chrono::milliseconds(
+        options_.interval_ms == 0 ? 1000 : options_.interval_ms);
+    for (;;) {
+        {
+            UniqueLock lock(mutex_);
+            while (!stop_requested_) {
+                if (cv_.wait_for(lock, interval) == std::cv_status::timeout) break;
+            }
+            if (stop_requested_) return;  // stop() does the final flush
+        }
+        if (options_.interval_ms != 0) flush();
+    }
+}
+
+bool MetricsReporter::flush() {
+    if (options_.path.empty()) return false;
+    const MetricsSnapshot snap = provider_();
+
+    LockGuard lock(flush_mutex_);
+    const char* mode = "wb";
+    std::string body;
+    if (options_.format == ReporterOptions::Format::kPrometheus) {
+        // Scrape-file model: the file always holds the latest exposition.
+        body = to_prometheus(snap);
+    } else {
+        body = to_json(snap);
+        body += '\n';
+        if (truncated_once_) mode = "ab";
+    }
+    std::FILE* file = std::fopen(options_.path.c_str(), mode);
+    if (file == nullptr) return false;
+    const std::size_t written = std::fwrite(body.data(), 1, body.size(), file);
+    const bool ok = std::fclose(file) == 0 && written == body.size();
+    if (ok) {
+        truncated_once_ = true;
+        flush_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ok;
+}
+
+void MetricsReporter::stop() {
+    bool was_running = thread_.joinable();
+    if (was_running) {
+        {
+            LockGuard lock(mutex_);
+            stop_requested_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        // Final flush after the loop has quiesced, so the file ends on the
+        // complete last state even when the interval never elapsed.
+        flush();
+    }
+}
+
+}  // namespace tsched::obs

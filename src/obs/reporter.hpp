@@ -1,0 +1,86 @@
+// MetricsReporter: background thread that periodically pulls a
+// MetricsSnapshot from a provider callback and flushes it to a file.
+//
+// Output modes:
+//   * kJson        — one JSON document per line, appended (a JSONL time
+//                    series a collector can tail);
+//   * kPrometheus  — the file is rewritten with the latest exposition on
+//                    every flush (the scrape-file model: node_exporter's
+//                    textfile collector reads "current state", not history).
+//
+// Lifetime: stop() (also run by the destructor) joins the thread after one
+// final flush, so the last snapshot always reaches the file even when the
+// interval never elapsed.  The provider must outlive the reporter — in
+// practice replay_trace()/tsched_serve own both and destroy the reporter
+// first.
+//
+// Lock discipline: the interval wait is an annotated CondVar::wait_for loop
+// over `stop_requested_` (GUARDED_BY mutex_); flush() serializes concurrent
+// writers with its own flush_mutex_ (never held while waiting), so a slow
+// disk can delay other flushers but never blocks recorders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace tsched::obs {
+
+struct ReporterOptions {
+    enum class Format : std::uint8_t { kJson, kPrometheus };
+
+    std::string path;                    ///< output file; empty disables start()
+    Format format = Format::kJson;
+    std::uint64_t interval_ms = 1000;    ///< flush period; 0 = final flush only
+};
+
+class MetricsReporter {
+public:
+    using Provider = std::function<MetricsSnapshot()>;
+
+    MetricsReporter(ReporterOptions options, Provider provider);
+    ~MetricsReporter();
+
+    MetricsReporter(const MetricsReporter&) = delete;
+    MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+    /// Launch the background flush loop.  No-op when the path is empty or
+    /// the loop is already running.
+    void start() TSCHED_EXCLUDES(mutex_);
+
+    /// Pull a snapshot and write it now (callable with or without the
+    /// background loop; replay's per-epoch mode calls this directly).
+    /// Returns false if the file could not be written.
+    bool flush() TSCHED_EXCLUDES(flush_mutex_);
+
+    /// Final flush, then stop and join the background thread.  Idempotent.
+    void stop() TSCHED_EXCLUDES(mutex_);
+
+    /// Number of successful flushes so far.
+    [[nodiscard]] std::uint64_t flush_count() const noexcept {
+        return flush_count_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void run() TSCHED_EXCLUDES(mutex_);
+
+    const ReporterOptions options_;
+    const Provider provider_;
+
+    Mutex mutex_;
+    CondVar cv_;
+    bool stop_requested_ TSCHED_GUARDED_BY(mutex_) = false;
+
+    Mutex flush_mutex_;
+    // JSONL mode: truncate any stale file on the first flush, append after.
+    bool truncated_once_ TSCHED_GUARDED_BY(flush_mutex_) = false;
+
+    std::thread thread_;  // accessed only from the owner thread
+    std::atomic<std::uint64_t> flush_count_{0};
+};
+
+}  // namespace tsched::obs

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
 #include "trace/trace.hpp"
@@ -97,6 +98,10 @@ void duplicate_chain(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max
 /// reproduces the winning trial state exactly).
 template <typename DuplicateFn>
 Schedule duplication_schedule(const Problem& problem, DuplicateFn&& duplicate) {
+    // One sample per scheduler run: the whole speculate/rollback/commit loop
+    // *is* the duplication phase (static_level inside it times its own rank
+    // phase separately).
+    TSCHED_OBS_PHASE("sched/phase/duplication_ms");
     const auto sl = static_level(problem, RankCost::kMean);
     ScheduleBuilder builder(problem);
     for (const TaskId v : order_by_decreasing(sl)) {

@@ -1,8 +1,13 @@
 #include "sched/heft.hpp"
 
+#include "obs/obs.hpp"
 #include "sched/builder.hpp"
 #include "trace/decision.hpp"
 #include "trace/trace.hpp"
+
+#if TSCHED_OBS_ON
+#include "util/stopwatch.hpp"
+#endif
 
 namespace tsched {
 
@@ -23,8 +28,19 @@ Schedule HeftScheduler::run(const Problem& problem, trace::TraceSink* sink) cons
     TSCHED_SPAN("sched/heft");
     ScheduleBuilder builder(problem);
     const auto ranks = upward_rank(problem, rank_cost_);
+#if TSCHED_OBS_ON
+    // Selection (EFT scans) and placement (builder commits) interleave per
+    // task, so accumulate each across the run and record one histogram
+    // sample per schedule() call — the distribution is over runs, matching
+    // the rank-phase granularity.
+    double selection_ms = 0.0;
+    double placement_ms = 0.0;
+#endif
     for (const TaskId v : order_by_decreasing(ranks)) {
         trace::DecisionRecord rec;
+#if TSCHED_OBS_ON
+        const Stopwatch select_watch;
+#endif
         ProcId best_proc = 0;
         double best_eft = builder.eft(v, 0, insertion_);
         if (sink != nullptr) {
@@ -43,7 +59,14 @@ Schedule HeftScheduler::run(const Problem& problem, trace::TraceSink* sink) cons
                 best_proc = static_cast<ProcId>(p);
             }
         }
+#if TSCHED_OBS_ON
+        selection_ms += select_watch.elapsed_ms();
+        const Stopwatch place_watch;
+#endif
         const Placement pl = builder.place(v, best_proc, insertion_);
+#if TSCHED_OBS_ON
+        placement_ms += place_watch.elapsed_ms();
+#endif
         if (sink != nullptr) {
             rec.task = v;
             rec.rank = ranks[static_cast<std::size_t>(v)];
@@ -54,6 +77,10 @@ Schedule HeftScheduler::run(const Problem& problem, trace::TraceSink* sink) cons
             sink->record(std::move(rec));
         }
     }
+#if TSCHED_OBS_ON
+    TSCHED_OBS_RECORD("sched/phase/selection_ms", selection_ms);
+    TSCHED_OBS_RECORD("sched/phase/placement_ms", placement_ms);
+#endif
     return std::move(builder).take();
 }
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "graph/algorithms.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 namespace tsched {
@@ -32,6 +33,9 @@ double scalar_cost(const Problem& problem, TaskId v, RankCost rc) {
 
 std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
     TSCHED_SPAN("rank/upward");
+    // Span above: cumulative total for forensics.  Histogram below: the
+    // per-call distribution a live collector reads (DESIGN §14).
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
     const Dag& dag = problem.dag();
     std::vector<double> rank(dag.num_tasks(), 0.0);
     const auto order = topological_order(dag);
@@ -48,6 +52,7 @@ std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
 }
 
 std::vector<double> downward_rank(const Problem& problem, RankCost rc) {
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
     const Dag& dag = problem.dag();
     std::vector<double> rank(dag.num_tasks(), 0.0);
     for (const TaskId v : topological_order(dag)) {
@@ -63,6 +68,7 @@ std::vector<double> downward_rank(const Problem& problem, RankCost rc) {
 }
 
 std::vector<double> static_level(const Problem& problem, RankCost rc) {
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
     const Dag& dag = problem.dag();
     std::vector<double> level(dag.num_tasks(), 0.0);
     const auto order = topological_order(dag);
@@ -86,6 +92,7 @@ std::vector<double> alap_start(const Problem& problem, RankCost rc) {
 
 std::vector<double> optimistic_cost_table(const Problem& problem) {
     TSCHED_SPAN("rank/oct");
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
     const Dag& dag = problem.dag();
     const std::size_t n = dag.num_tasks();
     const std::size_t procs = problem.num_procs();

@@ -20,6 +20,18 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
     ServeEngine engine(options.config, pool);
     std::vector<double> latencies;
     latencies.reserve(prepared.size() * options.epochs);
+    // The histogram view of the same latencies: what a collector scraping
+    // the live exports would base its percentiles on.  Filled here (library
+    // call, not a TSCHED_OBS macro) so the histogram-vs-exact validation in
+    // bench_serve --check runs in every build configuration.
+    obs::LatencyHistogram latency_hist;
+
+    // The reporter borrows the engine; declared after it so it stops (and
+    // takes its final flush) before the engine can be torn down.
+    obs::MetricsReporter reporter(options.metrics,
+                                  [&engine] { return engine.metrics_snapshot(); });
+    const bool live_metrics = !options.metrics.path.empty();
+    if (live_metrics && !options.metrics_per_epoch) reporter.start();
 
     Stopwatch wall;
     for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
@@ -27,17 +39,22 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
             const std::size_t end = std::min(begin + options.batch, prepared.size());
             std::vector<ScheduleRequest> batch(prepared.begin() + static_cast<std::ptrdiff_t>(begin),
                                                prepared.begin() + static_cast<std::ptrdiff_t>(end));
-            for (const ServeResult& result : engine.run_batch(std::move(batch)))
+            for (const ServeResult& result : engine.run_batch(std::move(batch))) {
                 latencies.push_back(result.latency_ms);
+                latency_hist.record(result.latency_ms);
+            }
         }
+        if (live_metrics && options.metrics_per_epoch) reporter.flush();
     }
     const double wall_ms = wall.elapsed_ms();
+    reporter.stop();  // background mode: final flush; per-epoch mode: no-op
 
     ReplayReport report;
     report.requests = latencies.size();
     report.wall_ms = wall_ms;
     report.qps =
         wall_ms > 0.0 ? static_cast<double>(report.requests) / (wall_ms / 1e3) : 0.0;
+    report.latency_hist = latency_hist.snapshot();
     if (!latencies.empty()) {
         double sum = 0.0;
         for (const double l : latencies) sum += l;
@@ -46,8 +63,15 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
         report.latency_p50_ms = quantile_sorted(latencies, 0.50);
         report.latency_p95_ms = quantile_sorted(latencies, 0.95);
         report.latency_p99_ms = quantile_sorted(latencies, 0.99);
+        report.latency_p999_ms = quantile_sorted(latencies, 0.999);
+        report.latency_max_ms = latencies.back();
+        report.hist_p50_ms = report.latency_hist.quantile(0.50);
+        report.hist_p95_ms = report.latency_hist.quantile(0.95);
+        report.hist_p99_ms = report.latency_hist.quantile(0.99);
+        report.hist_p999_ms = report.latency_hist.quantile(0.999);
     }
     report.stats = engine.stats();
+    report.metrics = engine.metrics_snapshot();
     return report;
 }
 

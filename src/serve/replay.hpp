@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/reporter.hpp"
 #include "serve/request_trace.hpp"
 #include "serve/serve_engine.hpp"
 
@@ -24,6 +26,14 @@ struct ReplayOptions {
     ServeConfig config;
     std::size_t batch = 16;  ///< requests submitted per run_batch call (>= 1)
     std::size_t epochs = 1;  ///< full passes over the stream (>= 1)
+
+    /// Live telemetry during the replay: when `metrics.path` is non-empty a
+    /// MetricsReporter flushes the engine's obs snapshot there — on the
+    /// reporter's background interval, or (metrics_per_epoch) synchronously
+    /// once after every epoch, giving one JSONL line per pass with no timer
+    /// nondeterminism.  The final state is always flushed at end of replay.
+    obs::ReporterOptions metrics;
+    bool metrics_per_epoch = false;
 };
 
 struct ReplayReport {
@@ -31,10 +41,24 @@ struct ReplayReport {
     double wall_ms = 0.0;
     double qps = 0.0;
     double latency_mean_ms = 0.0;
+    // Exact order statistics over the full per-request latency vector
+    // (quantile_sorted: interpolated; max is the largest observation).
     double latency_p50_ms = 0.0;
     double latency_p95_ms = 0.0;
     double latency_p99_ms = 0.0;
+    double latency_p999_ms = 0.0;
+    double latency_max_ms = 0.0;
+    // The same latencies pushed through an obs::LatencyHistogram — what a
+    // live collector would see instead of the exact vector.  Each hist_*
+    // percentile must sit within LatencyHistogram::kMaxRelativeError of the
+    // exact nearest-rank value (bench_serve --check asserts this every run).
+    double hist_p50_ms = 0.0;
+    double hist_p95_ms = 0.0;
+    double hist_p99_ms = 0.0;
+    double hist_p999_ms = 0.0;
+    obs::HistogramSnapshot latency_hist;
     EngineStats stats;  ///< engine totals at end of replay (hit rate etc.)
+    obs::MetricsSnapshot metrics;  ///< engine obs document at end of replay
 };
 
 /// Replay `trace` on a fresh engine over `pool`; see protocol above.

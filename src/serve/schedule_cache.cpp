@@ -1,6 +1,7 @@
 #include "serve/schedule_cache.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "trace/trace.hpp"
@@ -95,6 +96,30 @@ void ScheduleCache::put(std::uint64_t key, std::shared_ptr<const Schedule> value
     if (shard.insert_locked(key, std::move(value))) {
         ++shard.evictions;
         TSCHED_COUNT("serve/cache_evictions");
+    }
+}
+
+void ScheduleCache::metrics_into(obs::MetricsSnapshot& out) const {
+    const CacheStats total = stats();
+    out.counters.push_back({"serve/cache/hits", {}, total.hits});
+    out.counters.push_back({"serve/cache/misses", {}, total.misses});
+    out.counters.push_back({"serve/cache/evictions", {}, total.evictions});
+    out.gauges.push_back({"serve/cache/hit_rate", {}, total.hit_rate()});
+    out.gauges.push_back({"serve/cache/size", {}, static_cast<double>(total.size)});
+    out.gauges.push_back(
+        {"serve/cache/capacity", {}, static_cast<double>(capacity_)});
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& shard = *shards_[s];
+        std::size_t occupancy = 0;
+        {
+            LockGuard lock(shard.mutex);
+            occupancy = shard.lru.size();
+        }
+        obs::Labels labels{{"shard", std::to_string(s)}};
+        out.gauges.push_back({"serve/cache/shard_occupancy", labels,
+                              static_cast<double>(occupancy)});
+        out.gauges.push_back({"serve/cache/shard_capacity", std::move(labels),
+                              static_cast<double>(shard.capacity)});
     }
 }
 

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/schedule.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -86,6 +87,13 @@ public:
     /// internally consistent (read under that shard's lock); the cross-shard
     /// sum is only as coherent as sequential per-shard sampling can be.
     [[nodiscard]] CacheStats stats() const;
+
+    /// Append this cache's obs fragment to `out` (DESIGN §14): the
+    /// hits/misses/evictions counters, a cache-operation hit-rate gauge, and
+    /// per-shard occupancy gauges labelled {shard=<i>} plus the shard's
+    /// budget, so a collector can see skew across shards, not just totals.
+    /// The caller merges fragments from every component and sorts once.
+    void metrics_into(obs::MetricsSnapshot& out) const;
 
 private:
     struct Shard {

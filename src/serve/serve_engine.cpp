@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 
 #ifdef TSCHED_DEBUG_CHECKS
@@ -37,7 +38,11 @@ void debug_check_hit([[maybe_unused]] const Schedule& hit,
 ServeEngine::ServeEngine(ServeConfig config, ThreadPool& pool)
     : config_(config),
       pool_(pool),
-      cache_(std::make_unique<ScheduleCache>(config.cache_capacity, config.cache_shards)) {}
+      cache_(std::make_unique<ScheduleCache>(config.cache_capacity, config.cache_shards)),
+      lat_total_ms_(metrics_.histogram("serve/latency/total_ms")),
+      lat_queue_wait_ms_(metrics_.histogram("serve/latency/queue_wait_ms")),
+      lat_cache_lookup_ms_(metrics_.histogram("serve/latency/cache_lookup_ms")),
+      lat_compute_ms_(metrics_.histogram("serve/latency/compute_ms")) {}
 
 ServeEngine::~ServeEngine() { pool_.wait_idle(); }
 
@@ -56,12 +61,23 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
     const std::uint64_t fp = fingerprint_request(request);
 
     if (config_.enable_cache) {
-        if (auto hit = cache_->get(fp)) {
+#if TSCHED_OBS_ON
+        const Stopwatch lookup;
+        auto hit = cache_->get(fp);
+        lat_cache_lookup_ms_.record(lookup.elapsed_ms());
+#else
+        auto hit = cache_->get(fp);
+#endif
+        if (hit) {
             debug_check_hit(*hit, *request.problem);
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             TSCHED_COUNT("serve/served_from_cache");
             std::promise<ServeResult> ready;
-            ready.set_value(make_hit(std::move(hit), fp, submitted));
+            ServeResult result = make_hit(std::move(hit), fp, submitted);
+#if TSCHED_OBS_ON
+            lat_total_ms_.record(result.latency_ms);
+#endif
+            ready.set_value(std::move(result));
             return ready.get_future();
         }
     }
@@ -85,7 +101,11 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
                 debug_check_hit(*hit, *request.problem);
                 cache_hits_.fetch_add(1, std::memory_order_relaxed);
                 TSCHED_COUNT("serve/served_from_cache");
-                owner.set_value(make_hit(std::move(hit), fp, submitted));
+                ServeResult result = make_hit(std::move(hit), fp, submitted);
+#if TSCHED_OBS_ON
+                lat_total_ms_.record(result.latency_ms);
+#endif
+                owner.set_value(std::move(result));
                 return future;
             }
         }
@@ -124,12 +144,22 @@ std::vector<ServeEngine::Waiter> ServeEngine::claim_waiters(std::uint64_t fp) {
 
 void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
                                       std::promise<ServeResult> owner, Stopwatch submitted) {
+    // Submit-to-compute-start: time the owning request spent queued behind
+    // the pool (plus the fingerprint/lookup prologue, which is noise next to
+    // a scheduler run).
+    TSCHED_OBS_RECORD_INTO(lat_queue_wait_ms_, submitted.elapsed_ms());
     std::shared_ptr<const Schedule> result;
     std::exception_ptr error;
     try {
         const Scheduler& scheduler = scheduler_for(request.algo);
         TSCHED_SPAN("serve/compute");
+#if TSCHED_OBS_ON
+        const Stopwatch compute;
         result = std::make_shared<const Schedule>(scheduler.schedule(*request.problem));
+        lat_compute_ms_.record(compute.elapsed_ms());
+#else
+        result = std::make_shared<const Schedule>(scheduler.schedule(*request.problem));
+#endif
         computed_.fetch_add(1, std::memory_order_relaxed);
         TSCHED_COUNT("serve/computed");
     } catch (...) {
@@ -146,7 +176,9 @@ void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
         if (error) {
             promise.set_exception(error);
         } else {
-            promise.set_value(ServeResult{result, fp, false, coalesced, clock.elapsed_ms()});
+            const double latency_ms = clock.elapsed_ms();
+            TSCHED_OBS_RECORD_INTO(lat_total_ms_, latency_ms);
+            promise.set_value(ServeResult{result, fp, false, coalesced, latency_ms});
         }
     };
     fulfill(owner, submitted, false);
@@ -173,6 +205,37 @@ EngineStats ServeEngine::stats() const {
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     s.cache = cache_->stats();
     return s;
+}
+
+obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
+    obs::MetricsSnapshot out = metrics_.snapshot();
+
+    out.counters.push_back(
+        {"serve/requests", {}, requests_.load(std::memory_order_relaxed)});
+    out.counters.push_back(
+        {"serve/computed", {}, computed_.load(std::memory_order_relaxed)});
+    out.counters.push_back(
+        {"serve/coalesced", {}, coalesced_.load(std::memory_order_relaxed)});
+    // "served_from_cache" (the trace counter's name), not "cache_hits": the
+    // cache fragment exports serve/cache/hits, which sanitizes to the same
+    // Prometheus name as serve/cache_hits would — and the two counters mean
+    // different things (requests answered from cache vs raw cache-op hits).
+    out.counters.push_back(
+        {"serve/served_from_cache", {}, cache_hits_.load(std::memory_order_relaxed)});
+    out.gauges.push_back({"serve/hit_rate", {}, stats().hit_rate()});
+
+    cache_->metrics_into(out);
+
+    const PoolMetrics pool = pool_.metrics();
+    out.gauges.push_back({"pool/workers", {}, static_cast<double>(pool.workers)});
+    out.gauges.push_back(
+        {"pool/queue_depth", {}, static_cast<double>(pool.queue_depth)});
+    out.gauges.push_back({"pool/active", {}, static_cast<double>(pool.active)});
+    out.counters.push_back({"pool/tasks_run", {}, pool.tasks_run});
+    out.histograms.push_back({"pool/task_run_ms", {}, pool.task_run_ms});
+
+    out.sort();
+    return out;
 }
 
 }  // namespace tsched::serve

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "serve/request.hpp"
 #include "serve/schedule_cache.hpp"
@@ -102,6 +103,16 @@ public:
     [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
     [[nodiscard]] EngineStats stats() const;
 
+    /// Full obs document for this engine (DESIGN §14): the per-request
+    /// latency histograms (serve/latency/{total,queue_wait,cache_lookup,
+    /// compute}_ms — recorded only in TSCHED_OBS builds), the engine's
+    /// request counters, the cache fragment (hit rate + per-shard occupancy)
+    /// and the borrowed pool's fragment (queue depth, active workers,
+    /// task-run histogram), merged and sorted.  Each engine owns its own
+    /// MetricsRegistry, so two engines in one process never mix streams and
+    /// teardown cannot leave dangling instrument references.
+    [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
 private:
     struct Waiter {
         std::promise<ServeResult> promise;
@@ -131,6 +142,16 @@ private:
     ServeConfig config_;
     ThreadPool& pool_;
     std::unique_ptr<ScheduleCache> cache_;
+
+    // Engine-local instrument registry plus cached references into it (the
+    // references stay valid for the registry's lifetime, metrics.hpp), so
+    // recording on the hot path is a lock-free histogram hit, not a lookup.
+    // Members exist in every build (ODR safety); recording sites are gated.
+    obs::MetricsRegistry metrics_;
+    obs::LatencyHistogram& lat_total_ms_;
+    obs::LatencyHistogram& lat_queue_wait_ms_;
+    obs::LatencyHistogram& lat_cache_lookup_ms_;
+    obs::LatencyHistogram& lat_compute_ms_;
 
     Mutex inflight_mutex_;
     std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_

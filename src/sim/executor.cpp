@@ -7,8 +7,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_annotations.hpp"
+
+#if TSCHED_OBS_ON
+#include "util/stopwatch.hpp"
+#endif
 
 namespace tsched::sim {
 
@@ -93,7 +98,13 @@ private:
         TSCHED_EXCLUDES(mutex_) {
         for (std::size_t attempt = 1;; ++attempt) {
             try {
+#if TSCHED_OBS_ON
+                const Stopwatch attempt_watch;
                 body_(pl.task, static_cast<ProcId>(p));
+                TSCHED_OBS_RECORD("executor/attempt_ms", attempt_watch.elapsed_ms());
+#else
+                body_(pl.task, static_cast<ProcId>(p));
+#endif
                 return nullptr;
             } catch (...) {
                 if (attempt >= options_.max_attempts) return std::current_exception();
@@ -103,8 +114,14 @@ private:
                 }
                 TSCHED_COUNT("executor_retries");
                 if (options_.retry_backoff.count() > 0) {
-                    std::this_thread::sleep_for(options_.retry_backoff *
-                                                (std::int64_t{1} << (attempt - 1)));
+                    const auto backoff =
+                        options_.retry_backoff * (std::int64_t{1} << (attempt - 1));
+                    // Record the *planned* backoff (the retry ladder's shape);
+                    // the sleep itself may overshoot under load.
+                    using BackoffMs = std::chrono::duration<double, std::milli>;
+                    TSCHED_OBS_RECORD("executor/retry_backoff_ms",
+                                      BackoffMs(backoff).count());
+                    std::this_thread::sleep_for(backoff);
                 }
             }
         }

@@ -63,6 +63,15 @@ double quantile_sorted(std::span<const double> sorted, double q) {
     return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double quantile_nearest_rank(std::span<const double> sorted, double q) {
+    assert(!sorted.empty());
+    assert(q >= 0.0 && q <= 1.0);
+    const auto n = static_cast<double>(sorted.size());
+    const auto rank = static_cast<std::size_t>(
+        std::clamp(std::ceil(q * n), 1.0, n));
+    return sorted[rank - 1];
+}
+
 Summary summarize(std::span<const double> samples) {
     Summary s;
     if (samples.empty()) return s;

@@ -54,8 +54,34 @@ struct Summary {
 /// Compute a Summary over the samples (copies and sorts internally).
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 
+// The repository's two quantile conventions.  Everything that reports a
+// percentile goes through one of these (replay reports, Summary, the
+// robustness metrics, obs histogram validation) so "p99" means the same
+// thing everywhere it is compared:
+//
+//   * quantile_sorted — linear interpolation between the two nearest order
+//     statistics at position q*(n-1) (type 7 in the Hyndman–Fan taxonomy,
+//     the R/NumPy default).  Continuous in q; the value may fall between
+//     samples.  Use for human-facing summaries of continuous measurements.
+//
+//   * quantile_nearest_rank — the classic nearest-rank definition: the
+//     sample at rank ceil(q*n), clamped to [1, n].  Always an observed
+//     sample; q=0 gives the minimum, q=1 the maximum.  Use where the answer
+//     must be an actual data point (robustness degradation pick) or must
+//     match obs::HistogramSnapshot::quantile, which implements the same rank
+//     rule over buckets — that shared definition is what makes the
+//     histogram-vs-exact error bound (LatencyHistogram::kMaxRelativeError)
+//     checkable at all.
+//
+// tests/test_stats.cpp pins both conventions with golden values; changing
+// either moves published report numbers.
+
 /// Linear-interpolation quantile of a *sorted* sample vector, q in [0, 1].
 [[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Nearest-rank quantile of a *sorted* sample vector, q in [0, 1]: the
+/// element at rank clamp(ceil(q*n), 1, n).
+[[nodiscard]] double quantile_nearest_rank(std::span<const double> sorted, double q);
 
 /// Geometric mean; samples must be strictly positive.
 [[nodiscard]] double geometric_mean(std::span<const double> samples);

@@ -150,6 +150,15 @@ public:
     /// released while blocked and re-held on return.
     void wait(UniqueLock& lock) { inner_.wait(lock.inner_); }
 
+    /// Timed wait, same contract as wait().  Returns std::cv_status so the
+    /// caller's while-loop re-checks its guarded predicate either way
+    /// (spurious wakeups and timeouts are handled identically).
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(UniqueLock& lock,
+                            const std::chrono::duration<Rep, Period>& timeout) {
+        return inner_.wait_for(lock.inner_, timeout);
+    }
+
     void notify_one() noexcept { inner_.notify_one(); }
     void notify_all() noexcept { inner_.notify_all(); }
 

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/obs.hpp"
+#include "util/stopwatch.hpp"
+
 namespace tsched {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -49,7 +52,16 @@ void ThreadPool::worker_loop() {
             queue_.pop_front();
             ++active_;
         }
+#if TSCHED_OBS_ON
+        {
+            Stopwatch watch;
+            task();
+            task_run_ms_.record(watch.elapsed_ms());
+        }
+#else
         task();
+#endif
+        tasks_run_.fetch_add(1, std::memory_order_relaxed);
         {
             LockGuard lock(mutex_);
             --active_;
@@ -61,6 +73,19 @@ void ThreadPool::worker_loop() {
 void ThreadPool::wait_idle() {
     UniqueLock lock(mutex_);
     while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
+}
+
+PoolMetrics ThreadPool::metrics() const {
+    PoolMetrics out;
+    out.workers = workers_.size();
+    {
+        LockGuard lock(mutex_);
+        out.queue_depth = queue_.size();
+        out.active = active_;
+    }
+    out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+    out.task_run_ms = task_run_ms_.snapshot();
+    return out;
 }
 
 namespace {

@@ -13,16 +13,32 @@
 // only, both of which happen on the owning thread.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace tsched {
+
+/// Point-in-time pool telemetry (obs layer, DESIGN §14).  queue_depth and
+/// active are instantaneous; tasks_run and the task-run histogram are
+/// cumulative.  The histogram only fills when the build has TSCHED_OBS on —
+/// the queue/occupancy fields are maintained unconditionally (they are the
+/// pool's own bookkeeping, not extra instrumentation).
+struct PoolMetrics {
+    std::size_t workers = 0;
+    std::size_t queue_depth = 0;
+    std::size_t active = 0;
+    std::uint64_t tasks_run = 0;
+    obs::HistogramSnapshot task_run_ms;
+};
 
 class ThreadPool {
 public:
@@ -53,6 +69,9 @@ public:
     /// Block until all currently enqueued tasks finish.
     void wait_idle() TSCHED_EXCLUDES(mutex_);
 
+    /// Snapshot of queue depth, worker occupancy, and task-run timings.
+    [[nodiscard]] PoolMetrics metrics() const TSCHED_EXCLUDES(mutex_);
+
     /// Drain the queue and join every worker.  Idempotent; the destructor
     /// calls it.  Explicit shutdown lets owners of borrowed-pool consumers
     /// (ServeEngine) sequence teardown deliberately — after shutdown,
@@ -65,12 +84,16 @@ private:
     void worker_loop() TSCHED_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    Mutex mutex_;
+    mutable Mutex mutex_;
     CondVar cv_;
     CondVar idle_cv_;
     std::deque<std::function<void()>> queue_ TSCHED_GUARDED_BY(mutex_);
     std::size_t active_ TSCHED_GUARDED_BY(mutex_) = 0;
     bool stopping_ TSCHED_GUARDED_BY(mutex_) = false;
+    // Cumulative telemetry; always members (ODR safety under mixed
+    // TSCHED_OBS settings), the histogram fills only when obs is on.
+    std::atomic<std::uint64_t> tasks_run_{0};
+    obs::LatencyHistogram task_run_ms_;
 };
 
 /// Run fn(i) for i in [0, count), chunked across the pool; blocks until done.

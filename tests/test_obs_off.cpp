@@ -1,0 +1,84 @@
+// OFF-mode compilation test for the obs macros: this translation unit is
+// built with TSCHED_OBS_FORCE_OFF (see tests/CMakeLists.txt), so every
+// TSCHED_OBS_* macro must expand to a no-op — it must still compile cleanly
+// in statement position, must not evaluate its value argument, and must
+// leave the process-wide obs registry untouched.  This is the guarantee that
+// a -DTSCHED_OBS=OFF build carries zero hot-path cost: the macros don't even
+// read a clock or name the registry.  Mirrors tests/test_trace_off.cpp.
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+#if TSCHED_OBS_ON
+#error "test_obs_off must be compiled with TSCHED_OBS_FORCE_OFF"
+#endif
+
+namespace tsched::obs {
+namespace {
+
+// A representative instrumented function shaped like the scheduler and
+// executor hot paths: phase scopes, point records, gauge updates.
+double instrumented_work(std::size_t n, [[maybe_unused]] int& evaluations) {
+    TSCHED_OBS_PHASE("off_test/work_ms");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += static_cast<double>(i);
+        // The value argument must NOT be evaluated when the gate is off —
+        // ++evaluations would be a real hot-path cost.
+        TSCHED_OBS_RECORD("off_test/iter_ms", ++evaluations);
+        TSCHED_OBS_GAUGE_SET("off_test/progress", ++evaluations);
+        TSCHED_OBS_GAUGE_ADD("off_test/sum", ++evaluations);
+    }
+    return acc;
+}
+
+TEST(ObsOff, MacrosCompileToNoOpsAndRecordNothing) {
+    int evaluations = 0;
+    const MetricsSnapshot before = registry().snapshot();
+    EXPECT_DOUBLE_EQ(instrumented_work(101, evaluations), 5050.0);
+    EXPECT_EQ(evaluations, 0);  // arguments never evaluated
+    const MetricsSnapshot after = registry().snapshot();
+
+    // Nothing with an off_test/ prefix may have been registered.
+    for (const auto& h : after.histograms) {
+        EXPECT_NE(h.name.rfind("off_test/", 0), 0u) << h.name;
+    }
+    for (const auto& g : after.gauges) {
+        EXPECT_NE(g.name.rfind("off_test/", 0), 0u) << g.name;
+    }
+    const MetricsSnapshot delta = snapshot_delta(before, after);
+    EXPECT_TRUE(delta.histograms.empty());
+    EXPECT_TRUE(delta.counters.empty());
+}
+
+TEST(ObsOff, RecordIntoIsAlsoCompiledOut) {
+    // TSCHED_OBS_RECORD_INTO is the component-registry variant (ServeEngine's
+    // cached references); off, it must not touch the histogram it names.
+    LatencyHistogram hist;
+    int evaluations = 0;
+    TSCHED_OBS_RECORD_INTO(hist, ++evaluations);
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(ObsOff, LibraryApiStillWorksWhenMacrosAreOff) {
+    // The obs library is independent of the macro gate — replay reports and
+    // bench_serve --check build histograms by direct calls in every
+    // configuration, so the library must keep full function here.
+    LatencyHistogram hist;
+    hist.record(1.0);
+    hist.record(4.0);
+    const HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 4.0);
+
+    MetricsRegistry reg;
+    reg.gauge("direct").set(2.0);
+    const MetricsSnapshot reg_snap = reg.snapshot();
+    ASSERT_EQ(reg_snap.gauges.size(), 1u);
+    EXPECT_EQ(reg_snap.gauges[0].value, 2.0);
+}
+
+}  // namespace
+}  // namespace tsched::obs

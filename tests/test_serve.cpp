@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "platform/problem.hpp"
 #include "sched/schedule_io.hpp"
 #include "serve/replay.hpp"
@@ -370,6 +371,59 @@ TEST(ServeEngine, NullProblemIsRejectedUpFront) {
     EXPECT_THROW((void)engine.submit(std::move(request)), std::invalid_argument);
 }
 
+TEST(ServeEngine, MetricsSnapshotMergesEngineCacheAndPool) {
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_NE(engine.serve(make_request()).schedule, nullptr);
+    }
+    const obs::MetricsSnapshot snap = engine.metrics_snapshot();
+
+    const auto counter = [&snap](const std::string& name) -> std::uint64_t {
+        for (const auto& c : snap.counters)
+            if (c.name == name) return c.value;
+        ADD_FAILURE() << "missing counter " << name;
+        return 0;
+    };
+    EXPECT_EQ(counter("serve/requests"), 3u);
+    EXPECT_EQ(counter("serve/computed"), 1u);
+    EXPECT_EQ(counter("serve/served_from_cache"), 2u);
+    EXPECT_EQ(counter("serve/cache/hits"), 2u);
+    EXPECT_GE(counter("pool/tasks_run"), 1u);
+
+    bool saw_hit_rate = false;
+    bool saw_shard_occupancy = false;
+    for (const auto& g : snap.gauges) {
+        if (g.name == "serve/hit_rate") {
+            saw_hit_rate = true;
+            EXPECT_NEAR(g.value, 2.0 / 3.0, 1e-9);
+        }
+        if (g.name == "serve/cache/shard_occupancy") saw_shard_occupancy = true;
+    }
+    EXPECT_TRUE(saw_hit_rate);
+    EXPECT_TRUE(saw_shard_occupancy);
+
+#if TSCHED_OBS_ON
+    // With recording on, the latency split histograms carry the run:
+    // every request lands in total, only the cold one in compute.
+    const auto hist_count = [&snap](const std::string& name) -> std::uint64_t {
+        for (const auto& h : snap.histograms)
+            if (h.name == name) return h.hist.count;
+        ADD_FAILURE() << "missing histogram " << name;
+        return 0;
+    };
+    EXPECT_EQ(hist_count("serve/latency/total_ms"), 3u);
+    EXPECT_EQ(hist_count("serve/latency/compute_ms"), 1u);
+    EXPECT_EQ(hist_count("serve/latency/cache_lookup_ms"), 3u);
+    EXPECT_GE(hist_count("pool/task_run_ms"), 1u);
+#endif
+
+    // The snapshot is in canonical order, ready for the exporters.
+    obs::MetricsSnapshot sorted = snap;
+    sorted.sort();
+    EXPECT_EQ(snap, sorted);
+}
+
 // ---------------------------------------------------------------------------
 // Request traces (.tsr) and replay.
 
@@ -441,6 +495,21 @@ TEST(Replay, SteadyStateAccountingAddsUp) {
     EXPECT_GT(report.qps, 0.0);
     EXPECT_LE(report.latency_p50_ms, report.latency_p95_ms);
     EXPECT_LE(report.latency_p95_ms, report.latency_p99_ms);
+    EXPECT_LE(report.latency_p99_ms, report.latency_p999_ms);
+    EXPECT_LE(report.latency_p999_ms, report.latency_max_ms);
+
+    // The obs histogram runs alongside the exact latency vector in every
+    // build configuration; its percentiles must stay within the documented
+    // relative-error bound of the exact nearest-rank values it approximates.
+    EXPECT_EQ(report.latency_hist.count, 30u);
+    EXPECT_NEAR(report.hist_p99_ms, report.latency_hist.quantile(0.99), 1e-12);
+    EXPECT_GT(report.hist_p50_ms, 0.0);
+    EXPECT_LE(report.hist_p50_ms, report.hist_p999_ms);
+    EXPECT_DOUBLE_EQ(report.latency_hist.max, report.latency_max_ms);
+
+    // The merged engine metrics document rides along for exporters.
+    EXPECT_FALSE(report.metrics.counters.empty());
+    EXPECT_FALSE(report.metrics.gauges.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 // Unit tests for the statistics toolkit (util/stats.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -89,6 +90,47 @@ TEST(QuantileSorted, SingleElement) {
     const std::vector<double> xs{7.0};
     EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 7.0);
     EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.7), 7.0);
+}
+
+// Golden pins for the repository's two quantile conventions (stats.hpp).
+// These values are published in reports; moving either convention moves
+// report numbers, so a change here must be deliberate.
+
+TEST(QuantileSorted, PinsHyndmanFanType7) {
+    // Position q*(n-1) with linear interpolation: n=4, q=0.5 -> position 1.5
+    // -> midpoint of the 2nd and 3rd order statistics.
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0 / 3.0), 20.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.9), 37.0);
+}
+
+TEST(QuantileNearestRank, PinsCeilRankDefinition) {
+    // rank = clamp(ceil(q*n), 1, n); the result is always an observed sample.
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.0), 10.0);   // clamp to rank 1
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.25), 10.0);  // ceil(1.0) = 1
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.26), 20.0);  // ceil(1.04) = 2
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.5), 20.0);   // ceil(2.0) = 2
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.51), 30.0);  // ceil(2.04) = 3
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 1.0), 40.0);
+}
+
+TEST(QuantileNearestRank, AlwaysReturnsAnObservedSample) {
+    // The defining property that distinguishes it from quantile_sorted:
+    // never interpolates between samples.
+    const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+    for (const double q : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99}) {
+        const double v = quantile_nearest_rank(xs, q);
+        EXPECT_NE(std::find(xs.begin(), xs.end(), v), xs.end()) << q;
+    }
+}
+
+TEST(QuantileNearestRank, SingleElement) {
+    const std::vector<double> xs{7.0};
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 0.5), 7.0);
+    EXPECT_DOUBLE_EQ(quantile_nearest_rank(xs, 1.0), 7.0);
 }
 
 TEST(Summarize, FullSummary) {

@@ -29,8 +29,16 @@
 //   --batch=B         requests per submitted batch (default 16)
 //   --epochs=E        passes over the stream against one engine (default 1;
 //                     >1 measures steady-state serving with a warm cache)
-//   --json=PATH       also write the report as JSON ('-' = stdout)
-//   --counters        print the process trace counters after the replay
+//   --json=PATH       also write the report as JSON ('-' = stdout); includes
+//                     the engine obs metrics document under "metrics"
+//   --metrics-out=PATH        live metrics during the replay (obs/reporter):
+//                             JSONL lines, or a Prometheus scrape file
+//   --metrics-format=json|prometheus   output format (default json)
+//   --metrics-interval-ms=N   background flush period (default 1000)
+//   --metrics-epoch           flush once per epoch instead of on a timer
+//                             (deterministic line count: one per epoch + final)
+//   --counters        print trace counters *and* the engine/cache/pool obs
+//                     metrics after the replay
 //   --version/--help  print and exit 0
 //
 // Exit status: 0 success, 2 usage or file errors.
@@ -40,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "serve/replay.hpp"
 #include "serve/request_trace.hpp"
 #include "trace/counters.hpp"
@@ -58,6 +67,8 @@ void print_usage(std::ostream& os) {
        << "       tsched_serve trace.tsr [--cache=on|off] [--dedup=on|off]\n"
        << "                    [--capacity=K] [--shards=S] [--threads=T]\n"
        << "                    [--batch=B] [--epochs=E] [--json=PATH] [--counters]\n"
+       << "                    [--metrics-out=PATH] [--metrics-format=json|prometheus]\n"
+       << "                    [--metrics-interval-ms=N] [--metrics-epoch]\n"
        << "Generate a scheduling-request trace, or replay one through the\n"
        << "serving core and report QPS / latency percentiles / cache hit rate.\n";
 }
@@ -112,12 +123,17 @@ std::string report_json(const serve::ReplayReport& report, const serve::ReplayOp
        << "\"qps\":" << report.qps << ','
        << "\"latency_ms\":{\"mean\":" << report.latency_mean_ms << ",\"p50\":"
        << report.latency_p50_ms << ",\"p95\":" << report.latency_p95_ms << ",\"p99\":"
-       << report.latency_p99_ms << "},"
+       << report.latency_p99_ms << ",\"p999\":" << report.latency_p999_ms << ",\"max\":"
+       << report.latency_max_ms << "},"
+       << "\"hist_latency_ms\":{\"p50\":" << report.hist_p50_ms << ",\"p95\":"
+       << report.hist_p95_ms << ",\"p99\":" << report.hist_p99_ms << ",\"p999\":"
+       << report.hist_p999_ms << "},"
        << "\"computed\":" << report.stats.computed << ','
        << "\"coalesced\":" << report.stats.coalesced << ','
        << "\"hits\":" << report.stats.cache_hits << ','
        << "\"evictions\":" << report.stats.cache.evictions << ','
-       << "\"hit_rate\":" << report.stats.hit_rate() << '}';
+       << "\"hit_rate\":" << report.stats.hit_rate() << ','
+       << "\"metrics\":" << obs::to_json(report.metrics) << '}';
     return os.str();
 }
 
@@ -130,6 +146,19 @@ int replay(const Args& args, const std::string& trace_path) {
     options.batch = static_cast<std::size_t>(args.get_int("batch", 16));
     options.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
     const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+
+    options.metrics.path = args.get_string("metrics-out", "");
+    const std::string metrics_format = args.get_string("metrics-format", "json");
+    if (metrics_format == "json") {
+        options.metrics.format = obs::ReporterOptions::Format::kJson;
+    } else if (metrics_format == "prometheus" || metrics_format == "prom") {
+        options.metrics.format = obs::ReporterOptions::Format::kPrometheus;
+    } else {
+        usage_error("--metrics-format expects json|prometheus, got '" + metrics_format + "'");
+    }
+    options.metrics.interval_ms =
+        static_cast<std::uint64_t>(args.get_int("metrics-interval-ms", 1000));
+    options.metrics_per_epoch = args.has("metrics-epoch");
 
     const auto trace = serve::load_tsr(trace_path);
     if (trace.empty()) {
@@ -150,7 +179,8 @@ int replay(const Args& args, const std::string& trace_path) {
               << "  qps       " << report.qps << '\n'
               << "  latency   mean " << report.latency_mean_ms << " ms | p50 "
               << report.latency_p50_ms << " | p95 " << report.latency_p95_ms << " | p99 "
-              << report.latency_p99_ms << '\n'
+              << report.latency_p99_ms << " | p99.9 " << report.latency_p999_ms << " | max "
+              << report.latency_max_ms << '\n'
               << "  cache     " << report.stats.cache_hits << " hits / "
               << report.stats.cache.evictions
               << " evictions (hit rate " << report.stats.hit_rate() * 100 << "%)\n"
@@ -176,6 +206,26 @@ int replay(const Args& args, const std::string& trace_path) {
         const auto snapshot = trace::registry().snapshot();
         for (const auto& counter : snapshot.counters)
             if (counter.value > 0) std::cout << counter.name << " = " << counter.value << '\n';
+        // The engine/cache/pool obs document for the same run, so one flag
+        // gives the full picture (counters alone miss distributions and
+        // gauges).  Histograms print as a one-line summary each.
+        for (const auto& counter : report.metrics.counters)
+            std::cout << counter.name << " = " << counter.value << '\n';
+        for (const auto& gauge : report.metrics.gauges) {
+            std::cout << gauge.name;
+            for (const auto& [key, value] : gauge.labels)
+                std::cout << '{' << key << '=' << value << '}';
+            std::cout << " = " << gauge.value << '\n';
+        }
+        for (const auto& hist : report.metrics.histograms) {
+            std::cout << hist.name << " count=" << hist.hist.count;
+            if (hist.hist.count > 0) {
+                std::cout << " p50=" << hist.hist.quantile(0.5)
+                          << " p99=" << hist.hist.quantile(0.99)
+                          << " max=" << hist.hist.max;
+            }
+            std::cout << '\n';
+        }
     }
     return 0;
 }
@@ -195,7 +245,9 @@ int main(int argc, char** argv) {
     try {
         args.check_known({"gen", "requests", "repeat-frac", "algos", "shapes", "n", "procs",
                           "net", "ccr", "beta", "seed", "cache", "dedup", "capacity", "shards",
-                          "threads", "batch", "epochs", "json", "counters", "version", "help"});
+                          "threads", "batch", "epochs", "json", "counters", "metrics-out",
+                          "metrics-format", "metrics-interval-ms", "metrics-epoch", "version",
+                          "help"});
     } catch (const std::exception& e) {
         usage_error(e.what());
     }
