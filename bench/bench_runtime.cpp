@@ -13,13 +13,16 @@
 //      --algos=a,b,c     restrict the algorithm set
 //
 // Since the checkpoint/undo rewrite the duplication-based schedulers run the
-// same n = 400 ceiling as the cheap list schedulers.
+// same n = 400 ceiling as the cheap list schedulers; the big-n hot-path work
+// (CSR adjacency, bucketed timelines) extends the sweep to n = 50000 with
+// per-point rep caps.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -60,6 +63,15 @@ const std::vector<std::string>& perf_algos() {
 
 constexpr std::size_t kPerfSizes[] = {50, 100, 200, 400};
 
+/// Big-n sweep points (the 10k–100k-task hot-path work).  Reps are capped so
+/// the 50k duplication schedulers do not pin the sweep for minutes; the
+/// 3-rep floor in measure_mean_ms still applies at the caps.
+struct BigNPoint {
+    std::size_t n;
+    std::size_t max_reps;
+};
+constexpr BigNPoint kBigNPoints[] = {{2000, 12}, {10000, 6}, {50000, 3}};
+
 void register_all() {
     for (const auto& name : perf_algos()) {
         for (const std::size_t n : kPerfSizes) {
@@ -73,14 +85,16 @@ void register_all() {
 
 /// Measure mean scheduling time of one (algo, n) point: repeat until the
 /// accumulated wall time reaches `min_time_ms` (at least 3 reps so a single
-/// outlier cannot be the answer).
+/// outlier cannot be the answer), never exceeding `max_reps` (big-n points
+/// cap reps instead of time so the slowest schedulers stay bounded).
 double measure_mean_ms(const Scheduler& scheduler, const Problem& problem, double min_time_ms,
-                      std::size_t& reps_out) {
+                      std::size_t& reps_out,
+                      std::size_t max_reps = std::numeric_limits<std::size_t>::max()) {
     // Warm-up rep: first-touch allocations should not count.
     (void)scheduler.schedule(problem).makespan();
     double total_ms = 0.0;
     std::size_t reps = 0;
-    while (reps < 3 || total_ms < min_time_ms) {
+    while ((reps < 3 || total_ms < min_time_ms) && reps < max_reps) {
         double elapsed_ms = 0.0;
         {
             const Stopwatch::Scoped timer(elapsed_ms);
@@ -95,7 +109,7 @@ double measure_mean_ms(const Scheduler& scheduler, const Problem& problem, doubl
 
 int run_json_mode(const Args& args) {
     const std::string path = args.get_string("json", "");
-    const auto max_n = static_cast<std::size_t>(args.get_int("max-n", 400));
+    const auto max_n = static_cast<std::size_t>(args.get_int("max-n", 50000));
     const double min_time_ms = args.get_double("min-time-ms", 200.0);
     const auto algos = args.get_string_list("algos", perf_algos());
 
@@ -109,21 +123,29 @@ int run_json_mode(const Args& args) {
            "\"beta\": 0.5, \"seed\": 2007},\n"
         << "  \"points\": [";
     bool first = true;
+    const auto emit = [&](const std::string& name, const Scheduler& scheduler, std::size_t n,
+                          std::size_t max_reps) {
+        const Problem problem = workload::make_instance(runtime_params(n), 2007);
+        std::size_t reps = 0;
+        const double mean_ms = measure_mean_ms(scheduler, problem, min_time_ms, reps, max_reps);
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\n    {\"algo\": \"%s\", \"n\": %zu, \"mean_ms\": %.4f, "
+                      "\"reps\": %zu}",
+                      first ? "" : ",", name.c_str(), n, mean_ms, reps);
+        out << buf;
+        std::cout << name << "/" << n << ": " << mean_ms << " ms (" << reps << " reps)\n";
+        first = false;
+    };
     for (const auto& name : algos) {
         const auto scheduler = make_scheduler(name);
         for (const std::size_t n : kPerfSizes) {
             if (n > max_n) continue;
-            const Problem problem = workload::make_instance(runtime_params(n), 2007);
-            std::size_t reps = 0;
-            const double mean_ms = measure_mean_ms(*scheduler, problem, min_time_ms, reps);
-            char buf[160];
-            std::snprintf(buf, sizeof(buf),
-                          "%s\n    {\"algo\": \"%s\", \"n\": %zu, \"mean_ms\": %.4f, "
-                          "\"reps\": %zu}",
-                          first ? "" : ",", name.c_str(), n, mean_ms, reps);
-            out << buf;
-            std::cout << name << "/" << n << ": " << mean_ms << " ms (" << reps << " reps)\n";
-            first = false;
+            emit(name, *scheduler, n, std::numeric_limits<std::size_t>::max());
+        }
+        for (const BigNPoint& point : kBigNPoints) {
+            if (point.n > max_n) continue;
+            emit(name, *scheduler, point.n, point.max_reps);
         }
     }
     out << "\n  ]\n}\n";

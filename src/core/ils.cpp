@@ -4,12 +4,17 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
 
-#include "graph/algorithms.hpp"
+#include "obs/obs.hpp"
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
 #include "trace/decision.hpp"
 #include "trace/trace.hpp"
+
+#if TSCHED_OBS_ON
+#include "util/stopwatch.hpp"
+#endif
 
 namespace tsched {
 
@@ -27,26 +32,13 @@ constexpr double kEps = 1e-12;
 double duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max_dups,
                          double ready) {
     const Problem& problem = trial.problem();
-    const Dag& dag = problem.dag();
-    const LinkModel& links = problem.machine().links();
     for (std::size_t round = 0; round < max_dups; ++round) {
         if (ready <= 0.0) return ready;
-        // Binding remote predecessor.
-        TaskId binding = kInvalidTask;
-        double worst = -1.0;
-        for (const AdjEdge& e : dag.predecessors(v)) {
-            const double avail = trial.partial().data_available(e.task, p, e.data, links);
-            if (avail > worst) {
-                worst = avail;
-                binding = e.task;
-            }
-        }
+        // `ready > 0` makes the binding arrival positive, so the builder's
+        // extra worst-arrival-is-zero rejection can never fire here and the
+        // shared query matches the inline loop this replaces exactly.
+        const TaskId binding = trial.binding_remote_pred(v, p, kEps);
         if (binding == kInvalidTask) return ready;
-        bool local = false;
-        for (const Placement& pl : trial.partial().placements(binding)) {
-            if (pl.proc == p && pl.finish <= worst + kEps) local = true;
-        }
-        if (local) return ready;
         TSCHED_COUNT("duplication_attempts");
         const double u_ready = trial.data_ready(binding, p);
         const double u_cost = problem.exec_time(binding, p);
@@ -64,10 +56,10 @@ double duplicate_parents(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t
 /// Predecessor-affinity key: finish time of the latest-finishing predecessor
 /// placement hosted on p (-inf when none) — larger is better.
 double affinity(const ScheduleBuilder& builder, TaskId v, ProcId p) {
-    const Dag& dag = builder.problem().dag();
+    const CsrAdjacency& csr = builder.problem().dag().csr();
     double best = -kInf;
-    for (const AdjEdge& e : dag.predecessors(v)) {
-        for (const Placement& pl : builder.partial().placements(e.task)) {
+    for (const TaskId u : csr.pred_tasks(v)) {
+        for (const Placement& pl : builder.partial().placements(u)) {
             if (pl.proc == p) best = std::max(best, pl.finish);
         }
     }
@@ -76,15 +68,35 @@ double affinity(const ScheduleBuilder& builder, TaskId v, ProcId p) {
 }  // namespace
 
 std::vector<double> IlsScheduler::ils_rank(const Problem& problem, bool variance_rank) {
-    const Dag& dag = problem.dag();
-    std::vector<double> rank(dag.num_tasks(), 0.0);
-    const auto order = topological_order(dag);
+    // The recurrence folds only over each task's own successor list (order
+    // fixed by the CSR snapshot), so any topological processing order gives
+    // bit-identical values — see sched/ranks.cpp for the same argument.
+    const CsrAdjacency& csr = problem.dag().csr();
+    const std::size_t n = csr.num_tasks();
+    std::vector<double> rank(n, 0.0);
+    // FIFO Kahn forward order (allocation kept local: ILS ranks once per
+    // pass, not in an inner loop).
+    std::vector<std::size_t> indeg(n);
+    std::vector<TaskId> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        indeg[i] = csr.in_degree(static_cast<TaskId>(i));
+        if (indeg[i] == 0) order.push_back(static_cast<TaskId>(i));
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        for (const TaskId s : csr.succ_tasks(order[head])) {
+            if (--indeg[static_cast<std::size_t>(s)] == 0) order.push_back(s);
+        }
+    }
+    if (order.size() != n) throw std::invalid_argument("topological_order: graph has a cycle");
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
         const TaskId v = *it;
+        const auto succs = csr.succ_tasks(v);
+        const auto data = csr.succ_data(v);
         double best = 0.0;
-        for (const AdjEdge& e : dag.successors(v)) {
-            best = std::max(best, problem.mean_comm_data(e.data) +
-                                      rank[static_cast<std::size_t>(e.task)]);
+        for (std::size_t i = 0; i < succs.size(); ++i) {
+            best = std::max(best, problem.mean_comm_data(data[i]) +
+                                      rank[static_cast<std::size_t>(succs[i])]);
         }
         const double w = problem.costs().mean(v) +
                          (variance_rank ? problem.costs().stddev(v) : 0.0);
@@ -147,6 +159,11 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
     // behaviour exactly; the OCT pass uses the variance-aware rank.
     const auto rank = ils_rank(problem, use_oct && config_.variance_rank);
     const auto oct = use_oct ? optimistic_cost_table(problem) : std::vector<double>{};
+    std::vector<TaskId> order;
+    {
+        TSCHED_OBS_PHASE("sched/phase/priority_ms");
+        order = order_by_decreasing(rank);
+    }
 
     ScheduleBuilder builder(problem);
     // Scratch reused across the task loop (previously reallocated per task).
@@ -154,7 +171,20 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
     std::vector<double> start_of(procs, 0.0);  // earliest start behind eft_of
     std::vector<double> aff_of(procs, -kInf);  // predecessor affinity, top-k only
     std::vector<std::size_t> cand(procs);
-    for (const TaskId v : order_by_decreasing(rank)) {
+    // EFT evaluations are tallied locally and flushed once after the loop —
+    // one relaxed atomic add per (task, proc) eval was measurable at big n.
+    std::size_t eft_evals = 0;
+#if TSCHED_OBS_ON
+    // Selection (per-proc eval + candidate choice) and placement (winner
+    // re-speculation + commit) accumulate across the run into one histogram
+    // sample each — the boundary-timestamp pattern HEFT uses, two clock
+    // reads per task.
+    double selection_ms = 0.0;
+    double placement_ms = 0.0;
+    const Stopwatch loop_watch;
+    double boundary_ms = 0.0;
+#endif
+    for (const TaskId v : order) {
         // Per-processor first-level evaluation.  For ILS-D the duplication
         // pass speculates on the one builder and is rolled back after the
         // EFT is measured, so every candidate is judged with its duplicates
@@ -168,7 +198,7 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
                 mark = builder.checkpoint();
                 ready = duplicate_parents(builder, v, p, config_.max_dups_per_task, ready);
             }
-            TSCHED_COUNT("eft_evaluations");
+            ++eft_evals;
             start_of[pi] = builder.earliest_start(p, ready, w, config_.insertion);
             eft_of[pi] = start_of[pi] + w;
             if (config_.duplication) builder.rollback(mark);
@@ -235,12 +265,20 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
         // reproduces the speculated state exactly), then place at the start
         // already computed during evaluation — data_ready and the insertion
         // scan are not recomputed.
+#if TSCHED_OBS_ON
+        const double select_end_ms = loop_watch.elapsed_ms();
+        selection_ms += select_end_ms - boundary_ms;
+#endif
         const auto best_p = static_cast<ProcId>(best_pi);
         if (config_.duplication) {
             duplicate_parents(builder, v, best_p, config_.max_dups_per_task,
                               builder.data_ready(v, best_p));
         }
         const Placement pl = builder.place_at(v, best_p, start_of[best_pi]);
+#if TSCHED_OBS_ON
+        boundary_ms = loop_watch.elapsed_ms();
+        placement_ms += boundary_ms - select_end_ms;
+#endif
         if (sink != nullptr) {
             rec.task = v;
             rec.rank = rank[static_cast<std::size_t>(v)];
@@ -253,6 +291,12 @@ Schedule IlsScheduler::run_pass(const Problem& problem, bool use_oct,
             sink->record(std::move(rec));
         }
     }
+    TSCHED_COUNT_ADD("eft_evaluations", eft_evals);
+    static_cast<void>(eft_evals);  // traced builds only
+#if TSCHED_OBS_ON
+    TSCHED_OBS_RECORD("sched/phase/selection_ms", selection_ms);
+    TSCHED_OBS_RECORD("sched/phase/placement_ms", placement_ms);
+#endif
     return std::move(builder).take();
 }
 

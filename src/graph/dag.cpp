@@ -7,6 +7,67 @@
 
 namespace tsched {
 
+CsrAdjacency::CsrAdjacency(const Dag& dag) {
+    num_tasks_ = dag.num_tasks();
+    const std::size_t m = dag.num_edges();
+    succ_off_.assign(num_tasks_ + 1, 0);
+    pred_off_.assign(num_tasks_ + 1, 0);
+    succ_task_.resize(m);
+    pred_task_.resize(m);
+    succ_data_.resize(m);
+    pred_data_.resize(m);
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+        const auto v = static_cast<TaskId>(i);
+        succ_off_[i + 1] = succ_off_[i] + dag.out_degree(v);
+        pred_off_[i + 1] = pred_off_[i] + dag.in_degree(v);
+    }
+    for (std::size_t i = 0; i < num_tasks_; ++i) {
+        const auto v = static_cast<TaskId>(i);
+        std::size_t s = succ_off_[i];
+        for (const AdjEdge& e : dag.successors(v)) {
+            succ_task_[s] = e.task;
+            succ_data_[s] = e.data;
+            ++s;
+        }
+        std::size_t p = pred_off_[i];
+        for (const AdjEdge& e : dag.predecessors(v)) {
+            pred_task_[p] = e.task;
+            pred_data_[p] = e.data;
+            ++p;
+        }
+    }
+}
+
+Dag& Dag::operator=(const Dag& other) {
+    if (this != &other) {
+        tasks_ = other.tasks_;
+        num_edges_ = other.num_edges_;
+        invalidate_csr();
+    }
+    return *this;
+}
+
+Dag& Dag::operator=(Dag&& other) noexcept {
+    if (this != &other) {
+        tasks_ = std::move(other.tasks_);
+        num_edges_ = other.num_edges_;
+        LockGuard lock(csr_mutex_);
+        csr_cache_.reset();
+    }
+    return *this;
+}
+
+const CsrAdjacency& Dag::csr() const {
+    LockGuard lock(csr_mutex_);
+    if (!csr_cache_) csr_cache_ = std::make_unique<CsrAdjacency>(*this);
+    return *csr_cache_;
+}
+
+void Dag::invalidate_csr() {
+    LockGuard lock(csr_mutex_);
+    csr_cache_.reset();
+}
+
 std::size_t Dag::check(TaskId v) const {
     if (v < 0 || static_cast<std::size_t>(v) >= tasks_.size()) {
         throw std::out_of_range("Dag: invalid TaskId " + std::to_string(v));
@@ -25,6 +86,7 @@ TaskId Dag::add_task(double work, std::string name) {
     node.work = work;
     node.name = std::move(name);
     tasks_.push_back(std::move(node));
+    invalidate_csr();
     return static_cast<TaskId>(tasks_.size() - 1);
 }
 
@@ -42,6 +104,7 @@ void Dag::add_edge(TaskId u, TaskId v, double data) {
     tasks_[ui].succs.push_back({v, data});
     tasks_[vi].preds.push_back({u, data});
     ++num_edges_;
+    invalidate_csr();
 }
 
 bool Dag::has_edge(TaskId u, TaskId v) const {
@@ -84,6 +147,7 @@ void Dag::set_edge_data(TaskId u, TaskId v, double data) {
             break;
         }
     }
+    invalidate_csr();
 }
 
 std::vector<TaskId> Dag::sources() const {

@@ -46,16 +46,6 @@ CostMatrix CostMatrix::uniform(const Dag& dag, std::size_t num_procs) {
     return CostMatrix(n, num_procs, std::move(costs));
 }
 
-std::size_t CostMatrix::index(TaskId v, ProcId p) const {
-    if (v < 0 || static_cast<std::size_t>(v) >= num_tasks_) {
-        throw std::out_of_range("CostMatrix: task out of range");
-    }
-    if (p < 0 || static_cast<std::size_t>(p) >= num_procs_) {
-        throw std::out_of_range("CostMatrix: processor out of range");
-    }
-    return static_cast<std::size_t>(v) * num_procs_ + static_cast<std::size_t>(p);
-}
-
 void CostMatrix::set(TaskId v, ProcId p, double cost) {
     if (!(cost > 0.0) || !std::isfinite(cost)) {
         throw std::invalid_argument("CostMatrix::set: cost must be finite and > 0");

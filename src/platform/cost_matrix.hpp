@@ -55,7 +55,18 @@ public:
     [[nodiscard]] bool is_homogeneous() const noexcept;
 
 private:
-    [[nodiscard]] std::size_t index(TaskId v, ProcId p) const;
+    // Inline: operator() is the innermost call of every EFT evaluation, and
+    // an out-of-line index() showed up as a real call in the schedulers'
+    // profiles (the checks themselves predict perfectly).
+    [[nodiscard]] std::size_t index(TaskId v, ProcId p) const {
+        if (v < 0 || static_cast<std::size_t>(v) >= num_tasks_) {
+            throw std::out_of_range("CostMatrix: task out of range");
+        }
+        if (p < 0 || static_cast<std::size_t>(p) >= num_procs_) {
+            throw std::out_of_range("CostMatrix: processor out of range");
+        }
+        return static_cast<std::size_t>(v) * num_procs_ + static_cast<std::size_t>(p);
+    }
     void recompute_row_stats();
 
     std::size_t num_tasks_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -10,6 +9,7 @@
 #include "analysis/schedule_lints.hpp"
 #endif
 
+#include "platform/link_model.hpp"
 #include "trace/trace.hpp"
 
 namespace tsched {
@@ -20,9 +20,54 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 ScheduleBuilder::ScheduleBuilder(const Problem& problem)
     : problem_(&problem),
+      csr_(&problem.dag().csr()),
+      links_(&problem.machine().links()),
+      procs_(problem.num_procs()),
       schedule_(problem.num_tasks(), problem.num_procs()),
-      busy_(problem.num_procs()),
-      placed_(problem.num_tasks(), false) {}
+      placed_(problem.num_tasks(), false),
+      task_modified_(problem.num_tasks(), 0),
+      preds_modified_(problem.num_tasks(), 0),
+      ready_cache_(problem.num_tasks() * problem.num_procs(), 0.0),
+      ready_stamp_(problem.num_tasks() * problem.num_procs(), 0),
+      ready_binding_(problem.num_tasks() * problem.num_procs(), kInvalidTask),
+      primary_finish_(problem.num_tasks(), 0.0),
+      primary_proc_(problem.num_tasks(), kInvalidProc),
+      extra_placements_(problem.num_tasks(), 0) {
+    // The timeline mode is sampled once per builder so a schedule never
+    // mixes the linear and bucketed paths mid-run.
+    const BusyTimeline::Mode mode = BusyTimeline::default_mode();
+    busy_.reserve(procs_);
+    for (std::size_t p = 0; p < procs_; ++p) busy_.emplace_back(mode);
+
+    // Uniform-links fast path (single-proc machines stay on the generic
+    // path: every transfer is local there anyway).
+    if (procs_ >= 2 && dynamic_cast<const UniformLinkModel*>(links_) != nullptr) {
+        uniform_links_ = true;
+        const std::size_t n = problem.num_tasks();
+        pred_remote_off_.resize(n + 1, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+            pred_remote_off_[v + 1] =
+                pred_remote_off_[v] + csr_->in_degree(static_cast<TaskId>(v));
+        }
+        pred_remote_.resize(pred_remote_off_[n]);
+        for (std::size_t v = 0; v < n; ++v) {
+            const auto data = csr_->pred_data(static_cast<TaskId>(v));
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                pred_remote_[pred_remote_off_[v] + i] = links_->comm_time(data[i], 0, 1);
+            }
+        }
+    }
+}
+
+ScheduleBuilder::~ScheduleBuilder() {
+    if (eft_evals_pending_.n != 0) TSCHED_COUNT_ADD("eft_evaluations", eft_evals_pending_.n);
+    if (cache_hits_pending_.n != 0) {
+        TSCHED_COUNT_ADD("data_ready_cache_hits", cache_hits_pending_.n);
+    }
+    if (cache_misses_pending_.n != 0) {
+        TSCHED_COUNT_ADD("data_ready_cache_misses", cache_misses_pending_.n);
+    }
+}
 
 bool ScheduleBuilder::is_placed(TaskId v) const {
     if (v < 0 || static_cast<std::size_t>(v) >= placed_.size()) {
@@ -34,55 +79,204 @@ bool ScheduleBuilder::is_placed(TaskId v) const {
 double ScheduleBuilder::finish_time(TaskId v) const { return schedule_.primary(v).finish; }
 
 double ScheduleBuilder::data_ready(TaskId v, ProcId p) const {
-    const Dag& dag = problem_->dag();
-    const LinkModel& links = problem_->machine().links();
+    if (v < 0 || static_cast<std::size_t>(v) >= placed_.size()) {
+        throw std::out_of_range("ScheduleBuilder::data_ready: task out of range");
+    }
+    const std::size_t idx =
+        static_cast<std::size_t>(v) * procs_ + static_cast<std::size_t>(p);
+    const std::uint64_t stamp = ready_stamp_.at(idx);
+    if (stamp != 0 && preds_modified_[static_cast<std::size_t>(v)] <= stamp) {
+        cache_hits_pending_ += 1;
+        return ready_cache_[idx];
+    }
+    cache_misses_pending_ += 1;
+    fill_ready_row(v);
+    return ready_cache_[idx];
+}
+
+void ScheduleBuilder::fill_ready_row(TaskId v) const {
+    const auto preds = csr_->pred_tasks(v);
+    const auto pred_data = csr_->pred_data(v);
+    const std::size_t base = static_cast<std::size_t>(v) * procs_;
+    double* row = ready_cache_.data() + base;
+    TaskId* args = ready_binding_.data() + base;
+    for (std::size_t q = 0; q < procs_; ++q) {
+        row[q] = 0.0;
+        // `args[q]` tracks the first predecessor whose arrival achieves the
+        // running max — strict > reproduces binding_remote_pred's first-wins
+        // tie-break, and an arrival of exactly 0 keeps it invalid, matching
+        // its not-communication-bound rejection.
+        args[q] = kInvalidTask;
+    }
+    // Per processor q the comparison chain visits predecessors in CSR order
+    // with the same per-predecessor arrival expression the old scalar loop
+    // used, so every row value is bit-identical to an independent
+    // data_ready(v, q) computation — the walk is merely transposed so the
+    // predecessor state (placed flag, finish, proc, remote cost) is loaded
+    // once instead of once per processor.
+    bool blocked = false;
+    if (uniform_links_) {
+        const double* remote = pred_remote_.data() + pred_remote_off_[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const std::size_t u = static_cast<std::size_t>(preds[i]);
+            if (!placed_[u]) {
+                blocked = true;
+                break;
+            }
+            if (extra_placements_[u] == 0) {
+                const double f = primary_finish_[u];
+                const auto pp = static_cast<std::size_t>(primary_proc_[u]);
+                const double fr = f + remote[i];  // same add the scalar path did
+                for (std::size_t q = 0; q < procs_; ++q) {
+                    const double best = (q == pp) ? f : fr;
+                    if (best > row[q]) {
+                        row[q] = best;
+                        args[q] = preds[i];
+                    }
+                }
+            } else {
+                for (std::size_t q = 0; q < procs_; ++q) {
+                    double best = kInf;
+                    for (const Placement& pl : schedule_.placements(preds[i])) {
+                        const auto qp = static_cast<ProcId>(q);
+                        best = std::min(best, pl.finish + (pl.proc == qp ? 0.0 : remote[i]));
+                    }
+                    if (best > row[q]) {
+                        row[q] = best;
+                        args[q] = preds[i];
+                    }
+                }
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (!placed_[static_cast<std::size_t>(preds[i])]) {
+                blocked = true;
+                break;
+            }
+            for (std::size_t q = 0; q < procs_; ++q) {
+                const double avail = schedule_.data_available(preds[i], static_cast<ProcId>(q),
+                                                              pred_data[i], *links_);
+                if (avail > row[q]) {
+                    row[q] = avail;
+                    args[q] = preds[i];
+                }
+            }
+        }
+    }
+    if (blocked) {
+        // The scalar loop returned +inf from the first unplaced predecessor
+        // onward for *every* processor, so the whole row is +inf (the argmax
+        // entries keep whatever accumulated before the break; every consumer
+        // guards them behind std::isfinite of the cached value).
+        for (std::size_t q = 0; q < procs_; ++q) {
+            row[q] = kInf;
+        }
+    }
+    for (std::size_t q = 0; q < procs_; ++q) {
+        ready_stamp_[base + q] = epoch_;
+        ready_log_.push_back(base + q);
+    }
+}
+
+double ScheduleBuilder::data_ready_partial(TaskId v, ProcId p) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= placed_.size()) {
+        throw std::out_of_range("ScheduleBuilder::data_ready_partial: task out of range");
+    }
+    const auto preds = csr_->pred_tasks(v);
+    const auto pred_data = csr_->pred_data(v);
     double ready = 0.0;
-    for (const AdjEdge& e : dag.predecessors(v)) {
-        if (!placed_[static_cast<std::size_t>(e.task)]) return kInf;
-        ready = std::max(ready, schedule_.data_available(e.task, p, e.data, links));
+    if (uniform_links_) {
+        const double* remote = pred_remote_.data() + pred_remote_off_[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const std::size_t u = static_cast<std::size_t>(preds[i]);
+            if (!placed_[u]) continue;
+            double best;
+            if (extra_placements_[u] == 0) {
+                best = primary_finish_[u] + (primary_proc_[u] == p ? 0.0 : remote[i]);
+            } else {
+                best = kInf;
+                for (const Placement& pl : schedule_.placements(preds[i])) {
+                    best = std::min(best, pl.finish + (pl.proc == p ? 0.0 : remote[i]));
+                }
+            }
+            ready = std::max(ready, best);
+        }
+    } else {
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (!placed_[static_cast<std::size_t>(preds[i])]) continue;
+            ready = std::max(ready, schedule_.data_available(preds[i], p, pred_data[i], *links_));
+        }
     }
     return ready;
 }
 
-double ScheduleBuilder::data_ready_partial(TaskId v, ProcId p) const {
-    const Dag& dag = problem_->dag();
-    const LinkModel& links = problem_->machine().links();
-    double ready = 0.0;
-    for (const AdjEdge& e : dag.predecessors(v)) {
-        if (!placed_[static_cast<std::size_t>(e.task)]) continue;
-        ready = std::max(ready, schedule_.data_available(e.task, p, e.data, links));
+TaskId ScheduleBuilder::binding_remote_pred(TaskId v, ProcId p, double eps) const {
+    const auto preds = csr_->pred_tasks(v);
+    const auto pred_data = csr_->pred_data(v);
+    TaskId binding = kInvalidTask;
+    double worst = -1.0;
+    // A valid data_ready cache entry already holds the argmax this walk
+    // would recompute (the duplication loops always probe data_ready first,
+    // so this hits nearly every call).  The finite guard keeps the
+    // unplaced-predecessor corner on the exhaustive walk, whose early break
+    // makes its argmax diverge from the full scan's.
+    const std::size_t idx =
+        static_cast<std::size_t>(v) * procs_ + static_cast<std::size_t>(p);
+    const std::uint64_t stamp = ready_stamp_[idx];
+    if (stamp != 0 && preds_modified_[static_cast<std::size_t>(v)] <= stamp &&
+        std::isfinite(ready_cache_[idx])) {
+        binding = ready_binding_[idx];
+        worst = ready_cache_[idx];
+    } else if (uniform_links_) {
+        const double* remote =
+            pred_remote_.data() + pred_remote_off_[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const std::size_t u = static_cast<std::size_t>(preds[i]);
+            double avail;
+            if (placed_[u] && extra_placements_[u] == 0) {
+                avail = primary_finish_[u] + (primary_proc_[u] == p ? 0.0 : remote[i]);
+            } else {
+                avail = kInf;
+                for (const Placement& pl : schedule_.placements(preds[i])) {
+                    avail = std::min(avail, pl.finish + (pl.proc == p ? 0.0 : remote[i]));
+                }
+            }
+            if (avail > worst) {
+                worst = avail;
+                binding = preds[i];
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const double avail = schedule_.data_available(preds[i], p, pred_data[i], *links_);
+            if (avail > worst) {
+                worst = avail;
+                binding = preds[i];
+            }
+        }
     }
-    return ready;
+    if (binding == kInvalidTask || worst <= 0.0) return kInvalidTask;
+    const auto b = static_cast<std::size_t>(binding);
+    if (placed_[b] && extra_placements_[b] == 0) {
+        if (primary_proc_[b] == p && primary_finish_[b] <= worst + eps) return kInvalidTask;
+    } else {
+        for (const Placement& pl : schedule_.placements(binding)) {
+            if (pl.proc == p && pl.finish <= worst + eps) return kInvalidTask;
+        }
+    }
+    return binding;
 }
 
 double ScheduleBuilder::earliest_start(ProcId p, double ready, double duration,
                                        bool insertion) const {
-    const auto& timeline = busy_.at(static_cast<std::size_t>(p));
-    if (!insertion) {
-        const double avail = timeline.empty() ? 0.0 : timeline.back().finish;
-        return std::max(avail, ready);
-    }
-    // Scan the gaps for the first fit.  Gaps that close before `ready` can
-    // never host the task (the candidate start is clamped to `ready`, so a
-    // fit inside an interval run ending at or before `ready` would need a
-    // non-positive duration); since non-overlapping sorted intervals have
-    // non-decreasing finishes, binary-search past them instead of walking
-    // the whole timeline.
-    auto it = std::lower_bound(timeline.begin(), timeline.end(), ready,
-                               [](const Interval& iv, double t) { return iv.finish <= t; });
-    double gap_start = it == timeline.begin() ? 0.0 : std::prev(it)->finish;
-    for (; it != timeline.end(); ++it) {
-        TSCHED_COUNT("insertion_probes");
-        const double candidate = std::max(gap_start, ready);
-        if (candidate + duration <= it->start) return candidate;
-        gap_start = it->finish;
-    }
-    TSCHED_COUNT("insertion_probes");
-    return std::max(gap_start, ready);
+    const BusyTimeline& timeline = busy_.at(static_cast<std::size_t>(p));
+    if (!insertion) return std::max(timeline.last_finish(), ready);
+    return timeline.earliest_start(ready, duration);
 }
 
 double ScheduleBuilder::eft(TaskId v, ProcId p, bool insertion) const {
-    TSCHED_COUNT("eft_evaluations");
+    eft_evals_pending_ += 1;
     const double ready = data_ready(v, p);
     if (!std::isfinite(ready)) return kInf;
     const double w = problem_->exec_time(v, p);
@@ -91,14 +285,18 @@ double ScheduleBuilder::eft(TaskId v, ProcId p, bool insertion) const {
 
 std::optional<double> ScheduleBuilder::find_slot_before(ProcId p, double ready, double duration,
                                                         double deadline, bool insertion) const {
+    // earliest_start never returns a start before `ready`, and rounded fp
+    // addition is monotone, so start + duration <= deadline is impossible
+    // when even ready + duration misses it — the duplication loops reject
+    // most probes here without scanning the timeline at all.
+    if (ready + duration > deadline) return std::nullopt;
     const double start = earliest_start(p, ready, duration, insertion);
     if (start + duration <= deadline) return start;
     return std::nullopt;
 }
 
 double ScheduleBuilder::proc_available(ProcId p) const {
-    const auto& timeline = busy_.at(static_cast<std::size_t>(p));
-    return timeline.empty() ? 0.0 : timeline.back().finish;
+    return busy_.at(static_cast<std::size_t>(p)).last_finish();
 }
 
 Placement ScheduleBuilder::place(TaskId v, ProcId p, bool insertion) {
@@ -131,9 +329,17 @@ Placement ScheduleBuilder::commit(TaskId v, ProcId p, double start, bool duplica
     const double w = problem_->exec_time(v, p);
     const Placement pl{v, p, start, start + w};
     schedule_.add(v, p, pl.start, pl.finish);
-    insert_interval(p, {pl.start, pl.finish});
-    undo_log_.push_back({v, makespan_, duplicate});
-    if (!duplicate) placed_[static_cast<std::size_t>(v)] = true;
+    busy_[static_cast<std::size_t>(p)].insert({pl.start, pl.finish});
+    undo_log_.push_back({v, makespan_, task_modified_[static_cast<std::size_t>(v)],
+                         ready_log_.size(), succ_log_.size(), duplicate});
+    if (!duplicate) {
+        placed_[static_cast<std::size_t>(v)] = true;
+        primary_finish_[static_cast<std::size_t>(v)] = pl.finish;
+        primary_proc_[static_cast<std::size_t>(v)] = p;
+    } else {
+        ++extra_placements_[static_cast<std::size_t>(v)];
+    }
+    touch(v);
     makespan_ = std::max(makespan_, pl.finish);
     ++num_placements_;
     return pl;
@@ -150,37 +356,31 @@ void ScheduleBuilder::rollback(Checkpoint mark) {
         const UndoEntry entry = undo_log_.back();
         undo_log_.pop_back();
         const Placement pl = schedule_.remove_last(entry.task);
-        erase_interval(pl.proc, {pl.start, pl.finish});
-        if (!entry.duplicate) placed_[static_cast<std::size_t>(entry.task)] = false;
+        if (!busy_[static_cast<std::size_t>(pl.proc)].erase({pl.start, pl.finish})) {
+            throw std::logic_error("ScheduleBuilder::rollback: interval not found");
+        }
+        if (!entry.duplicate) {
+            placed_[static_cast<std::size_t>(entry.task)] = false;
+        } else {
+            --extra_placements_[static_cast<std::size_t>(entry.task)];
+        }
+        // Restore the task's modification stamp instead of advancing it:
+        // after the rollback the placement state is exactly what the
+        // pre-speculation cache entries were computed from, so they stay
+        // valid.  The entries written *during* the speculation reflect the
+        // rolled-back state; zero-stamp that suffix of the write log.
+        task_modified_[static_cast<std::size_t>(entry.task)] = entry.prev_modified;
+        while (succ_log_.size() > entry.succ_log_mark) {
+            preds_modified_[succ_log_.back().first] = succ_log_.back().second;
+            succ_log_.pop_back();
+        }
+        while (ready_log_.size() > entry.ready_log_mark) {
+            ready_stamp_[ready_log_.back()] = 0;
+            ready_log_.pop_back();
+        }
         makespan_ = entry.prev_makespan;
         --num_placements_;
     }
-}
-
-void ScheduleBuilder::insert_interval(ProcId p, Interval iv) {
-    auto& timeline = busy_.at(static_cast<std::size_t>(p));
-    const auto pos = std::lower_bound(
-        timeline.begin(), timeline.end(), iv,
-        [](const Interval& a, const Interval& b) { return a.start < b.start; });
-    timeline.insert(pos, iv);
-}
-
-void ScheduleBuilder::erase_interval(ProcId p, Interval iv) {
-    auto& timeline = busy_.at(static_cast<std::size_t>(p));
-    auto pos = std::lower_bound(
-        timeline.begin(), timeline.end(), iv,
-        [](const Interval& a, const Interval& b) { return a.start < b.start; });
-    // Feasible timelines never stack two intervals at one start, but a
-    // speculative caller may have committed overlapping placements — scan
-    // the equal-start run for the exact interval before giving up.
-    while (pos != timeline.end() && pos->start == iv.start) {
-        if (pos->finish == iv.finish) {
-            timeline.erase(pos);
-            return;
-        }
-        ++pos;
-    }
-    throw std::logic_error("ScheduleBuilder::rollback: interval not found");
 }
 
 Schedule ScheduleBuilder::take() && {

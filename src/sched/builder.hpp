@@ -8,17 +8,31 @@
 // in one tested place.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "platform/problem.hpp"
 #include "sched/schedule.hpp"
+#include "sched/timeline.hpp"
 
 namespace tsched {
 
 class ScheduleBuilder {
 public:
     explicit ScheduleBuilder(const Problem& problem);
+
+    // Copyable (branch-and-bound forks child builders) and movable; the
+    // destructor flushes the locally accumulated probe tallies to the global
+    // trace counters in one shot — one relaxed atomic add per probe was
+    // measurable on 10k-task schedules.  PendingTally's copy/move semantics
+    // keep each count owned by exactly one live builder.
+    ScheduleBuilder(const ScheduleBuilder&) = default;
+    ScheduleBuilder& operator=(const ScheduleBuilder&) = default;
+    ScheduleBuilder(ScheduleBuilder&&) = default;
+    ScheduleBuilder& operator=(ScheduleBuilder&&) = default;
+    ~ScheduleBuilder();
 
     [[nodiscard]] const Problem& problem() const noexcept { return *problem_; }
 
@@ -42,6 +56,15 @@ public:
     /// counts as 0).  Used by lookahead policies that must estimate a
     /// successor's start while some of its inputs are still unscheduled.
     [[nodiscard]] double data_ready_partial(TaskId v, ProcId p) const;
+
+    /// The predecessor whose data arrival on p binds v's ready time — the
+    /// duplication heuristics' copy candidate — or kInvalidTask when v's
+    /// start is not communication-bound: no predecessors, binding arrival at
+    /// time 0, or some placement of the binding predecessor already sits on
+    /// p and delivers within `eps` of the binding time (a copy cannot help).
+    /// Ties keep the first binding predecessor in CSR order, matching the
+    /// historical helper the duplication schedulers used.
+    [[nodiscard]] TaskId binding_remote_pred(TaskId v, ProcId p, double eps) const;
 
     /// Earliest start on p at or after `ready` for a task of length
     /// `duration`.  With `insertion` the first sufficient idle gap between
@@ -108,28 +131,130 @@ public:
     [[nodiscard]] Schedule take() &&;
 
 private:
-    struct Interval {
-        double start = 0.0;
-        double finish = 0.0;
-    };
-
     struct UndoEntry {
         TaskId task = kInvalidTask;
-        double prev_makespan = 0.0;  ///< makespan before this commit
+        double prev_makespan = 0.0;       ///< makespan before this commit
+        std::uint64_t prev_modified = 0;  ///< task_modified_[task] before it
+        std::size_t ready_log_mark = 0;   ///< ready_log_ length at commit
+        std::size_t succ_log_mark = 0;    ///< succ_log_ length at commit
         bool duplicate = false;
     };
 
     Placement commit(TaskId v, ProcId p, double start, bool duplicate);
-    void insert_interval(ProcId p, Interval iv);
-    void erase_interval(ProcId p, Interval iv);
+
+    /// Compute and cache data_ready(v, q) for *every* processor q in one
+    /// predecessor walk.  Every caller that misses on (v, p) probes the
+    /// sibling processors too (HEFT evaluates all of them per task; the
+    /// trial loops sweep them), so amortising the predecessor-state loads
+    /// across the row removes ~(P-1)/P of the walk's memory traffic.  The
+    /// per-processor comparison chains run in CSR predecessor order with the
+    /// scalar loop's exact arrival expressions, so the cached values are
+    /// bit-identical to per-(v, p) computation.
+    void fill_ready_row(TaskId v) const;
+
+    /// Record that v's placement set changed (a commit): advances the
+    /// builder epoch, invalidating every cached data-ready value that
+    /// depends on v.  Each successor's preds_modified_ watermark is raised
+    /// to the new epoch, with its prior value pushed onto succ_log_ so
+    /// rollback can restore the watermarks exactly.
+    void touch(TaskId v) {
+        const std::uint64_t e = ++epoch_;
+        task_modified_[static_cast<std::size_t>(v)] = e;
+        for (const TaskId w : csr_->succ_tasks(v)) {
+            const auto wi = static_cast<std::size_t>(w);
+            succ_log_.emplace_back(wi, preds_modified_[wi]);
+            preds_modified_[wi] = e;
+        }
+    }
 
     const Problem* problem_;
+    const CsrAdjacency* csr_;  ///< flat adjacency of problem_->dag(), built once
+    const LinkModel* links_;
+    std::size_t procs_;
     Schedule schedule_;
-    std::vector<std::vector<Interval>> busy_;  // per proc, sorted by start
+    std::vector<BusyTimeline> busy_;  // per proc, flat-order by start
     std::vector<bool> placed_;
     std::vector<UndoEntry> undo_log_;  // one entry per commit, in order
     double makespan_ = 0.0;
     std::size_t num_placements_ = 0;
+
+    // data_ready memoisation keyed on predecessor placement epochs: HEFT
+    // probes every (task, proc) pair and the speculative schedulers
+    // (ILS-D, DSH/BTDH, lookahead) re-probe the same pair many times between
+    // placements; each probe walks the predecessors and pays a virtual
+    // LinkModel::comm_time call per placement.  A cached entry written at
+    // epoch E stays valid while no predecessor's placement set changed after
+    // E.  Commits advance the epoch via touch(); rollback *restores* each
+    // popped task's pre-commit stamp — the placement state is back to what
+    // the surviving cache entries were computed from, so they become valid
+    // again.  The entries written while speculative commits were in effect
+    // are the exception (they reflect the rolled-back state); every cache
+    // write is appended to ready_log_, and rollback zero-stamps the suffix
+    // written after the restored checkpoint.  Stamp 0 means "never computed"
+    // (the epoch counter starts at 1).
+    // Validation is O(1), not O(in-degree): preds_modified_[v] caches
+    // max over v's predecessors of task_modified_ (the only quantity the
+    // per-predecessor walk ever compared against the stamp), maintained by
+    // touch() raising each successor's watermark and rollback restoring the
+    // logged prior values.  Commits are ~25x rarer than validations in the
+    // speculative schedulers, so paying O(out-degree) per commit to make
+    // every lookup one comparison is a large net win.
+    std::uint64_t epoch_ = 1;
+    std::vector<std::uint64_t> task_modified_;        // per task
+    std::vector<std::uint64_t> preds_modified_;       // per task (see above)
+    mutable std::vector<double> ready_cache_;         // task-major, procs_ wide
+    mutable std::vector<std::uint64_t> ready_stamp_;  // parallel to ready_cache_
+    mutable std::vector<std::size_t> ready_log_;      // cache-write order
+    // Argmax sibling of ready_cache_: the first predecessor whose arrival
+    // achieves the cached ready time (kInvalidTask when none exceeds 0) —
+    // exactly the candidate binding_remote_pred would recompute.  Guarded by
+    // the same stamp, so it needs no undo bookkeeping of its own.
+    mutable std::vector<TaskId> ready_binding_;
+    // (succ index, prior watermark) pairs in touch order; UndoEntry marks
+    // delimit each commit's span.
+    std::vector<std::pair<std::size_t, std::uint64_t>> succ_log_;
+
+    // Uniform-links fast path: with a UniformLinkModel the remote transfer
+    // cost of an edge is the same for every distinct processor pair, so it
+    // is precomputed once per predecessor edge (CSR pred order) and the hot
+    // data_ready loops skip the virtual comm_time call and its division.
+    // The cached value is exactly comm_time(data, src, dst) for src != dst,
+    // so the fast path is bit-identical to the generic one.
+    bool uniform_links_ = false;
+    std::vector<double> pred_remote_;            // per pred edge, CSR order
+    std::vector<std::size_t> pred_remote_off_;   // per task offsets into it
+
+    // Flat mirror of each task's *primary* placement.  Schedule stores
+    // placements in per-task heap vectors, so the data_ready loop pays a
+    // pointer chase per predecessor; tasks without duplicates (the common
+    // case — duplication heuristics are the only source of extras) are
+    // served from these arrays instead.  extra_placements_[v] > 0 falls
+    // back to the full span walk.
+    std::vector<double> primary_finish_;       // valid while placed_[v]
+    std::vector<ProcId> primary_proc_;         // valid while placed_[v]
+    std::vector<std::uint32_t> extra_placements_;  // duplicates per task
+
+    // One locally accumulated trace-counter delta, flushed by the builder's
+    // destructor.  A copied tally starts at zero (the counts stay with the
+    // builder that did the probing); a moved tally transfers its count and
+    // zeroes the source, so every probe is flushed exactly once.
+    struct PendingTally {
+        std::size_t n = 0;
+        PendingTally() = default;
+        PendingTally(const PendingTally&) noexcept {}
+        PendingTally& operator=(const PendingTally&) noexcept { return *this; }
+        PendingTally(PendingTally&& other) noexcept : n(other.n) { other.n = 0; }
+        PendingTally& operator=(PendingTally&& other) noexcept {
+            std::swap(n, other.n);  // the source flushes our old count
+            return *this;
+        }
+        ~PendingTally() = default;
+        void operator+=(std::size_t delta) noexcept { n += delta; }
+    };
+
+    mutable PendingTally eft_evals_pending_;
+    mutable PendingTally cache_hits_pending_;
+    mutable PendingTally cache_misses_pending_;
 };
 
 }  // namespace tsched

@@ -9,35 +9,14 @@
 #include "sched/ranks.hpp"
 #include "trace/trace.hpp"
 
+#if TSCHED_OBS_ON
+#include "util/stopwatch.hpp"
+#endif
+
 namespace tsched {
 
 namespace {
 constexpr double kEps = 1e-12;
-
-/// The predecessor whose data arrival on p binds v's ready time, or
-/// kInvalidTask when v's start is not communication-bound (no predecessors,
-/// or the binding arrival already comes from a local placement).
-TaskId binding_remote_pred(const ScheduleBuilder& builder, TaskId v, ProcId p) {
-    const Problem& problem = builder.problem();
-    const Dag& dag = problem.dag();
-    const LinkModel& links = problem.machine().links();
-    TaskId binding = kInvalidTask;
-    double worst = -1.0;
-    for (const AdjEdge& e : dag.predecessors(v)) {
-        const double avail = builder.partial().data_available(e.task, p, e.data, links);
-        if (avail > worst) {
-            worst = avail;
-            binding = e.task;
-        }
-    }
-    if (binding == kInvalidTask || worst <= 0.0) return kInvalidTask;
-    // If some placement of the binding predecessor already sits on p and
-    // delivers at the binding time, a copy cannot help.
-    for (const Placement& pl : builder.partial().placements(binding)) {
-        if (pl.proc == p && pl.finish <= worst + kEps) return kInvalidTask;
-    }
-    return binding;
-}
 
 /// DSH inner loop: copy binding predecessors of v onto p while each single
 /// copy strictly lowers v's data-ready time.  Returns the number of copies.
@@ -48,7 +27,7 @@ std::size_t duplicate_while_improving(ScheduleBuilder& trial, TaskId v, ProcId p
     while (dups < max_dups) {
         const double ready = trial.data_ready(v, p);
         if (ready <= 0.0) break;
-        const TaskId u = binding_remote_pred(trial, v, p);
+        const TaskId u = trial.binding_remote_pred(v, p, kEps);
         if (u == kInvalidTask) break;
         TSCHED_COUNT("duplication_attempts");
         const double u_ready = trial.data_ready(u, p);
@@ -76,7 +55,7 @@ void duplicate_chain(ScheduleBuilder& trial, TaskId v, ProcId p, std::size_t max
     while (dups < max_dups) {
         const double ready = trial.data_ready(v, p);
         if (ready <= 0.0) break;
-        const TaskId u = binding_remote_pred(trial, v, p);
+        const TaskId u = trial.binding_remote_pred(v, p, kEps);
         if (u == kInvalidTask) break;
         TSCHED_COUNT("duplication_attempts");
         if (depth > 0) duplicate_chain(trial, u, p, max_dups, depth - 1);
@@ -103,24 +82,55 @@ Schedule duplication_schedule(const Problem& problem, DuplicateFn&& duplicate) {
     // phase separately).
     TSCHED_OBS_PHASE("sched/phase/duplication_ms");
     const auto sl = static_level(problem, RankCost::kMean);
+    std::vector<TaskId> order;
+    {
+        TSCHED_OBS_PHASE("sched/phase/priority_ms");
+        order = order_by_decreasing(sl);
+    }
     ScheduleBuilder builder(problem);
-    for (const TaskId v : order_by_decreasing(sl)) {
+#if TSCHED_OBS_ON
+    // Selection (per-proc speculative trials) and placement (winner replay
+    // + commit) accumulate across the run into one histogram sample each —
+    // the boundary-timestamp pattern HEFT uses, two clock reads per task.
+    double selection_ms = 0.0;
+    double placement_ms = 0.0;
+    const Stopwatch loop_watch;
+    double boundary_ms = 0.0;
+#endif
+    for (const TaskId v : order) {
         ProcId best_proc = 0;
         double best_finish = std::numeric_limits<double>::infinity();
         for (std::size_t p = 0; p < problem.num_procs(); ++p) {
             const auto proc = static_cast<ProcId>(p);
             const ScheduleBuilder::Checkpoint mark = builder.checkpoint();
             duplicate(builder, v, proc);
-            const Placement pl = builder.place(v, proc, /*insertion=*/true);
-            if (pl.finish < best_finish) {
-                best_finish = pl.finish;
+            // eft() is the same data_ready + earliest_start + w computation
+            // commit would run, so judging the trial by it (instead of
+            // placing v and reading back the finish) spares every trial one
+            // timeline insert/erase pair without changing a single compared
+            // value.
+            const double finish = builder.eft(v, proc, /*insertion=*/true);
+            if (finish < best_finish) {
+                best_finish = finish;
                 best_proc = proc;
             }
             builder.rollback(mark);
         }
+#if TSCHED_OBS_ON
+        const double select_end_ms = loop_watch.elapsed_ms();
+        selection_ms += select_end_ms - boundary_ms;
+#endif
         duplicate(builder, v, best_proc);
         builder.place(v, best_proc, /*insertion=*/true);
+#if TSCHED_OBS_ON
+        boundary_ms = loop_watch.elapsed_ms();
+        placement_ms += boundary_ms - select_end_ms;
+#endif
     }
+#if TSCHED_OBS_ON
+    TSCHED_OBS_RECORD("sched/phase/selection_ms", selection_ms);
+    TSCHED_OBS_RECORD("sched/phase/placement_ms", placement_ms);
+#endif
     return std::move(builder).take();
 }
 }  // namespace

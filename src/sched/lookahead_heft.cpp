@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "sched/builder.hpp"
 #include "sched/ranks.hpp"
 #include "trace/decision.hpp"
 #include "trace/trace.hpp"
+
+#if TSCHED_OBS_ON
+#include "util/stopwatch.hpp"
+#endif
 
 namespace tsched {
 
@@ -21,9 +26,14 @@ Schedule LookaheadHeftScheduler::schedule_traced(const Problem& problem,
 
 Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* sink) const {
     TSCHED_SPAN("sched/lheft");
-    const Dag& dag = problem.dag();
+    const CsrAdjacency& csr = problem.dag().csr();
     const std::size_t procs = problem.num_procs();
     const auto ranks = upward_rank(problem, RankCost::kMean);
+    std::vector<TaskId> order;
+    {
+        TSCHED_OBS_PHASE("sched/phase/priority_ms");
+        order = order_by_decreasing(ranks);
+    }
 
     const LinkModel& links = problem.machine().links();
 
@@ -35,13 +45,23 @@ Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* s
     // placement (max is commutative, so folding it in afterwards gives the
     // same value data_ready_partial would).
     std::vector<double> base_ready;
-    for (const TaskId v : order_by_decreasing(ranks)) {
-        const auto succs = dag.successors(v);
+#if TSCHED_OBS_ON
+    // Selection (lookahead trials) and placement (the final commit)
+    // accumulate across the run into one histogram sample each, the same
+    // boundary-timestamp pattern as HEFT: two clock reads per task.
+    double selection_ms = 0.0;
+    double placement_ms = 0.0;
+    const Stopwatch loop_watch;
+    double boundary_ms = 0.0;
+#endif
+    for (const TaskId v : order) {
+        const auto succs = csr.succ_tasks(v);
+        const auto succ_data = csr.succ_data(v);
         base_ready.assign(succs.size() * procs, 0.0);
         for (std::size_t ci = 0; ci < succs.size(); ++ci) {
             for (std::size_t qi = 0; qi < procs; ++qi) {
                 base_ready[ci * procs + qi] =
-                    builder.data_ready_partial(succs[ci].task, static_cast<ProcId>(qi));
+                    builder.data_ready_partial(succs[ci], static_cast<ProcId>(qi));
             }
         }
 
@@ -60,13 +80,12 @@ Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* s
             // their own finish.
             double score = pl.finish;
             for (std::size_t ci = 0; ci < succs.size(); ++ci) {
-                const AdjEdge& e = succs[ci];
                 double child_best = std::numeric_limits<double>::infinity();
                 for (std::size_t qi = 0; qi < procs; ++qi) {
                     const auto q = static_cast<ProcId>(qi);
-                    const double arrival = pl.finish + links.comm_time(e.data, p, q);
+                    const double arrival = pl.finish + links.comm_time(succ_data[ci], p, q);
                     const double ready = std::max(base_ready[ci * procs + qi], arrival);
-                    const double w = problem.exec_time(e.task, q);
+                    const double w = problem.exec_time(succs[ci], q);
                     const double est = builder.earliest_start(q, ready, w, true);
                     child_best = std::min(child_best, est + w);
                 }
@@ -86,7 +105,15 @@ Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* s
                 best_proc = p;
             }
         }
+#if TSCHED_OBS_ON
+        const double select_end_ms = loop_watch.elapsed_ms();
+        selection_ms += select_end_ms - boundary_ms;
+#endif
         const Placement pl = builder.place(v, best_proc, true);
+#if TSCHED_OBS_ON
+        boundary_ms = loop_watch.elapsed_ms();
+        placement_ms += boundary_ms - select_end_ms;
+#endif
         if (sink != nullptr) {
             rec.task = v;
             rec.rank = ranks[static_cast<std::size_t>(v)];
@@ -97,6 +124,10 @@ Schedule LookaheadHeftScheduler::run(const Problem& problem, trace::TraceSink* s
             sink->record(std::move(rec));
         }
     }
+#if TSCHED_OBS_ON
+    TSCHED_OBS_RECORD("sched/phase/selection_ms", selection_ms);
+    TSCHED_OBS_RECORD("sched/phase/placement_ms", placement_ms);
+#endif
     return std::move(builder).take();
 }
 

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
-#include "graph/algorithms.hpp"
 #include "obs/obs.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tsched {
 
@@ -31,55 +32,179 @@ double scalar_cost(const Problem& problem, TaskId v, RankCost rc) {
     return costs.mean(v);
 }
 
-std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
+namespace {
+
+/// Forward topological order by FIFO Kahn over the CSR view, into caller
+/// scratch.  Every rank below is a recurrence whose per-task fold runs over
+/// that task's own adjacency list (order fixed by the CSR snapshot), so the
+/// values are identical under *any* topological processing order — FIFO is
+/// simply the cheapest deterministic one.  The public topological_order()
+/// (priority-queue Kahn, id tie-breaks) is unchanged for callers that
+/// consume the order itself.
+void topo_order_csr(const CsrAdjacency& csr, std::vector<std::size_t>& indeg,
+                    std::vector<TaskId>& out) {
+    const std::size_t n = csr.num_tasks();
+    indeg.resize(n);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        indeg[i] = csr.in_degree(static_cast<TaskId>(i));
+        if (indeg[i] == 0) out.push_back(static_cast<TaskId>(i));
+    }
+    for (std::size_t head = 0; head < out.size(); ++head) {
+        for (const TaskId s : csr.succ_tasks(out[head])) {
+            if (--indeg[static_cast<std::size_t>(s)] == 0) out.push_back(s);
+        }
+    }
+    if (out.size() != n) throw std::invalid_argument("topological_order: graph has a cycle");
+}
+
+RankWorkspace& tls_workspace() {
+    thread_local RankWorkspace ws;
+    return ws;
+}
+
+/// Bucket tasks by longest path length (edge count) from the exit set:
+/// level 0 holds the sinks, level L tasks depend only on levels < L, so one
+/// level is an embarrassingly parallel wavefront for the upward recurrences.
+/// Fills ws.level / ws.level_tasks / ws.level_off (buckets ascending by id).
+void level_index_from_sinks(const CsrAdjacency& csr, RankWorkspace& ws) {
+    const std::size_t n = csr.num_tasks();
+    topo_order_csr(csr, ws.indeg, ws.topo);
+    ws.level.assign(n, 0);
+    std::size_t max_level = 0;
+    for (auto it = ws.topo.rbegin(); it != ws.topo.rend(); ++it) {
+        const auto vi = static_cast<std::size_t>(*it);
+        std::size_t h = 0;
+        for (const TaskId s : csr.succ_tasks(*it)) {
+            h = std::max(h, ws.level[static_cast<std::size_t>(s)] + 1);
+        }
+        ws.level[vi] = h;
+        max_level = std::max(max_level, h);
+    }
+    ws.level_off.assign(max_level + 2, 0);
+    for (std::size_t i = 0; i < n; ++i) ++ws.level_off[ws.level[i] + 1];
+    for (std::size_t l = 1; l < ws.level_off.size(); ++l) ws.level_off[l] += ws.level_off[l - 1];
+    ws.level_tasks.resize(n);
+    std::vector<std::size_t> cursor(ws.level_off.begin(), ws.level_off.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        ws.level_tasks[cursor[ws.level[i]]++] = static_cast<TaskId>(i);
+    }
+}
+
+/// Levels smaller than this are computed inline: pool dispatch costs more
+/// than the handful of folds it would spread.
+constexpr std::size_t kParallelLevelCutoff = 256;
+
+template <typename PerTask>
+void run_levels(ThreadPool& pool, const RankWorkspace& ws, const PerTask& per_task) {
+    for (std::size_t l = 0; l + 1 < ws.level_off.size(); ++l) {
+        const std::size_t begin = ws.level_off[l];
+        const std::size_t count = ws.level_off[l + 1] - begin;
+        if (count < kParallelLevelCutoff || pool.size() <= 1) {
+            for (std::size_t i = 0; i < count; ++i) per_task(ws.level_tasks[begin + i]);
+        } else {
+            parallel_for(pool, count,
+                         [&](std::size_t i) { per_task(ws.level_tasks[begin + i]); });
+        }
+    }
+}
+
+}  // namespace
+
+void upward_rank(const Problem& problem, RankCost rc, RankWorkspace& ws,
+                 std::vector<double>& out) {
     TSCHED_SPAN("rank/upward");
     // Span above: cumulative total for forensics.  Histogram below: the
     // per-call distribution a live collector reads (DESIGN §14).
     TSCHED_OBS_PHASE("sched/phase/rank_ms");
-    const Dag& dag = problem.dag();
-    std::vector<double> rank(dag.num_tasks(), 0.0);
-    const auto order = topological_order(dag);
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const CsrAdjacency& csr = problem.dag().csr();
+    out.assign(csr.num_tasks(), 0.0);
+    topo_order_csr(csr, ws.indeg, ws.topo);
+    for (auto it = ws.topo.rbegin(); it != ws.topo.rend(); ++it) {
         const TaskId v = *it;
+        const auto succs = csr.succ_tasks(v);
+        const auto data = csr.succ_data(v);
         double best = 0.0;
-        for (const AdjEdge& e : dag.successors(v)) {
-            best = std::max(best,
-                            problem.mean_comm_data(e.data) + rank[static_cast<std::size_t>(e.task)]);
+        for (std::size_t i = 0; i < succs.size(); ++i) {
+            best = std::max(best, problem.mean_comm_data(data[i]) +
+                                      out[static_cast<std::size_t>(succs[i])]);
+        }
+        out[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
+    }
+}
+
+std::vector<double> upward_rank(const Problem& problem, RankCost rc) {
+    std::vector<double> rank;
+    upward_rank(problem, rc, tls_workspace(), rank);
+    return rank;
+}
+
+std::vector<double> upward_rank(const Problem& problem, ThreadPool& pool, RankCost rc) {
+    TSCHED_SPAN("rank/upward");
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
+    const CsrAdjacency& csr = problem.dag().csr();
+    std::vector<double> rank(csr.num_tasks(), 0.0);
+    if (csr.num_tasks() == 0) return rank;
+    RankWorkspace& ws = tls_workspace();
+    level_index_from_sinks(csr, ws);
+    run_levels(pool, ws, [&](TaskId v) {
+        const auto succs = csr.succ_tasks(v);
+        const auto data = csr.succ_data(v);
+        double best = 0.0;
+        for (std::size_t i = 0; i < succs.size(); ++i) {
+            best = std::max(best, problem.mean_comm_data(data[i]) +
+                                      rank[static_cast<std::size_t>(succs[i])]);
         }
         rank[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
-    }
+    });
     return rank;
+}
+
+void downward_rank(const Problem& problem, RankCost rc, RankWorkspace& ws,
+                   std::vector<double>& out) {
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
+    const CsrAdjacency& csr = problem.dag().csr();
+    out.assign(csr.num_tasks(), 0.0);
+    topo_order_csr(csr, ws.indeg, ws.topo);
+    for (const TaskId v : ws.topo) {
+        const auto preds = csr.pred_tasks(v);
+        const auto data = csr.pred_data(v);
+        double best = 0.0;
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            best = std::max(best, out[static_cast<std::size_t>(preds[i])] +
+                                      scalar_cost(problem, preds[i], rc) +
+                                      problem.mean_comm_data(data[i]));
+        }
+        out[static_cast<std::size_t>(v)] = best;
+    }
 }
 
 std::vector<double> downward_rank(const Problem& problem, RankCost rc) {
-    TSCHED_OBS_PHASE("sched/phase/rank_ms");
-    const Dag& dag = problem.dag();
-    std::vector<double> rank(dag.num_tasks(), 0.0);
-    for (const TaskId v : topological_order(dag)) {
-        double best = 0.0;
-        for (const AdjEdge& e : dag.predecessors(v)) {
-            best = std::max(best, rank[static_cast<std::size_t>(e.task)] +
-                                      scalar_cost(problem, e.task, rc) +
-                                      problem.mean_comm_data(e.data));
-        }
-        rank[static_cast<std::size_t>(v)] = best;
-    }
+    std::vector<double> rank;
+    downward_rank(problem, rc, tls_workspace(), rank);
     return rank;
 }
 
-std::vector<double> static_level(const Problem& problem, RankCost rc) {
+void static_level(const Problem& problem, RankCost rc, RankWorkspace& ws,
+                  std::vector<double>& out) {
     TSCHED_OBS_PHASE("sched/phase/rank_ms");
-    const Dag& dag = problem.dag();
-    std::vector<double> level(dag.num_tasks(), 0.0);
-    const auto order = topological_order(dag);
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const CsrAdjacency& csr = problem.dag().csr();
+    out.assign(csr.num_tasks(), 0.0);
+    topo_order_csr(csr, ws.indeg, ws.topo);
+    for (auto it = ws.topo.rbegin(); it != ws.topo.rend(); ++it) {
         const TaskId v = *it;
         double best = 0.0;
-        for (const AdjEdge& e : dag.successors(v)) {
-            best = std::max(best, level[static_cast<std::size_t>(e.task)]);
+        for (const TaskId s : csr.succ_tasks(v)) {
+            best = std::max(best, out[static_cast<std::size_t>(s)]);
         }
-        level[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
+        out[static_cast<std::size_t>(v)] = scalar_cost(problem, v, rc) + best;
     }
+}
+
+std::vector<double> static_level(const Problem& problem, RankCost rc) {
+    std::vector<double> level;
+    static_level(problem, rc, tls_workspace(), level);
     return level;
 }
 
@@ -90,36 +215,70 @@ std::vector<double> alap_start(const Problem& problem, RankCost rc) {
     return rank;
 }
 
-std::vector<double> optimistic_cost_table(const Problem& problem) {
+namespace {
+
+/// One OCT row: the per-(task, processor) fold, shared by every variant so
+/// the serial, workspace, and parallel tables are bit-identical.
+void oct_row(const Problem& problem, const CsrAdjacency& csr, const LinkModel& links,
+             std::size_t procs, TaskId v, std::vector<double>& oct) {
+    const auto vi = static_cast<std::size_t>(v);
+    const auto succs = csr.succ_tasks(v);
+    const auto data = csr.succ_data(v);
+    for (std::size_t pi = 0; pi < procs; ++pi) {
+        double worst_child = 0.0;
+        for (std::size_t si = 0; si < succs.size(); ++si) {
+            const auto ci = static_cast<std::size_t>(succs[si]);
+            double best_q = std::numeric_limits<double>::infinity();
+            for (std::size_t qi = 0; qi < procs; ++qi) {
+                const double via = links.comm_time(data[si], static_cast<ProcId>(pi),
+                                                   static_cast<ProcId>(qi)) +
+                                   problem.exec_time(succs[si], static_cast<ProcId>(qi)) +
+                                   oct[ci * procs + qi];
+                best_q = std::min(best_q, via);
+            }
+            worst_child = std::max(worst_child, best_q);
+        }
+        oct[vi * procs + pi] = worst_child;
+    }
+}
+
+}  // namespace
+
+void optimistic_cost_table(const Problem& problem, RankWorkspace& ws, std::vector<double>& out) {
     TSCHED_SPAN("rank/oct");
     TSCHED_OBS_PHASE("sched/phase/rank_ms");
-    const Dag& dag = problem.dag();
-    const std::size_t n = dag.num_tasks();
+    const CsrAdjacency& csr = problem.dag().csr();
+    const std::size_t n = csr.num_tasks();
+    const std::size_t procs = problem.num_procs();
+    TSCHED_COUNT_ADD("oct_cells", n * procs);
+    const LinkModel& links = problem.machine().links();
+    out.assign(n * procs, 0.0);
+    topo_order_csr(csr, ws.indeg, ws.topo);
+    for (auto it = ws.topo.rbegin(); it != ws.topo.rend(); ++it) {
+        oct_row(problem, csr, links, procs, *it, out);
+    }
+}
+
+std::vector<double> optimistic_cost_table(const Problem& problem) {
+    std::vector<double> oct;
+    optimistic_cost_table(problem, tls_workspace(), oct);
+    return oct;
+}
+
+std::vector<double> optimistic_cost_table(const Problem& problem, ThreadPool& pool) {
+    TSCHED_SPAN("rank/oct");
+    TSCHED_OBS_PHASE("sched/phase/rank_ms");
+    const CsrAdjacency& csr = problem.dag().csr();
+    const std::size_t n = csr.num_tasks();
     const std::size_t procs = problem.num_procs();
     TSCHED_COUNT_ADD("oct_cells", n * procs);
     const LinkModel& links = problem.machine().links();
     std::vector<double> oct(n * procs, 0.0);
-    const auto order = topological_order(dag);
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        const TaskId v = *it;
-        const auto vi = static_cast<std::size_t>(v);
-        for (std::size_t pi = 0; pi < procs; ++pi) {
-            double worst_child = 0.0;
-            for (const AdjEdge& e : dag.successors(v)) {
-                const auto ci = static_cast<std::size_t>(e.task);
-                double best_q = std::numeric_limits<double>::infinity();
-                for (std::size_t qi = 0; qi < procs; ++qi) {
-                    const double via = links.comm_time(e.data, static_cast<ProcId>(pi),
-                                                       static_cast<ProcId>(qi)) +
-                                       problem.exec_time(e.task, static_cast<ProcId>(qi)) +
-                                       oct[ci * procs + qi];
-                    best_q = std::min(best_q, via);
-                }
-                worst_child = std::max(worst_child, best_q);
-            }
-            oct[vi * procs + pi] = worst_child;
-        }
-    }
+    if (n == 0) return oct;
+    RankWorkspace& ws = tls_workspace();
+    level_index_from_sinks(csr, ws);
+    run_levels(pool, ws,
+               [&](TaskId v) { oct_row(problem, csr, links, procs, v, oct); });
     return oct;
 }
 

@@ -24,7 +24,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 template <typename DurationFn, typename CommFn>
 SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& duration,
               CommFn&& comm) {
-    const Dag& dag = problem.dag();
+    const CsrAdjacency& csr = problem.dag().csr();
     const PlacementTable table = build_placement_table(schedule);
     const std::size_t total = table.entries.size();
     TSCHED_COUNT_ADD("sim_events", total);
@@ -43,9 +43,9 @@ SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& dur
     // instances; +inf while some predecessor has no completed instance.
     auto data_ready = [&](TaskId v, ProcId p) {
         double ready = 0.0;
-        const auto preds = dag.predecessors(v);
+        const auto preds = csr.pred_tasks(v);
         for (std::size_t i = 0; i < preds.size(); ++i) {
-            const auto& instances = done[static_cast<std::size_t>(preds[i].task)];
+            const auto& instances = done[static_cast<std::size_t>(preds[i])];
             if (instances.empty()) return kInf;
             double best = kInf;
             for (const auto& [finish, from] : instances) {
@@ -96,11 +96,14 @@ SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& dur
     const LinkModel& links = problem.machine().links();
     for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
         const Placement& consumer = schedule.primary(static_cast<TaskId>(v));
-        for (const AdjEdge& e : dag.predecessors(static_cast<TaskId>(v))) {
+        const auto preds = csr.pred_tasks(static_cast<TaskId>(v));
+        const auto pred_data = csr.pred_data(static_cast<TaskId>(v));
+        for (std::size_t i = 0; i < preds.size(); ++i) {
             double best = kInf;
             ProcId best_from = consumer.proc;
-            for (const auto& [finish, from] : done[static_cast<std::size_t>(e.task)]) {
-                const double avail = finish + links.comm_time(e.data, from, consumer.proc);
+            for (const auto& [finish, from] : done[static_cast<std::size_t>(preds[i])]) {
+                const double avail =
+                    finish + links.comm_time(pred_data[i], from, consumer.proc);
                 if (avail < best) {
                     best = avail;
                     best_from = from;
@@ -108,7 +111,7 @@ SimResult run(const Schedule& schedule, const Problem& problem, DurationFn&& dur
             }
             if (best_from != consumer.proc) {
                 ++result.remote_messages;
-                result.comm_volume += e.data;
+                result.comm_volume += pred_data[i];
             }
         }
     }
@@ -124,14 +127,14 @@ SimResult simulate(const Schedule& schedule, const Problem& problem) {
     analysis::run_debug_checks(schedule, problem);
 #endif
     const LinkModel& links = problem.machine().links();
-    const Dag& dag = problem.dag();
+    const CsrAdjacency& csr = problem.dag().csr();
     return run(
         schedule, problem,
         [&](const auto& entry) {
             return problem.exec_time(entry.planned.task, entry.planned.proc);
         },
         [&](TaskId v, std::size_t pred_idx, ProcId from, ProcId to) {
-            return links.comm_time(dag.predecessors(v)[pred_idx].data, from, to);
+            return links.comm_time(csr.pred_data(v)[pred_idx], from, to);
         });
 }
 
@@ -141,7 +144,7 @@ SimResult simulate_noisy(const Schedule& schedule, const Problem& problem, doubl
     if (!(noise >= 0.0 && noise < 1.0)) {
         throw std::invalid_argument("simulate_noisy: noise must be in [0, 1)");
     }
-    const Dag& dag = problem.dag();
+    const CsrAdjacency& csr = problem.dag().csr();
     const LinkModel& links = problem.machine().links();
 
     // Pre-draw all factors in a fixed order so results depend only on the
@@ -154,8 +157,7 @@ SimResult simulate_noisy(const Schedule& schedule, const Problem& problem, doubl
     for (auto& f : dur_factor) f = rng.uniform(1.0 - noise, 1.0 + noise);
     std::vector<std::vector<double>> comm_factor(schedule.num_tasks());
     for (std::size_t v = 0; v < schedule.num_tasks(); ++v) {
-        const auto preds = dag.predecessors(static_cast<TaskId>(v));
-        comm_factor[v].resize(preds.size());
+        comm_factor[v].resize(csr.in_degree(static_cast<TaskId>(v)));
         for (auto& f : comm_factor[v]) f = rng.uniform(1.0 - noise, 1.0 + noise);
     }
 
@@ -166,7 +168,7 @@ SimResult simulate_noisy(const Schedule& schedule, const Problem& problem, doubl
                    dur_factor[entry.global_index];
         },
         [&](TaskId v, std::size_t pred_idx, ProcId from, ProcId to) {
-            return links.comm_time(dag.predecessors(v)[pred_idx].data, from, to) *
+            return links.comm_time(csr.pred_data(v)[pred_idx], from, to) *
                    comm_factor[static_cast<std::size_t>(v)][pred_idx];
         });
 }

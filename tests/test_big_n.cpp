@@ -1,0 +1,312 @@
+// Big-n hot-path battery (sched/timeline.hpp + the CSR scheduling path).
+//
+// Two layers of protection for the bucketed gap index:
+//  - Timeline.*: property tests that earliest_start equals a brute-force
+//    linear gap scan on randomized busy sets, with tiny block capacities so
+//    even small inputs exercise splits, block skips, and cross-block runs.
+//  - BigN.*: end-to-end determinism — every scheduler family produces a
+//    byte-identical schedule whether the builder runs the legacy linear
+//    timeline (TSCHED_LINEAR_TIMELINE=1) or the bucketed index, plus a
+//    wall-clock smoke bound on HEFT at n = 10000.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sched/timeline.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/instance.hpp"
+
+namespace tsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Timeline property tests
+// ---------------------------------------------------------------------------
+
+/// The pre-index algorithm, verbatim: walk every interval, first fitting gap
+/// wins.  This is the oracle the bucketed query must match bit-for-bit.
+double brute_force_earliest(const std::vector<BusyInterval>& busy, double ready,
+                            double duration) {
+    double gap_start = 0.0;
+    for (const BusyInterval& iv : busy) {
+        if (iv.finish <= ready) {
+            gap_start = iv.finish;
+            continue;
+        }
+        const double candidate = std::max(gap_start, ready);
+        if (candidate + duration <= iv.start) return candidate;
+        gap_start = iv.finish;
+    }
+    return std::max(gap_start, ready);
+}
+
+/// Feasible (sorted, non-overlapping) busy set: 2*count sorted draws paired
+/// up, so adjacent intervals may touch (zero gaps) or leave real gaps.
+std::vector<BusyInterval> random_busy(Rng& rng, std::size_t count) {
+    std::vector<double> points(2 * count);
+    for (double& p : points) p = rng.uniform(0.0, 100.0);
+    std::sort(points.begin(), points.end());
+    std::vector<BusyInterval> busy(count);
+    for (std::size_t i = 0; i < count; ++i) busy[i] = {points[2 * i], points[2 * i + 1]};
+    return busy;
+}
+
+/// Reference flat-order insert: before any run of equal starts.
+void reference_insert(std::vector<BusyInterval>& ref, BusyInterval iv) {
+    const auto pos = std::lower_bound(
+        ref.begin(), ref.end(), iv,
+        [](const BusyInterval& a, const BusyInterval& b) { return a.start < b.start; });
+    ref.insert(pos, iv);
+}
+
+/// Reference erase: first exact (start, finish) match in flat order.
+bool reference_erase(std::vector<BusyInterval>& ref, BusyInterval iv) {
+    for (auto it = ref.begin(); it != ref.end(); ++it) {
+        if (it->start == iv.start && it->finish == iv.finish) {
+            ref.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void expect_flat_equal(const BusyTimeline& timeline, const std::vector<BusyInterval>& ref) {
+    const auto flat = timeline.flatten();
+    ASSERT_EQ(flat.size(), ref.size());
+    ASSERT_EQ(timeline.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(flat[i].start, ref[i].start) << "interval " << i;
+        EXPECT_EQ(flat[i].finish, ref[i].finish) << "interval " << i;
+    }
+}
+
+TEST(Timeline, EarliestStartMatchesBruteForceOnRandomBusySets) {
+    Rng rng(42);
+    for (std::size_t trial = 0; trial < 200; ++trial) {
+        const std::size_t count = static_cast<std::size_t>(rng.uniform_int(0, 40));
+        const auto busy = random_busy(rng, count);
+        // Capacity 4 forces many blocks even on these small sets.
+        BusyTimeline bucketed(BusyTimeline::Mode::kBucketed, 4);
+        BusyTimeline linear(BusyTimeline::Mode::kLinear);
+        for (const BusyInterval& iv : busy) {
+            bucketed.insert(iv);
+            linear.insert(iv);
+        }
+        for (std::size_t q = 0; q < 32; ++q) {
+            const double ready = rng.uniform(-5.0, 110.0);
+            // Mix tiny gap-seeking durations with ones that only fit at the end.
+            const double duration =
+                (q % 2 == 0) ? rng.uniform(0.0, 3.0) : rng.uniform(0.0, 60.0);
+            const double expected = brute_force_earliest(busy, ready, duration);
+            EXPECT_EQ(bucketed.earliest_start(ready, duration), expected)
+                << "trial " << trial << " count " << count << " ready " << ready
+                << " duration " << duration;
+            EXPECT_EQ(linear.earliest_start(ready, duration), expected);
+        }
+    }
+}
+
+TEST(Timeline, EarliestStartExactFitAndBoundaryGaps) {
+    // Gaps of exactly the probe duration, including the gap spanning a block
+    // boundary, must be found — the screen may not reject an exact fit.
+    BusyTimeline t(BusyTimeline::Mode::kBucketed, 2);
+    const std::vector<BusyInterval> busy = {
+        {0.0, 1.0}, {3.0, 4.0}, {4.0, 6.0}, {9.0, 10.0}, {10.0, 12.0}, {15.0, 20.0}};
+    for (const BusyInterval& iv : busy) t.insert(iv);
+    EXPECT_GT(t.num_blocks(), 1u);
+    EXPECT_EQ(t.earliest_start(0.0, 2.0), 1.0);   // exact fit of the [1,3] gap
+    EXPECT_EQ(t.earliest_start(0.0, 3.0), 6.0);   // exact fit of the [6,9] gap
+    EXPECT_EQ(t.earliest_start(0.0, 3.5), 20.0);  // nothing fits: append
+    EXPECT_EQ(t.earliest_start(5.0, 1.0), 6.0);   // ready inside an interval
+    EXPECT_EQ(t.earliest_start(25.0, 1.0), 25.0); // ready past the end
+    EXPECT_EQ(t.earliest_start(0.0, 0.0), 0.0);   // zero duration fits at 0
+}
+
+TEST(Timeline, InsertEraseFlattenMatchReferenceUnderRandomOps) {
+    // Speculative-overlap regime: intervals may overlap and share starts,
+    // exactly like duplication trials on the builder.  The timeline must
+    // track a reference flat vector through every insert/erase.
+    Rng rng(7);
+    BusyTimeline t(BusyTimeline::Mode::kBucketed, 4);
+    std::vector<BusyInterval> ref;
+    for (std::size_t op = 0; op < 400; ++op) {
+        if (ref.empty() || rng.uniform() < 0.6) {
+            // Coarse grid so equal starts and exact duplicates are common.
+            const double start = static_cast<double>(rng.uniform_int(0, 20));
+            const double finish = start + static_cast<double>(rng.uniform_int(0, 10));
+            t.insert({start, finish});
+            reference_insert(ref, {start, finish});
+        } else {
+            const auto pick = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(ref.size()) - 1));
+            const BusyInterval victim = ref[pick];
+            EXPECT_TRUE(t.erase(victim));
+            EXPECT_TRUE(reference_erase(ref, victim));
+        }
+        if (op % 16 == 0) expect_flat_equal(t, ref);
+    }
+    expect_flat_equal(t, ref);
+    // Drain completely; summaries and block removal must stay consistent.
+    while (!ref.empty()) {
+        const BusyInterval victim = ref.back();
+        EXPECT_TRUE(t.erase(victim));
+        EXPECT_TRUE(reference_erase(ref, victim));
+    }
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.last_finish(), 0.0);
+}
+
+TEST(Timeline, EqualStartRunsSpanBlocks) {
+    // 24 intervals sharing one start with capacity 2: the equal-start run is
+    // guaranteed to cross several block boundaries, and erase must find the
+    // exact (start, finish) pair wherever it landed.
+    BusyTimeline t(BusyTimeline::Mode::kBucketed, 2);
+    std::vector<BusyInterval> ref;
+    for (int i = 0; i < 24; ++i) {
+        const BusyInterval iv{5.0, 5.0 + 0.25 * i};
+        t.insert(iv);
+        reference_insert(ref, iv);
+    }
+    EXPECT_GT(t.num_blocks(), 2u);
+    expect_flat_equal(t, ref);
+    Rng rng(11);
+    std::vector<BusyInterval> victims = ref;
+    rng.shuffle(victims);
+    for (const BusyInterval& iv : victims) {
+        EXPECT_TRUE(t.erase(iv));
+        EXPECT_TRUE(reference_erase(ref, iv));
+        expect_flat_equal(t, ref);
+    }
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Timeline, EraseMissingReturnsFalse) {
+    BusyTimeline t(BusyTimeline::Mode::kBucketed, 4);
+    EXPECT_FALSE(t.erase({1.0, 2.0}));
+    t.insert({1.0, 2.0});
+    EXPECT_FALSE(t.erase({1.0, 3.0}));  // same start, different finish
+    EXPECT_FALSE(t.erase({0.0, 2.0}));
+    EXPECT_TRUE(t.erase({1.0, 2.0}));
+    EXPECT_FALSE(t.erase({1.0, 2.0}));
+}
+
+TEST(Timeline, ZeroBlockCapacityThrows) {
+    EXPECT_THROW(BusyTimeline(BusyTimeline::Mode::kBucketed, 0), std::invalid_argument);
+}
+
+TEST(Timeline, DefaultModeFollowsEnvironment) {
+    const char* const var = "TSCHED_LINEAR_TIMELINE";
+    const char* old = std::getenv(var);
+    const std::string saved = old != nullptr ? old : "";
+    const bool had = old != nullptr;
+    ::setenv(var, "1", 1);
+    EXPECT_EQ(BusyTimeline::default_mode(), BusyTimeline::Mode::kLinear);
+    ::setenv(var, "0", 1);
+    EXPECT_EQ(BusyTimeline::default_mode(), BusyTimeline::Mode::kBucketed);
+    ::unsetenv(var);
+    EXPECT_EQ(BusyTimeline::default_mode(), BusyTimeline::Mode::kBucketed);
+    if (had) ::setenv(var, saved.c_str(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// BigN end-to-end battery
+// ---------------------------------------------------------------------------
+
+Problem big_instance(workload::Shape shape, std::size_t size, std::uint64_t seed) {
+    workload::InstanceParams params;
+    params.shape = shape;
+    params.size = size;
+    params.num_procs = 8;
+    params.ccr = 1.0;
+    params.beta = 0.5;
+    return workload::make_instance(params, seed);
+}
+
+void expect_identical_schedules(const Schedule& a, const Schedule& b,
+                                const std::string& label) {
+    ASSERT_EQ(a.num_tasks(), b.num_tasks()) << label;
+    ASSERT_EQ(a.num_placements(), b.num_placements()) << label;
+    for (std::size_t v = 0; v < a.num_tasks(); ++v) {
+        const auto pa = a.placements(static_cast<TaskId>(v));
+        const auto pb = b.placements(static_cast<TaskId>(v));
+        ASSERT_EQ(pa.size(), pb.size()) << label << " task " << v;
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+            ASSERT_EQ(pa[i].proc, pb[i].proc) << label << " task " << v;
+            ASSERT_EQ(pa[i].start, pb[i].start) << label << " task " << v;
+            ASSERT_EQ(pa[i].finish, pb[i].finish) << label << " task " << v;
+        }
+    }
+    EXPECT_EQ(a.makespan(), b.makespan()) << label;
+}
+
+/// Run `algo` on `problem` with the bucketed timeline (the default in this
+/// test environment) and again with TSCHED_LINEAR_TIMELINE=1; both schedules
+/// must be byte-identical.  The env var is sampled at builder construction,
+/// so flipping it between runs is race-free in this single-threaded test.
+void check_linear_bucketed_identical(const Problem& problem, const std::string& algo,
+                                     const std::string& label) {
+    const auto scheduler = make_scheduler(algo);
+    ::unsetenv("TSCHED_LINEAR_TIMELINE");
+    const Schedule bucketed = scheduler->schedule(problem);
+    ::setenv("TSCHED_LINEAR_TIMELINE", "1", 1);
+    const Schedule linear = scheduler->schedule(problem);
+    ::unsetenv("TSCHED_LINEAR_TIMELINE");
+    expect_identical_schedules(bucketed, linear, label + "/" + algo);
+}
+
+TEST(BigN, ListSchedulersLinearVsBucketedByteIdentical) {
+    const Problem layered = big_instance(workload::Shape::kLayered, 2000, 2007);
+    const Problem forkjoin = big_instance(workload::Shape::kForkJoin, 500, 2007);
+    for (const char* algo : {"heft", "cpop", "peft", "lheft"}) {
+        check_linear_bucketed_identical(layered, algo, "layered2k");
+        check_linear_bucketed_identical(forkjoin, algo, "forkjoin");
+    }
+}
+
+TEST(BigN, IlsFamilyLinearVsBucketedByteIdentical) {
+    const Problem layered = big_instance(workload::Shape::kLayered, 2000, 2007);
+    const Problem forkjoin = big_instance(workload::Shape::kForkJoin, 500, 2007);
+    for (const char* algo : {"ils", "ils-d"}) {
+        check_linear_bucketed_identical(layered, algo, "layered2k");
+        check_linear_bucketed_identical(forkjoin, algo, "forkjoin");
+    }
+}
+
+TEST(BigN, DuplicationSchedulersLinearVsBucketedByteIdentical) {
+    const Problem layered = big_instance(workload::Shape::kLayered, 2000, 2007);
+    const Problem forkjoin = big_instance(workload::Shape::kForkJoin, 500, 2007);
+    for (const char* algo : {"dsh", "btdh"}) {
+        check_linear_bucketed_identical(layered, algo, "layered2k");
+        check_linear_bucketed_identical(forkjoin, algo, "forkjoin");
+    }
+}
+
+TEST(BigN, Heft10kUnderWallClockBudget) {
+    // Smoke bound, not a benchmark: HEFT at n = 10000 must stay in the
+    // single-digit-ms class in release builds, but sanitizer/debug builds
+    // run ~10–40x slower, so the default budget is deliberately loose.  The
+    // CI fast lane pins a tighter bound via TSCHED_BIG_N_BUDGET_MS.
+    const char* env = std::getenv("TSCHED_BIG_N_BUDGET_MS");
+    const double budget_ms = env != nullptr ? std::atof(env) : 30000.0;
+    const Problem problem = big_instance(workload::Shape::kLayered, 10000, 2007);
+    const auto scheduler = make_scheduler("heft");
+    (void)scheduler->schedule(problem).makespan();  // warm-up: first-touch allocations
+    double elapsed_ms = 0.0;
+    double makespan = 0.0;
+    {
+        const Stopwatch::Scoped timer(elapsed_ms);
+        makespan = scheduler->schedule(problem).makespan();
+    }
+    EXPECT_GT(makespan, 0.0);
+    EXPECT_LT(elapsed_ms, budget_ms) << "HEFT n=10k exceeded the wall-clock budget";
+}
+
+}  // namespace
+}  // namespace tsched

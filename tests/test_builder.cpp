@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "platform/problem.hpp"
 #include "sched/builder.hpp"
@@ -237,6 +238,53 @@ TEST(Builder, FullManualScheduleValidates) {
     const auto result = validate(s, problem);
     EXPECT_TRUE(result.ok) << result.message();
     EXPECT_DOUBLE_EQ(s.makespan(), 8.0);  // task 2 remote: ready 6, +2
+}
+
+TEST(Builder, DataReadyCacheTracksCommitAndRollback) {
+    // The epoch-stamped data_ready cache must never serve a stale value:
+    // both commits and rollbacks bump the predecessor's epoch, so the ready
+    // time of a consumer changes the moment any input moves.
+    const Problem problem = fork_problem();
+    ScheduleBuilder builder(problem);
+    EXPECT_TRUE(std::isinf(builder.data_ready(2, 0)));  // pred 0 unplaced
+    EXPECT_TRUE(std::isinf(builder.data_ready(2, 0)));  // served from cache
+    builder.place(0, 0, false);
+    const double local = builder.data_ready(2, 0);
+    const double remote = builder.data_ready(2, 1);
+    EXPECT_DOUBLE_EQ(local, 2.0);   // finish 2, no comm on-proc
+    EXPECT_DOUBLE_EQ(remote, 6.0);  // + data 4 over bandwidth 1
+    EXPECT_DOUBLE_EQ(builder.data_ready(2, 1), remote);  // cached, unchanged
+
+    const auto mark = builder.checkpoint();
+    builder.place_duplicate_at(0, 1, 0.0);
+    EXPECT_DOUBLE_EQ(builder.data_ready(2, 1), 2.0);  // local duplicate wins
+    builder.rollback(mark);
+    EXPECT_DOUBLE_EQ(builder.data_ready(2, 1), remote);  // rollback re-aged cache
+}
+
+TEST(Builder, LinearTimelineEnvMatchesBucketedPlacements) {
+    // Same sequence of speculative places/rollbacks on both timeline modes;
+    // every intermediate quantity must agree exactly.
+    const Problem problem = fork_problem();
+    ::setenv("TSCHED_LINEAR_TIMELINE", "1", 1);
+    ScheduleBuilder linear(problem);
+    ::unsetenv("TSCHED_LINEAR_TIMELINE");
+    ScheduleBuilder bucketed(problem);
+    ScheduleBuilder* builders[] = {&linear, &bucketed};
+    for (ScheduleBuilder* b : builders) {
+        b->place(0, 0, true);
+        const auto mark = b->checkpoint();
+        b->place(2, 1, true);
+        b->rollback(mark);
+        b->place(1, 1, true);
+        b->place(2, 0, true);
+    }
+    EXPECT_DOUBLE_EQ(linear.current_makespan(), bucketed.current_makespan());
+    const Schedule a = std::move(linear).take();
+    const Schedule b = std::move(bucketed).take();
+    for (TaskId v = 0; v < 3; ++v) {
+        EXPECT_EQ(a.primary(v), b.primary(v)) << "task " << v;
+    }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 
 #include "graph/dag.hpp"
 
@@ -135,6 +136,82 @@ TEST(Dag, OutOfRangeAccessorsThrow) {
     EXPECT_THROW((void)dag.work(1), std::out_of_range);
     EXPECT_THROW((void)dag.successors(-1), std::out_of_range);
     EXPECT_THROW((void)dag.name(2), std::out_of_range);
+}
+
+TEST(Csr, MirrorsAdjacencyInInsertionOrder) {
+    // Edge insertion order is what the FP folds in the rank kernels see, so
+    // the CSR must reproduce it exactly in both directions.
+    Dag dag(4);
+    dag.add_edge(0, 2, 5.0);
+    dag.add_edge(0, 1, 3.0);
+    dag.add_edge(1, 3, 7.0);
+    dag.add_edge(2, 3, 9.0);
+    dag.add_edge(0, 3, 11.0);
+    const CsrAdjacency& csr = dag.csr();
+    EXPECT_EQ(csr.num_tasks(), 4u);
+    for (TaskId v = 0; v < 4; ++v) {
+        const auto& adj = dag.successors(v);
+        const auto tasks = csr.succ_tasks(v);
+        const auto data = csr.succ_data(v);
+        ASSERT_EQ(tasks.size(), adj.size()) << "task " << v;
+        ASSERT_EQ(csr.out_degree(v), adj.size());
+        for (std::size_t i = 0; i < adj.size(); ++i) {
+            EXPECT_EQ(tasks[i], adj[i].task) << "task " << v << " edge " << i;
+            EXPECT_EQ(data[i], adj[i].data) << "task " << v << " edge " << i;
+        }
+        const auto& padj = dag.predecessors(v);
+        const auto ptasks = csr.pred_tasks(v);
+        const auto pdata = csr.pred_data(v);
+        ASSERT_EQ(ptasks.size(), padj.size()) << "task " << v;
+        ASSERT_EQ(csr.in_degree(v), padj.size());
+        for (std::size_t i = 0; i < padj.size(); ++i) {
+            EXPECT_EQ(ptasks[i], padj[i].task) << "task " << v << " edge " << i;
+            EXPECT_EQ(pdata[i], padj[i].data) << "task " << v << " edge " << i;
+        }
+    }
+}
+
+TEST(Csr, CachedSnapshotIsInvalidatedByMutation) {
+    Dag dag(2);
+    dag.add_edge(0, 1, 1.0);
+    EXPECT_EQ(dag.csr().out_degree(0), 1u);
+    dag.add_edge(0, dag.add_task(), 2.0);  // mutation after csr() was taken
+    EXPECT_EQ(dag.csr().out_degree(0), 2u);
+    dag.set_edge_data(0, 1, 4.0);
+    EXPECT_DOUBLE_EQ(dag.csr().succ_data(0)[0], 4.0);
+}
+
+TEST(Csr, SnapshotStableWhileDagUnchanged) {
+    Dag dag(3);
+    dag.add_edge(0, 1, 1.0);
+    dag.add_edge(1, 2, 2.0);
+    const CsrAdjacency* first = &dag.csr();
+    EXPECT_EQ(&dag.csr(), first);  // same cached snapshot, not a rebuild
+}
+
+TEST(Csr, CopyAndAssignmentRebuildIndependentSnapshots) {
+    Dag a(3);
+    a.add_edge(0, 1, 1.0);
+    (void)a.csr();  // populate a's cache before copying
+    Dag b(a);
+    EXPECT_EQ(b.csr().out_degree(0), 1u);
+    b.add_edge(1, 2, 2.0);
+    EXPECT_EQ(b.csr().out_degree(1), 1u);
+    EXPECT_EQ(a.csr().out_degree(1), 0u);  // a's snapshot untouched by b
+    Dag c(1);
+    c = a;
+    EXPECT_EQ(c.csr().num_tasks(), 3u);
+    EXPECT_EQ(c.csr().out_degree(0), 1u);
+    Dag d(std::move(c));
+    EXPECT_EQ(d.csr().out_degree(0), 1u);
+}
+
+TEST(Csr, EmptyDagYieldsEmptySnapshot) {
+    Dag dag;
+    EXPECT_EQ(dag.csr().num_tasks(), 0u);
+    Dag one(1);
+    EXPECT_EQ(one.csr().in_degree(0), 0u);
+    EXPECT_TRUE(one.csr().succ_tasks(0).empty());
 }
 
 }  // namespace

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "core/ils.hpp"
 #include "sched/ranks.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/instance.hpp"
 
 namespace tsched {
@@ -151,6 +154,81 @@ TEST(RankCostName, Names) {
     EXPECT_STREQ(rank_cost_name(RankCost::kMedian), "median");
     EXPECT_STREQ(rank_cost_name(RankCost::kWorst), "worst");
     EXPECT_STREQ(rank_cost_name(RankCost::kBest), "best");
+}
+
+/// Wide fork-join: source -> `width` middle tasks -> sink.  The middle level
+/// exceeds the parallel cutoff (256), so the pool overloads actually run
+/// their level phases on worker threads.
+Problem wide_problem(std::size_t width) {
+    Dag dag;
+    const TaskId src = dag.add_task(1.0);
+    std::vector<TaskId> mid(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        mid[i] = dag.add_task(1.0 + static_cast<double>(i % 7));
+        dag.add_edge(src, mid[i], static_cast<double>(i % 5) + 1.0);
+    }
+    const TaskId sink = dag.add_task(2.0);
+    for (std::size_t i = 0; i < width; ++i) {
+        dag.add_edge(mid[i], sink, static_cast<double>(i % 3) + 1.0);
+    }
+    const auto links = std::make_shared<UniformLinkModel>(0.5, 2.0);
+    Machine machine = Machine::homogeneous(4, links);
+    const std::size_t n = dag.num_tasks();
+    std::vector<double> costs(n * 4);
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        costs[i] = 1.0 + static_cast<double>((i * 37) % 11);
+    }
+    return Problem(std::move(dag), std::move(machine), CostMatrix(n, 4, std::move(costs)));
+}
+
+TEST(ParallelRank, UpwardRankMatchesSerialBitForBit) {
+    const Problem p = wide_problem(600);
+    ThreadPool pool(4);
+    for (const RankCost rc :
+         {RankCost::kMean, RankCost::kMedian, RankCost::kWorst, RankCost::kBest}) {
+        const auto serial = upward_rank(p, rc);
+        const auto par = upward_rank(p, pool, rc);
+        ASSERT_EQ(serial.size(), par.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i], par[i]) << "task " << i;  // exact, not near
+        }
+    }
+}
+
+TEST(ParallelRank, OptimisticCostTableMatchesSerialBitForBit) {
+    const Problem p = wide_problem(600);
+    ThreadPool pool(4);
+    const auto serial = optimistic_cost_table(p);
+    const auto par = optimistic_cost_table(p, pool);
+    ASSERT_EQ(serial.size(), par.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], par[i]) << "entry " << i;
+    }
+}
+
+TEST(ParallelRank, SingleThreadPoolFallsBackToSerialPath) {
+    const Problem p = wide_problem(300);
+    ThreadPool pool(1);
+    const auto serial = upward_rank(p);
+    const auto par = upward_rank(p, pool);
+    EXPECT_EQ(serial, par);
+}
+
+TEST(ParallelRank, WorkspaceOverloadsReuseScratchAcrossCalls) {
+    const Problem a = chain_problem();
+    const Problem b = wide_problem(40);
+    RankWorkspace ws;
+    std::vector<double> out;
+    upward_rank(a, RankCost::kMean, ws, out);
+    EXPECT_EQ(out, upward_rank(a, RankCost::kMean));
+    upward_rank(b, RankCost::kMean, ws, out);  // workspace resized, not stale
+    EXPECT_EQ(out, upward_rank(b, RankCost::kMean));
+    downward_rank(a, RankCost::kMean, ws, out);
+    EXPECT_EQ(out, downward_rank(a, RankCost::kMean));
+    static_level(b, RankCost::kMean, ws, out);
+    EXPECT_EQ(out, static_level(b));
+    optimistic_cost_table(a, ws, out);
+    EXPECT_EQ(out, optimistic_cost_table(a));
 }
 
 }  // namespace

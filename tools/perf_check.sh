@@ -12,6 +12,14 @@
 # clone-per-candidate trial evaluation (or similar) would cause, not 10%
 # noise.  Points present in only one file are reported but never fatal, so
 # adding an algorithm or sweep size does not break the gate.
+#
+# The big-n points (n = 2000/10000/50000, rep-capped in bench_runtime) are
+# the noisiest: a single run is 3–12 reps on a possibly-contended host, and
+# the committed baseline keeps per-point minima over several quiet runs
+# (EXPERIMENTS.md §E19), so ~2–3x read-backs are normal there.  They ride
+# the same generous threshold — the gate is for order-of-magnitude
+# regressions, and CI fast-lane wall-clock bounds live in test_big_n
+# (TSCHED_BIG_N_BUDGET_MS) instead.
 set -euo pipefail
 
 if [ $# -lt 1 ] || [ $# -gt 2 ]; then
