@@ -37,16 +37,41 @@
 //                        5. LatencyHistogram percentiles of the replayed
 //                           stream sit within kMaxRelativeError of the exact
 //                           nearest-rank percentiles of the same latencies
-//                           (the obs error bound, validated on live data).
+//                           (the obs error bound, validated on live data);
+//                        6. overload semantics are deterministic: with every
+//                           computation frozen at the chaos gate, a
+//                           saturating burst's outcome sequence is a pure
+//                           function of submission order — bit-identical
+//                           across reruns and pool widths (2 vs 8 workers)
+//                           for reject-new, drop-oldest, and degrade;
+//                        7. outcome accounting balances under a
+//                           deterministic fault storm: once every future is
+//                           resolved, ok + shed + degraded + timed_out +
+//                           draining + failed == requests, and the failure
+//                           count equals the fp-keyed prediction.
 //
-// Exit status: 0 success (check included), 1 check failure, 2 usage errors.
+//   --chaos              deterministic chaos battery (serve/chaos.hpp): burst
+//                        freezes per shed policy, a deadline-expiry cascade,
+//                        an fp-keyed stall/throw/submit-fail storm, and a
+//                        drain-under-fire teardown.  Output carries no
+//                        timings, so two runs (any --threads) byte-compare
+//                        equal — tools/serve_chaos_smoke.sh gates exactly
+//                        that.
+//
+// Exit status: 0 success (check included), 1 check/chaos failure, 2 usage
+// errors.
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
@@ -54,7 +79,9 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "sched/schedule_io.hpp"
+#include "serve/chaos.hpp"
 #include "serve/replay.hpp"
+#include "serve/request.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -87,6 +114,112 @@ serve::TraceGenParams trace_params(const ServeBenchConfig& config, double repeat
     params.procs = config.procs;
     params.seed = config.seed;
     return params;
+}
+
+// ---------------------------------------------------------------------------
+// Overload / chaos helpers (check gates 6-7 and the --chaos battery).
+
+/// Materialize `count` fingerprint-distinct requests from a repeat-free
+/// trace (generation with repeat_frac 0 is already distinct; the fingerprint
+/// set makes that an invariant rather than an assumption).
+std::vector<serve::ScheduleRequest> unique_stream(const ServeBenchConfig& config,
+                                                  std::size_t count) {
+    auto params = trace_params(config, 0.0);
+    params.requests = count + 8;  // headroom against generator fp collisions
+    const auto trace = serve::generate_trace(params);
+    std::vector<serve::ScheduleRequest> out;
+    std::set<std::uint64_t> seen;
+    for (const serve::TraceRequest& tr : trace) {
+        auto request = serve::materialize(tr);
+        if (!seen.insert(serve::fingerprint_request(request)).second) continue;
+        out.push_back(std::move(request));
+        if (out.size() == count) break;
+    }
+    if (out.size() != count)
+        throw std::runtime_error("unique_stream: trace yielded fewer distinct requests");
+    return out;
+}
+
+/// "ok ok ok" — n copies of an outcome name, space-joined (expected-sequence
+/// literals for the gate bursts).
+std::string times(const char* word, std::size_t n) {
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!out.empty()) out += ' ';
+        out += word;
+    }
+    return out;
+}
+
+std::uint64_t outcome_sum(const serve::EngineStats& stats) {
+    return stats.ok + stats.shed + stats.degraded + stats.timed_out + stats.draining +
+           stats.failed;
+}
+
+struct BurstResult {
+    std::string sequence;     ///< outcome names in request order, space-joined
+    serve::EngineStats stats;  ///< read after every future resolved
+};
+
+/// Freeze the world at the chaos gate, submit the burst serially, release,
+/// gather.  While the gate is closed nothing can complete, so every
+/// admission decision is a pure function of submission order and the outcome
+/// sequence must be bit-identical across runs and pool widths.
+BurstResult run_gate_burst(ThreadPool& pool, const std::vector<serve::ScheduleRequest>& requests,
+                           serve::ShedPolicy policy, std::size_t max_inflight,
+                           std::size_t max_pending) {
+    auto chaos = std::make_shared<serve::DeterministicChaos>(
+        serve::ChaosOptions{.gate_stalls = true, .gate_all = true});
+    serve::ServeConfig cfg;
+    cfg.max_inflight = max_inflight;
+    cfg.max_pending = max_pending;
+    cfg.shed_policy = policy;
+    cfg.chaos = chaos;
+    serve::ServeEngine engine(cfg, pool);
+    std::vector<std::future<serve::ServeResult>> futures;
+    futures.reserve(requests.size());
+    for (const serve::ScheduleRequest& request : requests) futures.push_back(engine.submit(request));
+    chaos->release_stalls();
+    BurstResult out;
+    for (auto& future : futures) {
+        if (!out.sequence.empty()) out.sequence += ' ';
+        out.sequence += serve::outcome_name(future.get().outcome);
+    }
+    out.stats = engine.stats();
+    return out;
+}
+
+struct GateScenario {
+    const char* name;
+    serve::ShedPolicy policy;
+    std::size_t max_inflight;
+    std::size_t max_pending;
+    std::size_t requests;
+    std::string expect;
+};
+
+/// The three canonical saturating bursts and their exact outcome sequences.
+/// reject-new {4,4} x16: 0-3 run, 4-7 queue (promoted after release), 8-15
+/// shed.  drop-oldest: each of 8-15 evicts the oldest pending, so 4-11 shed
+/// and 12-15 survive the queue.  degrade {4,0} x8: 4-7 answered inline by
+/// the substitute algorithm.
+std::vector<GateScenario> gate_scenarios() {
+    return {
+        {"reject-new", serve::ShedPolicy::kRejectNew, 4, 4, 16,
+         times("ok", 8) + ' ' + times("shed", 8)},
+        {"drop-oldest", serve::ShedPolicy::kDropOldest, 4, 4, 16,
+         times("ok", 4) + ' ' + times("shed", 8) + ' ' + times("ok", 4)},
+        {"degrade", serve::ShedPolicy::kDegrade, 4, 0, 8,
+         times("ok", 4) + ' ' + times("degraded", 4)},
+    };
+}
+
+serve::ChaosOptions storm_options(std::uint64_t seed) {
+    return serve::ChaosOptions{.seed = seed,
+                               .stall_prob = 0.2,
+                               .stall_ms = 2.0,
+                               .throw_prob = 0.25,
+                               .submit_fail_prob = 0.15};
 }
 
 int run_sweep(const ServeBenchConfig& config) {
@@ -297,7 +430,263 @@ int run_check(const ServeBenchConfig& config) {
                   << latencies.size() << " latencies\n";
     }
 
+    // 6. Deterministic overload semantics: for each shed policy, the frozen-
+    //    gate burst's outcome sequence matches the hand-derived expectation
+    //    and is bit-identical across reruns and across pool widths (2 vs 8
+    //    workers) — admission decides while nothing can complete, so the
+    //    pool's interleaving must not leak into who gets shed.
+    {
+        const auto burst = unique_stream(config, 16);
+        ThreadPool narrow(2);
+        ThreadPool wide(8);
+        for (const GateScenario& sc : gate_scenarios()) {
+            const std::vector<serve::ScheduleRequest> requests(burst.begin(),
+                                                               burst.begin() + static_cast<std::ptrdiff_t>(sc.requests));
+            const auto first = run_gate_burst(narrow, requests, sc.policy, sc.max_inflight,
+                                              sc.max_pending);
+            const auto rerun = run_gate_burst(narrow, requests, sc.policy, sc.max_inflight,
+                                              sc.max_pending);
+            const auto cross = run_gate_burst(wide, requests, sc.policy, sc.max_inflight,
+                                              sc.max_pending);
+            if (first.sequence != sc.expect)
+                return fail(std::string(sc.name) + " burst produced [" + first.sequence +
+                            "], expected [" + sc.expect + "]");
+            if (rerun.sequence != first.sequence)
+                return fail(std::string(sc.name) + " burst is not rerun-deterministic");
+            if (cross.sequence != first.sequence)
+                return fail(std::string(sc.name) +
+                            " burst outcome sequence changed with the pool width");
+            if (outcome_sum(first.stats) != first.stats.requests)
+                return fail(std::string(sc.name) + " burst accounting is off: outcome sum " +
+                            std::to_string(outcome_sum(first.stats)) + " != " +
+                            std::to_string(first.stats.requests) + " requests");
+            if (first.stats.admission.inflight_peak > sc.max_inflight)
+                return fail(std::string(sc.name) + " burst exceeded the inflight budget: peak " +
+                            std::to_string(first.stats.admission.inflight_peak));
+        }
+        std::cout << "check: overload outcome sequences bit-identical across reruns and "
+                     "pool widths (reject-new, drop-oldest, degrade)\n";
+    }
+
+    // 7. Outcome accounting balances under a deterministic fault storm.
+    //    Faults are fp-keyed (serve/chaos.hpp rule 1), so exactly the
+    //    requests whose fingerprint is cursed with a scheduler throw or a
+    //    pool-handoff failure must fail — whether they computed, retried, or
+    //    coalesced onto the cursed computation — and everything else is ok.
+    {
+        auto chaos = std::make_shared<serve::DeterministicChaos>(storm_options(config.seed));
+        serve::ServeConfig cfg;
+        cfg.chaos = chaos;
+        serve::ServeEngine engine(cfg, pool);
+        std::vector<serve::ScheduleRequest> prepared;
+        for (const serve::TraceRequest& tr : trace) prepared.push_back(serve::materialize(tr));
+        std::size_t expect_failed = 0;
+        for (const serve::ScheduleRequest& request : prepared) {
+            const auto fp = serve::fingerprint_request(request);
+            if (chaos->will_fail_submit(fp) || chaos->will_throw(fp)) ++expect_failed;
+        }
+        std::size_t failed = 0;
+        std::size_t served = 0;
+        std::vector<std::future<serve::ServeResult>> futures;
+        for (const serve::ScheduleRequest& request : prepared) {
+            try {
+                futures.push_back(engine.submit(request));
+            } catch (const std::exception&) {
+                ++failed;  // submit-time pool failure; the future never left submit()
+            }
+        }
+        for (auto& future : futures) {
+            try {
+                (void)future.get();
+                ++served;
+            } catch (const std::exception&) {
+                ++failed;
+            }
+        }
+        const auto stats = engine.stats();
+        if (failed != expect_failed)
+            return fail("fault storm failed " + std::to_string(failed) + " requests, fp-keyed "
+                        "prediction says " + std::to_string(expect_failed));
+        if (stats.requests != prepared.size())
+            return fail("fault storm request accounting is off");
+        if (outcome_sum(stats) != stats.requests)
+            return fail("fault storm outcome sum " + std::to_string(outcome_sum(stats)) +
+                        " != " + std::to_string(stats.requests) + " requests");
+        std::cout << "check: fault storm over " << prepared.size() << " requests: " << served
+                  << " ok, " << failed << " failed (= fp-keyed prediction); "
+                     "ok+shed+degraded+timed_out+draining+failed == requests\n";
+    }
+
     std::cout << "check: OK\n";
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --chaos: the deterministic chaos battery.  Every line this prints is a
+// pure function of (algo, n, P, seed, requests) — no timings, no thread
+// counts — so tools/serve_chaos_smoke.sh can run it twice (and at different
+// --threads) and byte-compare the output.
+
+int chaos_fail(const std::string& what) {
+    std::cout << "chaos: FAIL — " << what << '\n';
+    return 1;
+}
+
+int run_chaos(const ServeBenchConfig& config) {
+    std::cout << "== serve chaos battery (" << config.algo << ", n=" << config.n << ", P="
+              << config.procs << ", seed=" << config.seed << ", " << config.requests
+              << " storm requests) ==\n";
+    ThreadPool pool(config.threads);
+
+    // 1. Burst freeze per shed policy: the frozen-gate outcome sequences.
+    {
+        const auto burst = unique_stream(config, 16);
+        for (const GateScenario& sc : gate_scenarios()) {
+            const std::vector<serve::ScheduleRequest> requests(burst.begin(),
+                                                               burst.begin() + static_cast<std::ptrdiff_t>(sc.requests));
+            const auto result = run_gate_burst(pool, requests, sc.policy, sc.max_inflight,
+                                               sc.max_pending);
+            if (result.sequence != sc.expect)
+                return chaos_fail(std::string(sc.name) + " burst produced [" + result.sequence +
+                                  "], expected [" + sc.expect + "]");
+            if (outcome_sum(result.stats) != result.stats.requests)
+                return chaos_fail(std::string(sc.name) + " burst accounting is off");
+            if (result.stats.admission.inflight_peak > sc.max_inflight)
+                return chaos_fail(std::string(sc.name) + " burst exceeded the inflight budget");
+            std::cout << "chaos: burst freeze [" << sc.name << " inflight=" << sc.max_inflight
+                      << " pending=" << sc.max_pending << "] ok=" << result.stats.ok
+                      << " shed=" << result.stats.shed << " degraded=" << result.stats.degraded
+                      << " sequence: " << result.sequence << '\n';
+        }
+    }
+
+    // 2. Deadline-expiry cascade: a 1 ns budget is blown before any dequeue,
+    //    so nothing ever starts — the runners skip at dequeue and the
+    //    promotion loop flushes the queue, all as timed_out with no schedule.
+    {
+        auto requests = unique_stream(config, 8);
+        for (serve::ScheduleRequest& request : requests) request.deadline_ms = 1e-9;
+        serve::ServeConfig cfg;
+        cfg.max_inflight = 2;
+        cfg.max_pending = 6;
+        serve::ServeEngine engine(cfg, pool);
+        std::vector<std::future<serve::ServeResult>> futures;
+        for (const serve::ScheduleRequest& request : requests)
+            futures.push_back(engine.submit(request));
+        std::size_t timed_out = 0;
+        std::size_t with_schedule = 0;
+        for (auto& future : futures) {
+            const auto result = future.get();
+            if (result.outcome == serve::ServeOutcome::kTimedOut) ++timed_out;
+            if (result.schedule) ++with_schedule;
+        }
+        if (timed_out != requests.size())
+            return chaos_fail("deadline cascade: " + std::to_string(timed_out) + "/" +
+                              std::to_string(requests.size()) + " timed out");
+        if (with_schedule != 0)
+            return chaos_fail("deadline cascade: expired work still produced a schedule");
+        const auto stats = engine.stats();
+        if (outcome_sum(stats) != stats.requests)
+            return chaos_fail("deadline cascade accounting is off");
+        std::cout << "chaos: deadline cascade [inflight=2 pending=6 deadline=1ns] timed_out="
+                  << timed_out << " with_schedule=" << with_schedule << '\n';
+    }
+
+    // 3. Fault storm over distinct fingerprints: every injection count is
+    //    predictable from the fp-keyed predicates (a submit-cursed request
+    //    never reaches compute, so its stall/throw curses never fire).
+    {
+        auto chaos = std::make_shared<serve::DeterministicChaos>(storm_options(config.seed));
+        const auto requests = unique_stream(config, config.requests);
+        std::uint64_t expect_stalls = 0;
+        std::uint64_t expect_throws = 0;
+        std::uint64_t expect_submit_failures = 0;
+        for (const serve::ScheduleRequest& request : requests) {
+            const auto fp = serve::fingerprint_request(request);
+            if (chaos->will_fail_submit(fp)) {
+                ++expect_submit_failures;
+                continue;
+            }
+            if (chaos->will_stall(fp)) ++expect_stalls;
+            if (chaos->will_throw(fp)) ++expect_throws;
+        }
+        serve::ServeConfig cfg;
+        cfg.chaos = chaos;
+        serve::ServeEngine engine(cfg, pool);
+        std::size_t failed = 0;
+        std::size_t served = 0;
+        std::vector<std::future<serve::ServeResult>> futures;
+        for (const serve::ScheduleRequest& request : requests) {
+            try {
+                futures.push_back(engine.submit(request));
+            } catch (const std::exception&) {
+                ++failed;
+            }
+        }
+        for (auto& future : futures) {
+            try {
+                (void)future.get();
+                ++served;
+            } catch (const std::exception&) {
+                ++failed;
+            }
+        }
+        const auto stats = engine.stats();
+        const auto injected = chaos->stats();
+        if (failed != expect_throws + expect_submit_failures)
+            return chaos_fail("fault storm failed " + std::to_string(failed) +
+                              " requests, expected " +
+                              std::to_string(expect_throws + expect_submit_failures));
+        if (injected.stalls != expect_stalls || injected.throws != expect_throws ||
+            injected.submit_failures != expect_submit_failures)
+            return chaos_fail("injection counters drifted from the fp-keyed prediction");
+        if (outcome_sum(stats) != stats.requests)
+            return chaos_fail("fault storm accounting is off");
+        std::cout << "chaos: fault storm [stall=0.20 throw=0.25 submit-fail=0.15] ok=" << served
+                  << " failed=" << failed << " stalls=" << injected.stalls
+                  << " throws=" << injected.throws
+                  << " submit_failures=" << injected.submit_failures << '\n';
+    }
+
+    // 4. Drain under fire: two computations parked at the gate, two queued,
+    //    four shed; drain(50 ms) flushes the queue as draining, times out on
+    //    the parked pair, and expropriates their waiters — no future leaks.
+    //    A submit after drain() resolves draining immediately.
+    {
+        auto chaos = std::make_shared<serve::DeterministicChaos>(
+            serve::ChaosOptions{.gate_stalls = true, .gate_all = true});
+        const auto requests = unique_stream(config, 9);
+        serve::ServeConfig cfg;
+        cfg.max_inflight = 2;
+        cfg.max_pending = 2;
+        cfg.chaos = chaos;
+        serve::ServeEngine engine(cfg, pool);
+        std::vector<std::future<serve::ServeResult>> futures;
+        for (std::size_t i = 0; i < 8; ++i) futures.push_back(engine.submit(requests[i]));
+        const auto report = engine.drain(50.0);
+        futures.push_back(engine.submit(requests[8]));  // admission is closed
+        std::size_t shed = 0;
+        std::size_t draining = 0;
+        for (auto& future : futures) {
+            switch (future.get().outcome) {
+                case serve::ServeOutcome::kShed: ++shed; break;
+                case serve::ServeOutcome::kDraining: ++draining; break;
+                default: return chaos_fail("drain under fire resolved an unexpected outcome");
+            }
+        }
+        chaos->release_stalls();  // let the parked closures exit before ~ServeEngine
+        if (report.clean || report.flushed_pending != 2 || report.forced_waiters != 2)
+            return chaos_fail("drain report off: clean=" + std::string(report.clean ? "yes" : "no") +
+                              " flushed_pending=" + std::to_string(report.flushed_pending) +
+                              " forced_waiters=" + std::to_string(report.forced_waiters));
+        if (shed != 4 || draining != 5)
+            return chaos_fail("drain outcomes off: shed=" + std::to_string(shed) +
+                              " draining=" + std::to_string(draining));
+        std::cout << "chaos: drain under fire [inflight=2 pending=2 timeout=50ms] clean=no "
+                     "flushed_pending=2 forced_waiters=2 shed=4 draining=5\n";
+    }
+
+    std::cout << "chaos: OK\n";
     return 0;
 }
 
@@ -308,7 +697,7 @@ int main(int argc, char** argv) {
     try {
         args.check_known({"requests", "n", "procs", "algo", "threads", "epochs", "batches",
                           "capacities", "repeat-fracs", "seed", "csv", "metrics-out", "check",
-                          "help", "version"});
+                          "chaos", "help", "version"});
     } catch (const std::exception& e) {
         std::cerr << "bench_serve: " << e.what() << '\n';
         return 2;
@@ -318,7 +707,7 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (args.has("help")) {
-        std::cout << "usage: bench_serve [--check] [--requests=N] [--n=N] [--procs=P]\n"
+        std::cout << "usage: bench_serve [--check] [--chaos] [--requests=N] [--n=N] [--procs=P]\n"
                      "                   [--algo=NAME] [--threads=T] [--epochs=E]\n"
                      "                   [--batches=a,b] [--capacities=a,b]\n"
                      "                   [--repeat-fracs=a,b] [--seed=S] [--csv=PATH]\n"
@@ -346,6 +735,7 @@ int main(int argc, char** argv) {
 
     try {
         if (args.has("check")) return run_check(config);
+        if (args.has("chaos")) return run_chaos(config);
         return run_sweep(config);
     } catch (const std::exception& e) {
         std::cerr << "bench_serve: " << e.what() << '\n';

@@ -53,6 +53,16 @@ constexpr CodeInfo kCodes[] = {
     {Code::kFaultPlanInvalid, Severity::kError, "fault plan is invalid or unsurvivable"},
     {Code::kFaultRepairInvalid, Severity::kError,
      "repair policy produced an invalid schedule"},
+    {Code::kServePendingUnreachable, Severity::kWarning,
+     "pending queue configured but admission is unbounded"},
+    {Code::kServePolicyNeedsQueue, Severity::kWarning,
+     "drop-oldest shedding with no pending queue to drop from"},
+    {Code::kServeDegradeUnknownAlgo, Severity::kError,
+     "degrade substitute algorithm is not in the scheduler registry"},
+    {Code::kServeBadDeadline, Severity::kWarning,
+     "request deadline is negative or non-finite"},
+    {Code::kServeBadDrainTimeout, Severity::kWarning,
+     "drain timeout is negative or non-finite"},
 };
 
 }  // namespace

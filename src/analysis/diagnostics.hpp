@@ -11,6 +11,7 @@
 //   TS04xx  schedule validity            (schedule lints; all errors)
 //   TS05xx  schedule quality             (schedule lints; warnings/info)
 //   TS06xx  runtime faults & repair      (fault lints; all errors)
+//   TS07xx  serving overload config      (serve lints; see serve_lints.hpp)
 //
 // Codes are append-only: a code, once shipped, never changes meaning, so
 // tooling that filters on "TS0406" keeps working across versions.  The text
@@ -78,6 +79,13 @@ enum class Code : std::uint16_t {
     // --- TS06xx: runtime faults & repair ----------------------------------
     kFaultPlanInvalid = 601,   ///< fault plan references bad ids/times or is unsurvivable
     kFaultRepairInvalid = 602, ///< repair policy produced an invalid schedule
+
+    // --- TS07xx: serving overload config ----------------------------------
+    kServePendingUnreachable = 701,  ///< pending queue configured but admission unbounded
+    kServePolicyNeedsQueue = 702,    ///< drop-oldest with no pending queue to drop from
+    kServeDegradeUnknownAlgo = 703,  ///< degrade substitute algorithm not in the registry
+    kServeBadDeadline = 704,         ///< negative or non-finite request deadline
+    kServeBadDrainTimeout = 705,     ///< negative or non-finite drain timeout
 };
 
 /// "TS0406"-style stable name.

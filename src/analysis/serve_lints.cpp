@@ -1,0 +1,52 @@
+#include "analysis/serve_lints.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+
+namespace tsched::analysis {
+
+void lint_serve_config(const serve::ServeConfig& config, double deadline_ms,
+                       Diagnostics& diags) {
+    if (config.max_inflight == 0 && config.max_pending > 0) {
+        std::ostringstream os;
+        os << "max_pending=" << config.max_pending
+           << " is unreachable: max_inflight=0 admits every request immediately, so the "
+              "pending queue can never fill";
+        diags.add(Code::kServePendingUnreachable, {}, os.str());
+    }
+    if (config.max_inflight > 0 && config.shed_policy == serve::ShedPolicy::kDropOldest &&
+        config.max_pending == 0) {
+        diags.add(Code::kServePolicyNeedsQueue, {},
+                  "shed_policy=drop-oldest with max_pending=0 has nothing to drop and "
+                  "degenerates to reject-new");
+    }
+    if (config.shed_policy == serve::ShedPolicy::kDegrade) {
+        // make_scheduler (not scheduler_names) is the authority: it also
+        // accepts ablation variants such as "heft-median".
+        try {
+            (void)make_scheduler(config.degrade_algo);
+        } catch (const std::invalid_argument&) {
+            std::ostringstream os;
+            os << "degrade_algo='" << config.degrade_algo
+               << "' is not a registered scheduler; every over-budget request would fail";
+            diags.add(Code::kServeDegradeUnknownAlgo, {}, os.str());
+        }
+    }
+    if (deadline_ms < 0.0 || !std::isfinite(deadline_ms)) {
+        std::ostringstream os;
+        os << "deadline_ms=" << deadline_ms
+           << " is not a usable budget (it means 'no deadline'); use a positive value or 0";
+        diags.add(Code::kServeBadDeadline, {}, os.str());
+    }
+    if (config.drain_timeout_ms < 0.0 || !std::isfinite(config.drain_timeout_ms)) {
+        std::ostringstream os;
+        os << "drain_timeout_ms=" << config.drain_timeout_ms
+           << " is not a usable bound (it means 'wait forever'); use a positive value or 0";
+        diags.add(Code::kServeBadDrainTimeout, {}, os.str());
+    }
+}
+
+}  // namespace tsched::analysis

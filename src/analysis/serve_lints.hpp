@@ -1,0 +1,28 @@
+// Static analysis of serving overload configuration (TS07xx).
+//
+// A ServeConfig is user input (tsched_serve flags, bench harness knobs), and
+// several knob combinations are legal to construct but nonsensical to run:
+// a pending queue behind an unbounded admission gate can never fill (TS0701),
+// drop-oldest shedding with no queue silently degenerates to reject-new
+// (TS0702), a degrade substitute that is not in the scheduler registry fails
+// every over-budget request at runtime (TS0703), and negative deadlines or
+// drain timeouts read like budgets but mean "disabled" (TS0704/TS0705).
+// The CLI surfaces these on stderr before a replay; tests pin the triggers.
+//
+// This header only reads the config's plain data — tsched_analysis includes
+// the serve headers but does not link against tsched_serve (the same
+// arrangement fault_lints.hpp has with tsched_sim).
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace tsched::analysis {
+
+/// Append a TS07xx diagnostic for every defect found in `config` (plus the
+/// caller's default request deadline, <= 0 meaning "none").  Purely
+/// additive; callers decide whether errors are fatal.
+void lint_serve_config(const serve::ServeConfig& config, double deadline_ms,
+                       Diagnostics& diags);
+
+}  // namespace tsched::analysis

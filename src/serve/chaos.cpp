@@ -1,0 +1,106 @@
+#include "serve/chaos.hpp"
+
+#include <chrono>
+
+namespace tsched::serve {
+
+namespace {
+
+/// Injection sites get distinct salts so stall/throw/submit-fail decisions
+/// for one fingerprint are independent coin flips.
+enum class Site : std::uint64_t {
+    kStall = 0x5354414c4cULL,        // "STALL"
+    kThrow = 0x5448524f57ULL,        // "THROW"
+    kSubmitFail = 0x5355424d4954ULL  // "SUBMIT"
+};
+
+/// splitmix64 finalizer over (seed, fp, site) mapped to [0, 1).  Pure and
+/// stateless by construction — see the header's rule 1.
+double keyed_uniform(std::uint64_t seed, std::uint64_t fp, Site site) noexcept {
+    std::uint64_t x = seed;
+    x ^= fp + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+    x ^= static_cast<std::uint64_t>(site) + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+DeterministicChaos::DeterministicChaos(ChaosOptions options) : options_(options) {}
+
+bool DeterministicChaos::will_stall(std::uint64_t fp) const noexcept {
+    if (options_.gate_all) return true;
+    return options_.stall_prob > 0.0 &&
+           keyed_uniform(options_.seed, fp, Site::kStall) < options_.stall_prob;
+}
+
+bool DeterministicChaos::will_throw(std::uint64_t fp) const noexcept {
+    return options_.throw_prob > 0.0 &&
+           keyed_uniform(options_.seed, fp, Site::kThrow) < options_.throw_prob;
+}
+
+bool DeterministicChaos::will_fail_submit(std::uint64_t fp) const noexcept {
+    return options_.submit_fail_prob > 0.0 &&
+           keyed_uniform(options_.seed, fp, Site::kSubmitFail) < options_.submit_fail_prob;
+}
+
+void DeterministicChaos::on_pool_submit(std::uint64_t fp) {
+    if (!will_fail_submit(fp)) return;
+    {
+        LockGuard lock(mutex_);
+        ++stats_.submit_failures;
+    }
+    throw ChaosError{};
+}
+
+void DeterministicChaos::on_compute(std::uint64_t fp) {
+    if (will_stall(fp)) {
+        UniqueLock lock(mutex_);
+        ++stats_.stalls;
+        if (options_.gate_stalls || options_.gate_all) {
+            // Parked until the harness opens the gate; no timeout so a gate
+            // the harness forgets to open shows up as a hang, not a silently
+            // shorter stall.
+            while (!released_) gate_cv_.wait(lock);
+        } else {
+            // Bounded slow-scheduler stall; release_stalls() can cut it
+            // short, so drains do not pay the full stall budget.
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::duration<double, std::milli>(options_.stall_ms);
+            while (!released_ && std::chrono::steady_clock::now() < deadline) {
+                gate_cv_.wait_for(lock, deadline - std::chrono::steady_clock::now());
+            }
+        }
+    }
+    if (will_throw(fp)) {
+        {
+            LockGuard lock(mutex_);
+            ++stats_.throws;
+        }
+        throw ChaosError{};
+    }
+}
+
+void DeterministicChaos::release_stalls() {
+    {
+        LockGuard lock(mutex_);
+        released_ = true;
+    }
+    gate_cv_.notify_all();
+}
+
+void DeterministicChaos::rearm() {
+    LockGuard lock(mutex_);
+    released_ = false;
+}
+
+ChaosStats DeterministicChaos::stats() const {
+    LockGuard lock(mutex_);
+    return stats_;
+}
+
+}  // namespace tsched::serve

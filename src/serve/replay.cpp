@@ -15,9 +15,17 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
 
     std::vector<ScheduleRequest> prepared;
     prepared.reserve(trace.size());
-    for (const TraceRequest& r : trace) prepared.push_back(materialize(r));
+    for (const TraceRequest& r : trace) {
+        prepared.push_back(materialize(r));
+        prepared.back().deadline_ms = options.deadline_ms;
+    }
 
     ServeEngine engine(options.config, pool);
+    std::uint64_t report_ok = 0;
+    std::uint64_t report_shed = 0;
+    std::uint64_t report_degraded = 0;
+    std::uint64_t report_timed_out = 0;
+    std::uint64_t report_draining = 0;
     std::vector<double> latencies;
     latencies.reserve(prepared.size() * options.epochs);
     // The histogram view of the same latencies: what a collector scraping
@@ -39,9 +47,17 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
             const std::size_t end = std::min(begin + options.batch, prepared.size());
             std::vector<ScheduleRequest> batch(prepared.begin() + static_cast<std::ptrdiff_t>(begin),
                                                prepared.begin() + static_cast<std::ptrdiff_t>(end));
-            for (const ServeResult& result : engine.run_batch(std::move(batch))) {
+            for (const ServeResult& result :
+                 engine.run_batch(std::move(batch), options.wait_budget_ms)) {
                 latencies.push_back(result.latency_ms);
                 latency_hist.record(result.latency_ms);
+                switch (result.outcome) {
+                    case ServeOutcome::kOk: ++report_ok; break;
+                    case ServeOutcome::kShed: ++report_shed; break;
+                    case ServeOutcome::kDegraded: ++report_degraded; break;
+                    case ServeOutcome::kTimedOut: ++report_timed_out; break;
+                    case ServeOutcome::kDraining: ++report_draining; break;
+                }
             }
         }
         if (live_metrics && options.metrics_per_epoch) reporter.flush();
@@ -70,6 +86,11 @@ ReplayReport replay_trace(const std::vector<TraceRequest>& trace, const ReplayOp
         report.hist_p99_ms = report.latency_hist.quantile(0.99);
         report.hist_p999_ms = report.latency_hist.quantile(0.999);
     }
+    report.ok = report_ok;
+    report.shed = report_shed;
+    report.degraded = report_degraded;
+    report.timed_out = report_timed_out;
+    report.draining = report_draining;
     report.stats = engine.stats();
     report.metrics = engine.metrics_snapshot();
     return report;

@@ -27,6 +27,14 @@ struct ReplayOptions {
     std::size_t batch = 16;  ///< requests submitted per run_batch call (>= 1)
     std::size_t epochs = 1;  ///< full passes over the stream (>= 1)
 
+    /// Per-request latency budget stamped on every replayed request
+    /// (<= 0 = no deadline); see ScheduleRequest::deadline_ms.
+    double deadline_ms = 0.0;
+    /// Per-batch wall budget for run_batch (<= 0 = wait forever); futures
+    /// not ready in time surface as synthetic kTimedOut results instead of
+    /// hanging the replay.
+    double wait_budget_ms = 0.0;
+
     /// Live telemetry during the replay: when `metrics.path` is non-empty a
     /// MetricsReporter flushes the engine's obs snapshot there — on the
     /// reporter's background interval, or (metrics_per_epoch) synchronously
@@ -57,8 +65,29 @@ struct ReplayReport {
     double hist_p99_ms = 0.0;
     double hist_p999_ms = 0.0;
     obs::HistogramSnapshot latency_hist;
+
+    // Outcome tally over the *returned results* (caller view: run_batch
+    // wait-budget timeouts count here even though the promise side may
+    // later resolve differently).  ok+shed+degraded+timed_out+draining ==
+    // requests.
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t draining = 0;
+
     EngineStats stats;  ///< engine totals at end of replay (hit rate etc.)
     obs::MetricsSnapshot metrics;  ///< engine obs document at end of replay
+
+    /// Fraction of replayed requests refused by admission control.
+    [[nodiscard]] double shed_rate() const noexcept {
+        return requests > 0 ? static_cast<double>(shed) / static_cast<double>(requests) : 0.0;
+    }
+    /// Fraction of replayed requests whose latency budget was missed.
+    [[nodiscard]] double deadline_hit_rate() const noexcept {
+        return requests > 0 ? static_cast<double>(timed_out) / static_cast<double>(requests)
+                            : 0.0;
+    }
 };
 
 /// Replay `trace` on a fresh engine over `pool`; see protocol above.

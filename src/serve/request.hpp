@@ -45,7 +45,30 @@ struct ScheduleRequest {
     std::string algo = "heft";
     /// Canonical option string (free-form, hashed into the fingerprint).
     std::string options;
+    /// Latency budget in wall milliseconds; <= 0 means no deadline.  The
+    /// deadline is *excluded from the fingerprint* on purpose: two requests
+    /// for the same (problem, algo, options) share one cached computation no
+    /// matter how patient their callers are.  The serving layer checks the
+    /// budget at dequeue (expired work is never started) and at completion
+    /// (late results resolve as kTimedOut); see serve_engine.hpp.
+    double deadline_ms = 0.0;
 };
+
+/// How the serving layer answered a request (DESIGN §16).  Anything other
+/// than kOk is an overload- or lifecycle-degraded answer; exceptions (a
+/// throwing scheduler, a failed pool handoff) propagate through the future
+/// instead of appearing here.
+enum class ServeOutcome : std::uint8_t {
+    kOk = 0,        ///< full answer (computed, coalesced, or cache hit)
+    kShed = 1,      ///< refused by the admission controller (budget exhausted)
+    kDegraded = 2,  ///< answered by the cheap substitute algorithm
+    kTimedOut = 3,  ///< deadline expired before (or by the time) the answer was ready
+    kDraining = 4,  ///< engine was shutting down; request not served
+};
+
+/// Stable lower-case name ("ok", "shed", "degraded", "timed_out",
+/// "draining") for reports and JSON.
+[[nodiscard]] const char* outcome_name(ServeOutcome outcome) noexcept;
 
 struct ServeResult {
     std::shared_ptr<const Schedule> schedule;
@@ -53,6 +76,10 @@ struct ServeResult {
     bool cache_hit = false;   ///< served from a completed cache entry
     bool coalesced = false;   ///< waited on an identical in-flight computation
     double latency_ms = 0.0;  ///< submit -> result-ready wall time
+    /// How the request was answered.  kOk and kDegraded carry a schedule;
+    /// kShed and kDraining never do; kTimedOut carries one only when the
+    /// computation finished (late) — a dequeue-time expiry never starts it.
+    ServeOutcome outcome = ServeOutcome::kOk;
 };
 
 /// Canonical fingerprint of the graph + cost matrix + machine (rules above).

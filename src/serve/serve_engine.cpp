@@ -1,5 +1,9 @@
 #include "serve/serve_engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -36,15 +40,27 @@ void debug_check_hit([[maybe_unused]] const Schedule& hit,
 }  // namespace
 
 ServeEngine::ServeEngine(ServeConfig config, ThreadPool& pool)
-    : config_(config),
+    : config_(std::move(config)),
       pool_(pool),
-      cache_(std::make_unique<ScheduleCache>(config.cache_capacity, config.cache_shards)),
+      cache_(std::make_unique<ScheduleCache>(config_.cache_capacity, config_.cache_shards)),
+      admission_(AdmissionOptions{config_.max_inflight, config_.max_pending,
+                                  config_.shed_policy, config_.enable_dedup}),
+      chaos_(config_.chaos),
       lat_total_ms_(metrics_.histogram("serve/latency/total_ms")),
       lat_queue_wait_ms_(metrics_.histogram("serve/latency/queue_wait_ms")),
       lat_cache_lookup_ms_(metrics_.histogram("serve/latency/cache_lookup_ms")),
-      lat_compute_ms_(metrics_.histogram("serve/latency/compute_ms")) {}
+      lat_compute_ms_(metrics_.histogram("serve/latency/compute_ms")),
+      lat_deadline_slack_ms_(metrics_.histogram("serve/latency/deadline_slack_ms")),
+      queue_depth_(metrics_.histogram("serve/queue_depth")) {}
 
-ServeEngine::~ServeEngine() { pool_.wait_idle(); }
+ServeEngine::~ServeEngine() {
+    // Bounded drain (config_.drain_timeout_ms; <= 0 waits forever) resolves
+    // every outstanding future, then the unbounded own-task wait guarantees
+    // no pool closure still touches `this`.  Only this engine's closures are
+    // joined — never the borrowed pool's global idle.
+    drain(config_.drain_timeout_ms);
+    wait_own_tasks();
+}
 
 const Scheduler& ServeEngine::scheduler_for(const std::string& algo) {
     LockGuard lock(schedulers_mutex_);
@@ -71,6 +87,7 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
         if (hit) {
             debug_check_hit(*hit, *request.problem);
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            ok_.fetch_add(1, std::memory_order_relaxed);
             TSCHED_COUNT("serve/served_from_cache");
             std::promise<ServeResult> ready;
             ServeResult result = make_hit(std::move(hit), fp, submitted);
@@ -82,68 +99,126 @@ std::future<ServeResult> ServeEngine::submit(ScheduleRequest request) {
         }
     }
 
-    std::promise<ServeResult> owner;
-    std::future<ServeResult> future = owner.get_future();
-    if (config_.enable_dedup) {
-        LockGuard lock(inflight_mutex_);
-        if (const auto it = inflight_.find(fp); it != inflight_.end()) {
-            coalesced_.fetch_add(1, std::memory_order_relaxed);
-            TSCHED_COUNT("serve/inflight_coalesced");
-            it->second->waiters.push_back(Waiter{std::move(owner), submitted});
-            return future;
-        }
-        // Double-check the cache under the in-flight lock: the computation
-        // this request just missed may have completed and published between
-        // the first lookup and here.  peek() keeps the raw cache counters at
-        // one operation per request.
-        if (config_.enable_cache) {
-            if (auto hit = cache_->peek(fp)) {
-                debug_check_hit(*hit, *request.problem);
-                cache_hits_.fetch_add(1, std::memory_order_relaxed);
-                TSCHED_COUNT("serve/served_from_cache");
-                ServeResult result = make_hit(std::move(hit), fp, submitted);
-#if TSCHED_OBS_ON
-                lat_total_ms_.record(result.latency_ms);
-#endif
-                owner.set_value(std::move(result));
-                return future;
-            }
-        }
-        inflight_.emplace(fp, std::make_shared<InFlight>());
+    Waiter owner;
+    owner.submitted = submitted;
+    owner.fp = fp;
+    owner.deadline_ms = request.deadline_ms;
+    std::future<ServeResult> future = owner.promise.get_future();
+
+    std::function<std::shared_ptr<const Schedule>()> peek;
+    if (config_.enable_cache) {
+        peek = [this, fp] { return cache_->peek(fp); };
     }
 
-    try {
-        pool_.submit(
-            [this, req = std::move(request), fp, own = std::move(owner), submitted]() mutable {
-                compute_and_publish(std::move(req), fp, std::move(own), submitted);
-            });
-    } catch (...) {
-        // The pool refused the work (shut down): roll back this request's
-        // in-flight registration, or later identical requests would coalesce
-        // onto an entry that no computation will ever resolve and hang.  Any
-        // waiter that coalesced in the meantime fails with the same error.
-        if (config_.enable_dedup) {
-            for (Waiter& waiter : claim_waiters(fp)) {
-                waiter.promise.set_exception(std::current_exception());
-            }
-        }
-        throw;
+    AdmitDecision decision = admission_.admit(fp, std::move(request), std::move(owner), peek);
+
+    // Shed/draining owners and drop-oldest victims first: they must resolve
+    // even if launching the admitted computation throws below.
+    resolve_shed_list(decision.to_resolve);
+
+    switch (decision.action) {
+        case AdmitAction::kRun:
+            launch_chain(decision.ticket, std::move(*decision.request), fp, submitted,
+                         /*rethrow=*/true);
+            break;
+        case AdmitAction::kCoalesced:
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/inflight_coalesced");
+            break;
+        case AdmitAction::kQueued:
+            TSCHED_COUNT("serve/queued");
+            TSCHED_OBS_RECORD_INTO(queue_depth_, static_cast<double>(decision.pending_depth));
+            break;
+        case AdmitAction::kCacheHit:
+            debug_check_hit(*decision.hit, *decision.request->problem);
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/served_from_cache");
+            resolve_ready(*decision.owner, decision.hit, /*cache_hit=*/true);
+            break;
+        case AdmitAction::kDegrade:
+            degrade_inline(std::move(*decision.request), fp, std::move(*decision.owner));
+            break;
+        case AdmitAction::kShed:
+        case AdmitAction::kDraining:
+            break;  // owner already resolved via to_resolve
     }
     return future;
 }
 
-std::vector<ServeEngine::Waiter> ServeEngine::claim_waiters(std::uint64_t fp) {
-    std::vector<Waiter> waiters;
-    LockGuard lock(inflight_mutex_);
-    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
-        waiters = std::move(it->second->waiters);
-        inflight_.erase(it);
+void ServeEngine::launch_chain(Ticket ticket, ScheduleRequest request, std::uint64_t fp,
+                               Stopwatch submitted, bool rethrow) {
+    std::exception_ptr first_error;
+    std::optional<Promoted> current;
+    current.emplace();
+    current->ticket = ticket;
+    current->fp = fp;
+    current->request = std::move(request);
+    current->submitted = submitted;
+
+    while (current) {
+        const Ticket t = current->ticket;
+        const std::uint64_t f = current->fp;
+        own_task_begin();
+        try {
+            if (chaos_) chaos_->on_pool_submit(f);
+            pool_.submit([this, t, f, req = std::move(current->request),
+                          sub = current->submitted]() mutable {
+                // The guard (not a tail call) ends the own-task scope, so an
+                // exception escaping run_computation cannot leak the count.
+                struct OwnTaskScope {
+                    ServeEngine* engine;
+                    ~OwnTaskScope() { engine->own_task_end(); }
+                } scope{this};
+                run_computation(t, std::move(req), f, sub);
+            });
+            break;  // handed off; completion drives further promotions
+        } catch (...) {
+            // The pool (or the chaos hook standing in for it) refused the
+            // work: retire the ticket so nobody can coalesce onto an entry
+            // no computation will ever resolve, fail every parked waiter
+            // with the error, and keep promoting successors — each one gets
+            // its own launch attempt.
+            own_task_end();
+            const std::exception_ptr error = std::current_exception();
+            if (!first_error) first_error = error;
+            CompleteResult done = admission_.complete(t);
+            for (Waiter& waiter : done.waiters) resolve_error(waiter, error);
+            resolve_shed_list(done.to_resolve);
+            current = std::move(done.next);
+        }
     }
-    return waiters;
+    if (rethrow && first_error) std::rethrow_exception(first_error);
 }
 
-void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
-                                      std::promise<ServeResult> owner, Stopwatch submitted) {
+void ServeEngine::run_computation(Ticket ticket, ScheduleRequest request, std::uint64_t fp,
+                                  Stopwatch submitted) {
+    // Dequeue-time deadline check: if every waiter's budget is already blown
+    // (or drain expropriated the entry), the work is never started.
+    if (admission_.skip_at_dequeue(ticket)) {
+        CompleteResult done = admission_.complete(ticket);
+        for (Waiter& waiter : done.waiters) resolve_outcome(waiter, ServeOutcome::kTimedOut);
+        finish_tail(done);
+        return;
+    }
+
+    // Bounded mode only: a twin may have computed and published while this
+    // request sat in the pending queue (pending requests do not coalesce),
+    // so re-peek before paying for a duplicate scheduler run.  Off in the
+    // default config to keep legacy cache-counter parity.
+    if (config_.max_inflight > 0 && config_.enable_cache) {
+        if (auto hit = cache_->peek(fp)) {
+            debug_check_hit(*hit, *request.problem);
+            CompleteResult done = admission_.complete(ticket);
+            for (Waiter& waiter : done.waiters) {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                TSCHED_COUNT("serve/served_from_cache");
+                resolve_ready(waiter, hit, /*cache_hit=*/true);
+            }
+            finish_tail(done);
+            return;
+        }
+    }
+
     // Submit-to-compute-start: time the owning request spent queued behind
     // the pool (plus the fingerprint/lookup prologue, which is noise next to
     // a scheduler run).
@@ -153,6 +228,7 @@ void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
     try {
         const Scheduler& scheduler = scheduler_for(request.algo);
         TSCHED_SPAN("serve/compute");
+        if (chaos_) chaos_->on_compute(fp);
 #if TSCHED_OBS_ON
         const Stopwatch compute;
         result = std::make_shared<const Schedule>(scheduler.schedule(*request.problem));
@@ -168,34 +244,199 @@ void ServeEngine::compute_and_publish(ScheduleRequest request, std::uint64_t fp,
 
     if (result && config_.enable_cache) cache_->put(fp, result);
 
-    std::vector<Waiter> waiters;
-    if (config_.enable_dedup) waiters = claim_waiters(fp);
-
-    const auto fulfill = [&](std::promise<ServeResult>& promise, const Stopwatch& clock,
-                             bool coalesced) {
+    CompleteResult done = admission_.complete(ticket);
+    for (Waiter& waiter : done.waiters) {
         if (error) {
-            promise.set_exception(error);
+            resolve_error(waiter, error);
         } else {
-            const double latency_ms = clock.elapsed_ms();
-            TSCHED_OBS_RECORD_INTO(lat_total_ms_, latency_ms);
-            promise.set_value(ServeResult{result, fp, false, coalesced, latency_ms});
+            resolve_ready(waiter, result, /*cache_hit=*/false);
         }
-    };
-    fulfill(owner, submitted, false);
-    for (Waiter& waiter : waiters) fulfill(waiter.promise, waiter.submitted, true);
+    }
+    finish_tail(done);
 }
 
-std::vector<ServeResult> ServeEngine::run_batch(std::vector<ScheduleRequest> batch) {
+void ServeEngine::degrade_inline(ScheduleRequest request, std::uint64_t fp, Waiter owner) {
+    // Stale-ok peek of the full answer first: when dedup is off the admit
+    // path never peeked, and even with dedup the publish may have landed
+    // since.  A hit here is the real answer, so it resolves kOk.
+    if (config_.enable_cache) {
+        if (auto hit = cache_->peek(fp)) {
+            debug_check_hit(*hit, *request.problem);
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/served_from_cache");
+            resolve_ready(owner, hit, /*cache_hit=*/true);
+            return;
+        }
+    }
+
+    // Substitute the cheap algorithm, computed inline on the caller's thread
+    // (bounded work, no pool budget), cached under the *degraded* request's
+    // fingerprint so repeat over-budget traffic hits instead of recomputing.
+    ScheduleRequest degraded = std::move(request);
+    degraded.algo = config_.degrade_algo;
+    const std::uint64_t degraded_fp = fingerprint_request(degraded);
+    std::shared_ptr<const Schedule> result;
+    if (config_.enable_cache) result = cache_->peek(degraded_fp);
+    if (!result) {
+        try {
+            const Scheduler& scheduler = scheduler_for(degraded.algo);
+            TSCHED_SPAN("serve/degrade_compute");
+            result = std::make_shared<const Schedule>(scheduler.schedule(*degraded.problem));
+        } catch (...) {
+            resolve_error(owner, std::current_exception());
+            return;
+        }
+        computed_.fetch_add(1, std::memory_order_relaxed);
+        TSCHED_COUNT("serve/computed");
+        if (config_.enable_cache) cache_->put(degraded_fp, result);
+    }
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    TSCHED_COUNT("serve/degraded");
+    const double latency_ms = owner.submitted.elapsed_ms();
+    TSCHED_OBS_RECORD_INTO(lat_total_ms_, latency_ms);
+    owner.promise.set_value(ServeResult{std::move(result), degraded_fp, false, false, latency_ms,
+                                        ServeOutcome::kDegraded});
+}
+
+void ServeEngine::resolve_ready(Waiter& waiter, const std::shared_ptr<const Schedule>& schedule,
+                                bool cache_hit) {
+    const double latency_ms = waiter.submitted.elapsed_ms();
+    ServeOutcome outcome = ServeOutcome::kOk;
+    if (waiter.deadline_ms > 0.0) {
+        TSCHED_OBS_RECORD_INTO(lat_deadline_slack_ms_,
+                               std::max(0.0, waiter.deadline_ms - latency_ms));
+        if (latency_ms > waiter.deadline_ms) outcome = ServeOutcome::kTimedOut;
+    }
+    if (outcome == ServeOutcome::kOk) {
+        ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        // Late completion: the answer is real but the budget is blown — the
+        // schedule is still attached (request.hpp outcome contract).
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        TSCHED_COUNT("serve/timed_out");
+    }
+    TSCHED_OBS_RECORD_INTO(lat_total_ms_, latency_ms);
+    waiter.promise.set_value(
+        ServeResult{schedule, waiter.fp, cache_hit, waiter.coalesced, latency_ms, outcome});
+}
+
+void ServeEngine::resolve_outcome(Waiter& waiter, ServeOutcome outcome) {
+    switch (outcome) {
+        case ServeOutcome::kShed:
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/shed");
+            break;
+        case ServeOutcome::kDraining:
+            draining_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/draining");
+            break;
+        case ServeOutcome::kTimedOut:
+            timed_out_.fetch_add(1, std::memory_order_relaxed);
+            TSCHED_COUNT("serve/timed_out");
+            break;
+        default:
+            break;
+    }
+    waiter.promise.set_value(ServeResult{nullptr, waiter.fp, false, waiter.coalesced,
+                                         waiter.submitted.elapsed_ms(), outcome});
+}
+
+void ServeEngine::resolve_error(Waiter& waiter, const std::exception_ptr& error) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    TSCHED_COUNT("serve/failed");
+    waiter.promise.set_exception(error);
+}
+
+void ServeEngine::resolve_shed_list(std::vector<ShedWaiter>& list) {
+    for (ShedWaiter& shed : list) resolve_outcome(shed.waiter, shed.outcome);
+    list.clear();
+}
+
+void ServeEngine::finish_tail(CompleteResult& result) {
+    resolve_shed_list(result.to_resolve);
+    if (result.next) {
+        Promoted next = std::move(*result.next);
+        launch_chain(next.ticket, std::move(next.request), next.fp, next.submitted,
+                     /*rethrow=*/false);
+    }
+}
+
+DrainReport ServeEngine::drain(double timeout_ms) {
+    DrainReport report;
+    std::vector<ShedWaiter> flushed = admission_.begin_drain();
+    report.flushed_pending = flushed.size();
+    resolve_shed_list(flushed);
+    if (!admission_.await_idle(timeout_ms)) {
+        std::vector<Waiter> forced = admission_.expropriate();
+        report.forced_waiters = forced.size();
+        report.clean = forced.empty();
+        for (Waiter& waiter : forced) resolve_outcome(waiter, ServeOutcome::kDraining);
+    }
+    return report;
+}
+
+std::vector<ServeResult> ServeEngine::run_batch(std::vector<ScheduleRequest> batch,
+                                                double wait_budget_ms) {
     std::vector<std::future<ServeResult>> futures;
     futures.reserve(batch.size());
     for (ScheduleRequest& request : batch) futures.push_back(submit(std::move(request)));
     std::vector<ServeResult> results;
     results.reserve(futures.size());
-    for (auto& future : futures) results.push_back(future.get());
+    const Stopwatch waited;
+    for (auto& future : futures) {
+        if (wait_budget_ms > 0.0) {
+            const double remaining_ms = wait_budget_ms - waited.elapsed_ms();
+            const auto budget =
+                std::chrono::duration<double, std::milli>(std::max(0.0, remaining_ms));
+            if (future.wait_for(budget) != std::future_status::ready) {
+                // Synthetic caller-side timeout: the computation still
+                // retires in the background and its promise-side accounting
+                // stands; this caller just stops waiting (fingerprint 0, no
+                // schedule).
+                ServeResult timed_out;
+                timed_out.outcome = ServeOutcome::kTimedOut;
+                timed_out.latency_ms = waited.elapsed_ms();
+                results.push_back(std::move(timed_out));
+                continue;
+            }
+        }
+        results.push_back(future.get());
+    }
     return results;
 }
 
-ServeResult ServeEngine::serve(ScheduleRequest request) { return submit(std::move(request)).get(); }
+ServeResult ServeEngine::serve(ScheduleRequest request, double wait_budget_ms) {
+    std::future<ServeResult> future = submit(std::move(request));
+    if (wait_budget_ms > 0.0) {
+        const auto budget = std::chrono::duration<double, std::milli>(wait_budget_ms);
+        if (future.wait_for(budget) != std::future_status::ready) {
+            ServeResult timed_out;
+            timed_out.outcome = ServeOutcome::kTimedOut;
+            timed_out.latency_ms = wait_budget_ms;
+            return timed_out;
+        }
+    }
+    return future.get();
+}
+
+void ServeEngine::own_task_begin() {
+    LockGuard lock(own_mutex_);
+    ++own_tasks_;
+}
+
+void ServeEngine::own_task_end() {
+    {
+        LockGuard lock(own_mutex_);
+        --own_tasks_;
+        if (own_tasks_ != 0) return;
+    }
+    own_cv_.notify_all();
+}
+
+void ServeEngine::wait_own_tasks() {
+    UniqueLock lock(own_mutex_);
+    while (own_tasks_ != 0) own_cv_.wait(lock);
+}
 
 EngineStats ServeEngine::stats() const {
     EngineStats s;
@@ -203,6 +444,13 @@ EngineStats ServeEngine::stats() const {
     s.computed = computed_.load(std::memory_order_relaxed);
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.ok = ok_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.degraded = degraded_.load(std::memory_order_relaxed);
+    s.timed_out = timed_out_.load(std::memory_order_relaxed);
+    s.draining = draining_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.admission = admission_.stats();
     s.cache = cache_->stats();
     return s;
 }
@@ -222,7 +470,16 @@ obs::MetricsSnapshot ServeEngine::metrics_snapshot() const {
     // different things (requests answered from cache vs raw cache-op hits).
     out.counters.push_back(
         {"serve/served_from_cache", {}, cache_hits_.load(std::memory_order_relaxed)});
+    out.counters.push_back({"serve/shed", {}, shed_.load(std::memory_order_relaxed)});
+    out.counters.push_back({"serve/degraded", {}, degraded_.load(std::memory_order_relaxed)});
+    out.counters.push_back({"serve/timed_out", {}, timed_out_.load(std::memory_order_relaxed)});
+    out.counters.push_back({"serve/draining", {}, draining_.load(std::memory_order_relaxed)});
+    out.counters.push_back({"serve/failed", {}, failed_.load(std::memory_order_relaxed)});
     out.gauges.push_back({"serve/hit_rate", {}, stats().hit_rate()});
+    out.gauges.push_back(
+        {"serve/inflight", {}, static_cast<double>(admission_.inflight())});
+    out.gauges.push_back(
+        {"serve/pending_depth", {}, static_cast<double>(admission_.pending_depth())});
 
     cache_->metrics_into(out);
 

@@ -10,29 +10,48 @@
 //   2. cache lookup — a hit resolves the future immediately with the cached
 //      immutable Schedule (bit-identical to the cold result: it *is* the
 //      cold result);
-//   3. miss — if an identical request is already being computed, the new
-//      request *coalesces*: it parks a promise on the in-flight entry and
-//      is resolved by the computing task ("serve/inflight_coalesced");
-//   4. otherwise the request registers itself in-flight and enqueues the
-//      computation on the pool; on completion it populates the cache and
-//      resolves every coalesced waiter.
+//   3. miss — the AdmissionController (serve/admission.hpp) decides: run
+//      now (a ticket-keyed in-flight entry is created and the computation
+//      enqueued on the pool), coalesce onto an identical in-flight entry,
+//      park in the bounded pending queue, or shed per the configured
+//      ShedPolicy; every answer carries a typed ServeOutcome;
+//   4. completion retires the ticket, publishes to the cache, resolves
+//      every waiter parked on the entry (owner included — waiters[0] *is*
+//      the owner), and promotes the next viable pending request.
 //
-// Concurrency notes (clang thread-safety checked, DESIGN §13): the in-flight
-// table has one engine-level mutex (held only for map operations, never
-// during scheduling); the cache has its own sharded locks.  Lock order is
-// inflight -> cache shard, never the reverse.  Scheduler instances are
-// resolved through core/registry once per algorithm and shared;
-// Scheduler::schedule() is const and safe to run concurrently (the metrics
-// runner already relies on this).  If handing a computation to the pool
-// fails (pool already shut down), the request's in-flight registration is
-// rolled back before the error propagates, so later identical requests
-// cannot coalesce onto an entry nobody will ever resolve.
+// Overload discipline (DESIGN §16): max_inflight bounds concurrent
+// computations, max_pending bounds the backlog, and the shed policy picks
+// who pays when both are full.  deadline_ms is enforced at dequeue (expired
+// work is never started) and at completion (late results resolve as
+// kTimedOut, still carrying the schedule).  With the default config
+// (max_inflight == 0) none of this machinery engages and serving semantics
+// are byte-for-byte the pre-overload engine's.
+//
+// Lifecycle: drain() stops admission, flushes the pending queue as
+// kDraining, waits (bounded by drain_timeout_ms; <= 0 waits forever) for
+// in-flight computations, and on timeout forcibly resolves every remaining
+// waiter as kDraining.  The destructor drains with the configured timeout
+// and then waits for *this engine's own* pool closures only — never the
+// borrowed pool's global idle, so two engines sharing a pool tear down
+// independently.
+//
+// Concurrency notes (clang thread-safety checked, DESIGN §13): all waiter /
+// pending / inflight bookkeeping lives behind the AdmissionController's
+// single inflight_mutex_; promises are always resolved *outside* that lock.
+// Lock order is inflight -> cache shard, never the reverse.  Scheduler
+// instances are resolved through core/registry once per algorithm and
+// shared; Scheduler::schedule() is const and safe to run concurrently.  If
+// handing a computation to the pool fails (pool already shut down), the
+// ticket is retired and every parked waiter fails with the pool's error
+// before it propagates, so later identical requests cannot coalesce onto an
+// entry nobody will ever resolve.
 //
 // Determinism: schedulers are pure functions of the Problem, so cache-off
 // and cache-on serving return identical schedules; with TSCHED_DEBUG_CHECKS
-// every cache hit is re-validated against the incoming request's problem,
-// making the fingerprint trust auditable (a collision would surface as a
-// validation failure).
+// every cache hit is re-validated against the incoming request's problem.
+// Under a chaos gate (serve/chaos.hpp) admission decisions during a burst
+// are a pure function of submission order, which is what makes the overload
+// batteries bit-identical across pool widths.
 #pragma once
 
 #include <atomic>
@@ -45,6 +64,8 @@
 
 #include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/admission.hpp"
+#include "serve/chaos.hpp"
 #include "serve/request.hpp"
 #include "serve/schedule_cache.hpp"
 #include "util/stopwatch.hpp"
@@ -54,10 +75,19 @@
 namespace tsched::serve {
 
 struct ServeConfig {
-    bool enable_cache = true;   ///< content-addressed result cache
-    bool enable_dedup = true;   ///< coalesce concurrent identical requests
+    bool enable_cache = true;  ///< content-addressed result cache
+    bool enable_dedup = true;  ///< coalesce concurrent identical requests
     std::size_t cache_capacity = 1024;
     std::size_t cache_shards = 8;
+
+    // --- overload protection (all off by default = legacy semantics) ---
+    std::size_t max_inflight = 0;  ///< concurrent computations; 0 = unbounded
+    std::size_t max_pending = 0;   ///< pending-queue capacity when saturated
+    ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+    std::string degrade_algo = "heft";  ///< substitute under ShedPolicy::kDegrade
+    double drain_timeout_ms = 0.0;      ///< drain()/dtor bound; <= 0 waits forever
+    /// Deterministic fault injection (tests and the chaos battery only).
+    std::shared_ptr<ChaosHook> chaos;
 };
 
 struct EngineStats {
@@ -65,13 +95,42 @@ struct EngineStats {
     std::uint64_t computed = 0;    ///< cold scheduler runs actually executed
     std::uint64_t coalesced = 0;   ///< requests resolved by an in-flight twin
     std::uint64_t cache_hits = 0;  ///< requests answered from the completed cache
-    CacheStats cache;              ///< raw cache-operation counters
+
+    // Outcome accounting: every promise resolves with exactly one of these
+    // (ok / shed / degraded / timed_out / draining) or fails (failed), so
+    // once all futures are resolved the six sum to `requests`.  The
+    // bench_serve --check accounting gate asserts exactly that.
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t draining = 0;
+    std::uint64_t failed = 0;  ///< resolved with an exception
+
+    AdmissionStats admission;  ///< queue/promotion counters, peaks
+    CacheStats cache;          ///< raw cache-operation counters
 
     /// Request-level hit rate (cache_hits / requests).
     [[nodiscard]] double hit_rate() const noexcept {
         return requests > 0 ? static_cast<double>(cache_hits) / static_cast<double>(requests)
                             : 0.0;
     }
+    /// Fraction of requests refused by the admission controller.
+    [[nodiscard]] double shed_rate() const noexcept {
+        return requests > 0 ? static_cast<double>(shed) / static_cast<double>(requests) : 0.0;
+    }
+    /// Fraction of requests whose deadline expired (at dequeue or late).
+    [[nodiscard]] double deadline_hit_rate() const noexcept {
+        return requests > 0 ? static_cast<double>(timed_out) / static_cast<double>(requests)
+                            : 0.0;
+    }
+};
+
+/// What drain() did (serving telemetry + teardown assertions).
+struct DrainReport {
+    bool clean = true;                ///< all in-flight work retired within the timeout
+    std::size_t flushed_pending = 0;  ///< pending requests resolved kDraining
+    std::size_t forced_waiters = 0;   ///< waiters forcibly resolved on timeout
 };
 
 class ServeEngine {
@@ -79,69 +138,102 @@ public:
     /// The pool is borrowed and must outlive the engine.
     ServeEngine(ServeConfig config, ThreadPool& pool);
 
-    /// Destructor waits for in-flight computations (pool.wait_idle()).
+    /// Drains with the configured drain_timeout_ms, then waits for this
+    /// engine's *own* outstanding pool closures (never the borrowed pool's
+    /// global idle).  Every future this engine handed out is resolved by
+    /// the time the destructor returns.
     ~ServeEngine();
 
     ServeEngine(const ServeEngine&) = delete;
     ServeEngine& operator=(const ServeEngine&) = delete;
 
-    /// Asynchronous entry point; the future reports the result or rethrows
-    /// the scheduler's exception.  Throws std::invalid_argument up front for
-    /// a null problem (unknown algorithm names surface through the future);
-    /// rethrows the pool's error if the pool was already shut down, after
-    /// rolling back this request's in-flight registration.
-    [[nodiscard]] std::future<ServeResult> submit(ScheduleRequest request)
-        TSCHED_EXCLUDES(inflight_mutex_);
+    /// Asynchronous entry point; the future reports the result (whose
+    /// ServeOutcome says how it was answered) or rethrows the scheduler's
+    /// exception.  Throws std::invalid_argument up front for a null problem
+    /// (unknown algorithm names surface through the future); rethrows the
+    /// pool's error if the pool was already shut down, after resolving every
+    /// parked waiter with that error.
+    [[nodiscard]] std::future<ServeResult> submit(ScheduleRequest request);
 
     /// Submit a whole batch, then block for all of it; results come back in
-    /// request order.
-    [[nodiscard]] std::vector<ServeResult> run_batch(std::vector<ScheduleRequest> batch);
+    /// request order.  `wait_budget_ms > 0` bounds the *total* wait: futures
+    /// not ready when the budget runs out yield synthetic kTimedOut results
+    /// (no schedule, fingerprint 0) instead of hanging the caller; their
+    /// computations still retire normally in the background.
+    [[nodiscard]] std::vector<ServeResult> run_batch(std::vector<ScheduleRequest> batch,
+                                                     double wait_budget_ms = 0.0);
 
-    /// Synchronous convenience: submit + get.
-    [[nodiscard]] ServeResult serve(ScheduleRequest request);
+    /// Synchronous convenience: submit + get, with the same optional wait
+    /// budget as run_batch.
+    [[nodiscard]] ServeResult serve(ScheduleRequest request, double wait_budget_ms = 0.0);
+
+    /// Stop admission (new submits resolve kDraining), flush the pending
+    /// queue, and wait up to timeout_ms (<= 0 = forever) for in-flight
+    /// computations; on timeout every still-parked waiter is resolved
+    /// kDraining so no future is ever leaked.  Idempotent.
+    DrainReport drain(double timeout_ms);
+    DrainReport drain() { return drain(config_.drain_timeout_ms); }
 
     [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
     [[nodiscard]] EngineStats stats() const;
 
     /// Full obs document for this engine (DESIGN §14): the per-request
     /// latency histograms (serve/latency/{total,queue_wait,cache_lookup,
-    /// compute}_ms — recorded only in TSCHED_OBS builds), the engine's
-    /// request counters, the cache fragment (hit rate + per-shard occupancy)
-    /// and the borrowed pool's fragment (queue depth, active workers,
-    /// task-run histogram), merged and sorted.  Each engine owns its own
-    /// MetricsRegistry, so two engines in one process never mix streams and
-    /// teardown cannot leave dangling instrument references.
+    /// compute,deadline_slack}_ms and serve/queue_depth — recorded only in
+    /// TSCHED_OBS builds), the engine's request and outcome counters, the
+    /// admission gauges (inflight, pending depth), the cache fragment and
+    /// the borrowed pool's fragment, merged and sorted.  Each engine owns
+    /// its own MetricsRegistry, so two engines in one process never mix
+    /// streams and teardown cannot leave dangling instrument references.
     [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
 private:
-    struct Waiter {
-        std::promise<ServeResult> promise;
-        Stopwatch submitted;  ///< per-request latency clock
-    };
-    struct InFlight {
-        /// Coalesced requests (not the owner).  Touched only under the
-        /// engine's inflight_mutex_ (a nested struct cannot name the outer
-        /// class's capability, so this contract is enforced at the three
-        /// access sites rather than by annotation).
-        std::vector<Waiter> waiters;
-    };
-
     /// Resolve (and memoize) a scheduler instance by registry name.
     [[nodiscard]] const Scheduler& scheduler_for(const std::string& algo)
         TSCHED_EXCLUDES(schedulers_mutex_);
 
-    void compute_and_publish(ScheduleRequest request, std::uint64_t fp,
-                             std::promise<ServeResult> owner, Stopwatch submitted)
-        TSCHED_EXCLUDES(inflight_mutex_, schedulers_mutex_);
+    /// Hand a ticket's computation to the pool; on submit failure retires
+    /// the ticket (waiters fail with the error) and keeps promoting pending
+    /// successors until one launches or the queue is empty.  Rethrows the
+    /// first error only when `rethrow` (direct submit() path).
+    void launch_chain(Ticket ticket, ScheduleRequest request, std::uint64_t fp,
+                      Stopwatch submitted, bool rethrow);
 
-    /// Detach and return fp's in-flight entry's waiters (empty when the
-    /// entry is absent, e.g. dedup disabled).
-    [[nodiscard]] std::vector<Waiter> claim_waiters(std::uint64_t fp)
-        TSCHED_EXCLUDES(inflight_mutex_);
+    /// Pool-side body: dequeue deadline check, bounded-mode cache re-peek,
+    /// chaos hooks, scheduler run, publish, retire, promote.
+    void run_computation(Ticket ticket, ScheduleRequest request, std::uint64_t fp,
+                         Stopwatch submitted) TSCHED_EXCLUDES(schedulers_mutex_);
+
+    /// Answer an over-budget request inline on the caller's thread: stale-ok
+    /// cache peek of the original fingerprint, then the degrade algorithm
+    /// (cached under the *degraded* request's fingerprint).  Never consumes
+    /// pool budget.
+    void degrade_inline(ScheduleRequest request, std::uint64_t fp, Waiter owner)
+        TSCHED_EXCLUDES(schedulers_mutex_);
+
+    // Promise-resolution helpers; each resolves exactly one waiter, outside
+    // every lock, and does the outcome accounting.
+    void resolve_ready(Waiter& waiter, const std::shared_ptr<const Schedule>& schedule,
+                       bool cache_hit);
+    void resolve_outcome(Waiter& waiter, ServeOutcome outcome);
+    void resolve_error(Waiter& waiter, const std::exception_ptr& error);
+    void resolve_shed_list(std::vector<ShedWaiter>& list);
+
+    /// Resolve a CompleteResult's tail: dequeue-expired pendings, then
+    /// launch the promoted successor (if any).
+    void finish_tail(CompleteResult& result);
+
+    // Own-task accounting: the destructor joins exactly the closures this
+    // engine put on the borrowed pool, nothing else.
+    void own_task_begin() TSCHED_EXCLUDES(own_mutex_);
+    void own_task_end() TSCHED_EXCLUDES(own_mutex_);
+    void wait_own_tasks() TSCHED_EXCLUDES(own_mutex_);
 
     ServeConfig config_;
     ThreadPool& pool_;
     std::unique_ptr<ScheduleCache> cache_;
+    AdmissionController admission_;
+    std::shared_ptr<ChaosHook> chaos_;  ///< copy of config_.chaos (hot-path load)
 
     // Engine-local instrument registry plus cached references into it (the
     // references stay valid for the registry's lifetime, metrics.hpp), so
@@ -152,19 +244,27 @@ private:
     obs::LatencyHistogram& lat_queue_wait_ms_;
     obs::LatencyHistogram& lat_cache_lookup_ms_;
     obs::LatencyHistogram& lat_compute_ms_;
-
-    Mutex inflight_mutex_;
-    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_
-        TSCHED_GUARDED_BY(inflight_mutex_);
+    obs::LatencyHistogram& lat_deadline_slack_ms_;
+    obs::LatencyHistogram& queue_depth_;
 
     Mutex schedulers_mutex_;
     std::unordered_map<std::string, SchedulerPtr> schedulers_
         TSCHED_GUARDED_BY(schedulers_mutex_);
 
+    Mutex own_mutex_;
+    CondVar own_cv_;
+    std::size_t own_tasks_ TSCHED_GUARDED_BY(own_mutex_) = 0;
+
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<std::uint64_t> computed_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
+    std::atomic<std::uint64_t> ok_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> degraded_{0};
+    std::atomic<std::uint64_t> timed_out_{0};
+    std::atomic<std::uint64_t> draining_{0};
+    std::atomic<std::uint64_t> failed_{0};
 };
 
 }  // namespace tsched::serve

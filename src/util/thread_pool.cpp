@@ -75,6 +75,22 @@ void ThreadPool::wait_idle() {
     while (!queue_.empty() || active_ != 0) idle_cv_.wait(lock);
 }
 
+bool ThreadPool::wait_idle_for(double timeout_ms) {
+    if (timeout_ms <= 0.0) {
+        wait_idle();
+        return true;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double, std::milli>(timeout_ms);
+    UniqueLock lock(mutex_);
+    while (!queue_.empty() || active_ != 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        idle_cv_.wait_for(lock, deadline - now);
+    }
+    return true;
+}
+
 PoolMetrics ThreadPool::metrics() const {
     PoolMetrics out;
     out.workers = workers_.size();

@@ -69,6 +69,13 @@ public:
     /// Block until all currently enqueued tasks finish.
     void wait_idle() TSCHED_EXCLUDES(mutex_);
 
+    /// Bounded wait_idle: true if the pool went idle within `timeout_ms`,
+    /// false on timeout (work still queued or running).  `timeout_ms <= 0`
+    /// degenerates to wait_idle() and always returns true.  This is the
+    /// drain hook shutdown sequencing builds on (ServeEngine::drain bounds
+    /// its teardown with it instead of blocking forever on a wedged task).
+    [[nodiscard]] bool wait_idle_for(double timeout_ms) TSCHED_EXCLUDES(mutex_);
+
     /// Snapshot of queue depth, worker occupancy, and task-run timings.
     [[nodiscard]] PoolMetrics metrics() const TSCHED_EXCLUDES(mutex_);
 

@@ -7,6 +7,7 @@
 #include "analysis/diagnostics.hpp"
 #include "analysis/problem_lints.hpp"
 #include "analysis/schedule_lints.hpp"
+#include "analysis/serve_lints.hpp"
 #include "sched/validate.hpp"
 #include "util/rng.hpp"
 #include "workload/costs.hpp"
@@ -69,8 +70,18 @@ TEST(Diagnostics, ValidityCodesDefaultToError) {
         if (value >= 500 && value < 600) {
             EXPECT_NE(default_severity(code), Severity::kError) << code_name(code);
         }
-        if (value >= 600) {
+        if (value >= 600 && value < 700) {
             EXPECT_EQ(default_severity(code), Severity::kError) << code_name(code);
+        }
+        // TS07xx serve-config lints are warnings (odd but runnable knob
+        // combinations) except the unknown degrade algorithm, which fails
+        // every over-budget request at runtime.
+        if (value >= 700 && value < 800) {
+            if (code == Code::kServeDegradeUnknownAlgo) {
+                EXPECT_EQ(default_severity(code), Severity::kError) << code_name(code);
+            } else {
+                EXPECT_EQ(default_severity(code), Severity::kWarning) << code_name(code);
+            }
         }
     }
 }
@@ -546,6 +557,77 @@ TEST(ValidateShim, DuplicatePlacementsOnOneProcessorStayValid) {
     s.add(0, 0, 3.0, 6.0);
     s.add(1, 0, 6.0, 9.0);
     EXPECT_TRUE(validate(s, problem).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Serving overload-config lints (TS07xx, analysis/serve_lints.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(ServeLints, DefaultConfigIsClean) {
+    Diagnostics diags;
+    lint_serve_config(serve::ServeConfig{}, /*deadline_ms=*/0.0, diags);
+    EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(ServeLints, BoundedConfigWithSaneKnobsIsClean) {
+    serve::ServeConfig config;
+    config.max_inflight = 8;
+    config.max_pending = 16;
+    config.shed_policy = serve::ShedPolicy::kDegrade;
+    config.degrade_algo = "heft";
+    config.drain_timeout_ms = 500.0;
+    Diagnostics diags;
+    lint_serve_config(config, /*deadline_ms=*/100.0, diags);
+    EXPECT_TRUE(diags.empty()) << render_text(diags);
+}
+
+TEST(ServeLints, PendingQueueBehindUnboundedAdmissionIsUnreachable) {
+    serve::ServeConfig config;
+    config.max_pending = 16;  // max_inflight stays 0: the queue can never fill
+    Diagnostics diags;
+    lint_serve_config(config, 0.0, diags);
+    EXPECT_TRUE(has_code(diags, Code::kServePendingUnreachable));
+    EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ServeLints, DropOldestWithNoQueueDegeneratesToRejectNew) {
+    serve::ServeConfig config;
+    config.max_inflight = 4;
+    config.max_pending = 0;
+    config.shed_policy = serve::ShedPolicy::kDropOldest;
+    Diagnostics diags;
+    lint_serve_config(config, 0.0, diags);
+    EXPECT_TRUE(has_code(diags, Code::kServePolicyNeedsQueue));
+}
+
+TEST(ServeLints, UnknownDegradeAlgorithmIsAnError) {
+    serve::ServeConfig config;
+    config.shed_policy = serve::ShedPolicy::kDegrade;
+    config.degrade_algo = "no-such-scheduler";
+    Diagnostics diags;
+    lint_serve_config(config, 0.0, diags);
+    EXPECT_TRUE(has_code(diags, Code::kServeDegradeUnknownAlgo));
+    EXPECT_TRUE(diags.has_errors());
+    // Ablation variants resolve through make_scheduler even though they are
+    // not in scheduler_names(); they must not be flagged.
+    config.degrade_algo = "heft-median";
+    Diagnostics variant;
+    lint_serve_config(config, 0.0, variant);
+    EXPECT_FALSE(has_code(variant, Code::kServeDegradeUnknownAlgo)) << render_text(variant);
+}
+
+TEST(ServeLints, NegativeOrNonFiniteBudgetsWarn) {
+    serve::ServeConfig config;
+    config.drain_timeout_ms = -1.0;
+    Diagnostics diags;
+    lint_serve_config(config, /*deadline_ms=*/-5.0, diags);
+    EXPECT_TRUE(has_code(diags, Code::kServeBadDeadline));
+    EXPECT_TRUE(has_code(diags, Code::kServeBadDrainTimeout));
+    config.drain_timeout_ms = std::numeric_limits<double>::quiet_NaN();
+    Diagnostics nan_diags;
+    lint_serve_config(config, std::numeric_limits<double>::infinity(), nan_diags);
+    EXPECT_TRUE(has_code(nan_diags, Code::kServeBadDeadline));
+    EXPECT_TRUE(has_code(nan_diags, Code::kServeBadDrainTimeout));
 }
 
 }  // namespace

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <set>
 #include <thread>
@@ -22,6 +24,7 @@
 #include "obs/obs.hpp"
 #include "platform/problem.hpp"
 #include "sched/schedule_io.hpp"
+#include "serve/chaos.hpp"
 #include "serve/replay.hpp"
 #include "serve/request.hpp"
 #include "serve/request_trace.hpp"
@@ -594,6 +597,394 @@ TEST(ServeEngineStress, MixedRepeatAndUniqueClientsGetCorrectResults) {
         const auto replayed = engine.serve(std::move(request));
         EXPECT_TRUE(replayed.cache_hit) << work;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Overload protection: admission control, shed policies, deadlines, drain
+// (serve/admission.hpp, serve/chaos.hpp; DESIGN §16).  Suite names matter
+// here: the CI TSan leg filters on ServeEngine*, so every suite below runs
+// under TSan too.  Any test that parks computations at a chaos gate MUST
+// release_stalls() before its engine leaves scope — the destructor's
+// own-task wait is unbounded by design.
+
+std::shared_ptr<serve::DeterministicChaos> make_gate() {
+    serve::ChaosOptions options;
+    options.gate_stalls = true;
+    options.gate_all = true;
+    return std::make_shared<serve::DeterministicChaos>(options);
+}
+
+serve::ServeConfig overload_config(serve::ShedPolicy policy, std::size_t max_inflight,
+                                   std::size_t max_pending,
+                                   std::shared_ptr<serve::ChaosHook> chaos) {
+    serve::ServeConfig config;
+    config.max_inflight = max_inflight;
+    config.max_pending = max_pending;
+    config.shed_policy = policy;
+    config.chaos = std::move(chaos);
+    return config;
+}
+
+/// `count` fingerprint-distinct requests (distinct fork work).
+std::vector<serve::ScheduleRequest> unique_burst(std::size_t count) {
+    std::vector<serve::ScheduleRequest> out;
+    for (std::size_t i = 0; i < count; ++i) {
+        auto request = make_request();
+        request.problem = make_problem(50.0 + static_cast<double>(i));
+        out.push_back(std::move(request));
+    }
+    return out;
+}
+
+std::uint64_t outcome_total(const serve::EngineStats& stats) {
+    return stats.ok + stats.shed + stats.degraded + stats.timed_out + stats.draining +
+           stats.failed;
+}
+
+/// Spin until `count` computations are parked at the chaos gate.  Bounded,
+/// so a regression shows up as a failed EXPECT instead of a hung test.
+[[nodiscard]] bool await_stalled(serve::DeterministicChaos& chaos, std::uint64_t count) {
+    for (int i = 0; i < 50000; ++i) {
+        if (chaos.stats().stalls >= count) return true;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return false;
+}
+
+TEST(RequestFingerprint, DeadlineIsExcludedFromTheFingerprint) {
+    auto plain = make_request();
+    auto dated = make_request();
+    dated.deadline_ms = 125.0;
+    EXPECT_EQ(serve::fingerprint_request(plain), serve::fingerprint_request(dated));
+}
+
+TEST(ServeEngineOverload, OutcomeNamesAndShedPolicyNamesRoundTrip) {
+    EXPECT_STREQ(serve::outcome_name(serve::ServeOutcome::kOk), "ok");
+    EXPECT_STREQ(serve::outcome_name(serve::ServeOutcome::kShed), "shed");
+    EXPECT_STREQ(serve::outcome_name(serve::ServeOutcome::kDegraded), "degraded");
+    EXPECT_STREQ(serve::outcome_name(serve::ServeOutcome::kTimedOut), "timed_out");
+    EXPECT_STREQ(serve::outcome_name(serve::ServeOutcome::kDraining), "draining");
+    for (const auto policy : {serve::ShedPolicy::kRejectNew, serve::ShedPolicy::kDropOldest,
+                              serve::ShedPolicy::kDegrade}) {
+        EXPECT_EQ(serve::shed_policy_from_name(serve::shed_policy_name(policy)), policy);
+    }
+    EXPECT_FALSE(serve::shed_policy_from_name("bogus").has_value());
+}
+
+TEST(ServeEngineOverload, RejectNewShedsBeyondBudgetAndQueue) {
+    // Freeze the world at the gate, saturate {inflight=2, pending=2} with 8
+    // distinct requests: 0-1 run, 2-3 queue, 4-7 shed.  After release the
+    // queued pair is promoted and completes ok.
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeEngine engine(
+        overload_config(serve::ShedPolicy::kRejectNew, 2, 2, gate), pool);
+    auto requests = unique_burst(8);
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (auto& request : requests) futures.push_back(engine.submit(std::move(request)));
+    gate->release_stalls();
+    std::vector<serve::ServeOutcome> outcomes;
+    for (auto& future : futures) {
+        const auto result = future.get();
+        outcomes.push_back(result.outcome);
+        if (result.outcome == serve::ServeOutcome::kOk) {
+            EXPECT_NE(result.schedule, nullptr);
+        } else {
+            EXPECT_EQ(result.schedule, nullptr);  // shed answers carry no schedule
+        }
+    }
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(outcomes[i], serve::ServeOutcome::kOk) << i;
+    for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(outcomes[i], serve::ServeOutcome::kShed) << i;
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.ok, 4u);
+    EXPECT_EQ(stats.shed, 4u);
+    EXPECT_EQ(outcome_total(stats), stats.requests);
+    EXPECT_LE(stats.admission.inflight_peak, 2u);
+    EXPECT_EQ(stats.admission.queued, 2u);
+    EXPECT_EQ(stats.admission.promoted, 2u);
+}
+
+TEST(ServeEngineOverload, DropOldestEvictsTheOldestPendingRequest) {
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeEngine engine(
+        overload_config(serve::ShedPolicy::kDropOldest, 2, 2, gate), pool);
+    auto requests = unique_burst(8);
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (auto& request : requests) futures.push_back(engine.submit(std::move(request)));
+    gate->release_stalls();
+    std::vector<serve::ServeOutcome> outcomes;
+    for (auto& future : futures) outcomes.push_back(future.get().outcome);
+    // 0-1 run; 2-3 queue; 4 evicts 2, 5 evicts 3, 6 evicts 4, 7 evicts 5 —
+    // the queue ends holding the *newest* arrivals {6, 7}.
+    const std::vector<serve::ServeOutcome> expect = {
+        serve::ServeOutcome::kOk,   serve::ServeOutcome::kOk,
+        serve::ServeOutcome::kShed, serve::ServeOutcome::kShed,
+        serve::ServeOutcome::kShed, serve::ServeOutcome::kShed,
+        serve::ServeOutcome::kOk,   serve::ServeOutcome::kOk};
+    EXPECT_EQ(outcomes, expect);
+    const auto stats = engine.stats();
+    EXPECT_EQ(outcome_total(stats), stats.requests);
+}
+
+TEST(ServeEngineOverload, DegradeAnswersInlineWithTheSubstituteAlgorithm) {
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    auto config = overload_config(serve::ShedPolicy::kDegrade, 2, 0, gate);
+    config.degrade_algo = "heft";
+    serve::ServeEngine engine(config, pool);
+    auto requests = unique_burst(6);
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (auto& request : requests) futures.push_back(engine.submit(std::move(request)));
+    gate->release_stalls();
+    std::vector<serve::ServeOutcome> outcomes;
+    for (auto& future : futures) {
+        const auto result = future.get();
+        outcomes.push_back(result.outcome);
+        // Degraded answers are real schedules, just from the cheap algorithm.
+        EXPECT_NE(result.schedule, nullptr);
+    }
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(outcomes[i], serve::ServeOutcome::kOk) << i;
+    for (std::size_t i = 2; i < 6; ++i)
+        EXPECT_EQ(outcomes[i], serve::ServeOutcome::kDegraded) << i;
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.ok, 2u);
+    EXPECT_EQ(stats.degraded, 4u);
+    EXPECT_EQ(outcome_total(stats), stats.requests);
+}
+
+TEST(ServeEngineDeadline, ExpiredPendingRequestIsNeverStarted) {
+    // A queued request whose 1 ns budget is long blown by promotion time is
+    // flushed as timed_out without ever reaching a scheduler.
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeEngine engine(
+        overload_config(serve::ShedPolicy::kRejectNew, 1, 4, gate), pool);
+    auto requests = unique_burst(2);
+    requests[1].deadline_ms = 1e-9;
+    auto runner = engine.submit(std::move(requests[0]));
+    auto doomed = engine.submit(std::move(requests[1]));
+    gate->release_stalls();
+    EXPECT_EQ(runner.get().outcome, serve::ServeOutcome::kOk);
+    const auto result = doomed.get();
+    EXPECT_EQ(result.outcome, serve::ServeOutcome::kTimedOut);
+    EXPECT_EQ(result.schedule, nullptr);  // never started, so no answer
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.computed, 1u);  // only the runner ever reached a scheduler
+    EXPECT_EQ(stats.timed_out, 1u);
+    EXPECT_EQ(outcome_total(stats), stats.requests);
+}
+
+TEST(ServeEngineDeadline, LateCompletionResolvesTimedOutWithTheSchedule) {
+    // The computation is held at the gate until the 250 ms budget is blown;
+    // the late result resolves kTimedOut but still carries the schedule
+    // (request.hpp outcome contract).
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeConfig config;
+    config.chaos = gate;
+    serve::ServeEngine engine(config, pool);
+    auto request = make_request();
+    request.deadline_ms = 250.0;
+    const Stopwatch clock;
+    auto future = engine.submit(std::move(request));
+    ASSERT_TRUE(await_stalled(*gate, 1));  // dequeue check passed; now parked
+    while (clock.elapsed_ms() < 300.0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    gate->release_stalls();
+    const auto result = future.get();
+    EXPECT_EQ(result.outcome, serve::ServeOutcome::kTimedOut);
+    EXPECT_NE(result.schedule, nullptr);
+    EXPECT_GT(result.latency_ms, 250.0);
+    EXPECT_EQ(engine.stats().timed_out, 1u);
+}
+
+TEST(ServeEngine, WaitBudgetYieldsSyntheticTimeoutsInsteadOfHanging) {
+    // run_batch/serve stop waiting when the budget runs out; the parked
+    // computations still retire normally once the gate opens, so the
+    // engine-side accounting ends at ok=3 with no timed_out.
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeConfig config;
+    config.chaos = gate;
+    serve::ServeEngine engine(config, pool);
+    const auto results = engine.run_batch(unique_burst(2), /*wait_budget_ms=*/30.0);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& result : results) {
+        EXPECT_EQ(result.outcome, serve::ServeOutcome::kTimedOut);
+        EXPECT_EQ(result.schedule, nullptr);
+        EXPECT_EQ(result.fingerprint, 0u);  // synthetic: the caller gave up
+    }
+    auto one = make_request();
+    one.problem = make_problem(99.5);
+    const auto gave_up = engine.serve(std::move(one), /*wait_budget_ms=*/20.0);
+    EXPECT_EQ(gave_up.outcome, serve::ServeOutcome::kTimedOut);
+    gate->release_stalls();
+    (void)engine.drain(/*timeout_ms=*/0.0);  // wait for the real completions
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.ok, 3u);
+    EXPECT_EQ(stats.timed_out, 0u);  // synthetic timeouts are caller-side only
+}
+
+TEST(ServeEngineDrain, FlushesPendingRefusesNewAndForcesStuckWaiters) {
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeEngine engine(
+        overload_config(serve::ShedPolicy::kRejectNew, 1, 2, gate), pool);
+    auto requests = unique_burst(4);
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (auto& request : requests) futures.push_back(engine.submit(std::move(request)));
+    // 0 runs (parked at the gate), 1-2 queue, 3 shed.
+    const auto report = engine.drain(/*timeout_ms=*/40.0);
+    EXPECT_FALSE(report.clean);
+    EXPECT_EQ(report.flushed_pending, 2u);  // 1-2 flushed as draining
+    EXPECT_EQ(report.forced_waiters, 1u);   // 0 expropriated on timeout
+    // Admission is closed: new submits resolve kDraining immediately.
+    auto late = make_request();
+    late.problem = make_problem(123.0);
+    EXPECT_EQ(engine.serve(std::move(late)).outcome, serve::ServeOutcome::kDraining);
+    EXPECT_EQ(futures[0].get().outcome, serve::ServeOutcome::kDraining);
+    EXPECT_EQ(futures[1].get().outcome, serve::ServeOutcome::kDraining);
+    EXPECT_EQ(futures[2].get().outcome, serve::ServeOutcome::kDraining);
+    EXPECT_EQ(futures[3].get().outcome, serve::ServeOutcome::kShed);
+    gate->release_stalls();  // let the parked closure exit before ~ServeEngine
+    const auto stats = engine.stats();
+    EXPECT_EQ(stats.draining, 4u);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(outcome_total(stats), stats.requests);
+}
+
+TEST(ServeEngineDrain, CleanDrainRetiresInflightWorkAndReportsClean) {
+    ThreadPool pool(2);
+    serve::ServeEngine engine(serve::ServeConfig{}, pool);
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (auto& request : unique_burst(4)) futures.push_back(engine.submit(std::move(request)));
+    const auto report = engine.drain(/*timeout_ms=*/0.0);  // wait forever
+    EXPECT_TRUE(report.clean);
+    EXPECT_EQ(report.forced_waiters, 0u);
+    for (auto& future : futures) EXPECT_EQ(future.get().outcome, serve::ServeOutcome::kOk);
+    // Idempotent: a second drain has nothing left to do.
+    const auto again = engine.drain(/*timeout_ms=*/0.0);
+    EXPECT_TRUE(again.clean);
+    EXPECT_EQ(again.flushed_pending, 0u);
+}
+
+TEST(ServeEngineDrain, DestructorDoesNotWaitOnOtherEnginesPoolTasks) {
+    // Two engines share one pool; engine A's computation is parked at a
+    // chaos gate.  Engine B must tear down promptly anyway — the destructor
+    // joins this engine's *own* closures, never the pool's global idle.
+    // (Before the own-task fix, B's destructor hung here forever.)
+    ThreadPool pool(2);
+    auto gate = make_gate();
+    serve::ServeConfig gated;
+    gated.chaos = gate;
+    serve::ServeEngine stuck(gated, pool);
+    auto parked = stuck.submit(make_request());
+    ASSERT_TRUE(await_stalled(*gate, 1));
+    {
+        serve::ServeEngine prompt(serve::ServeConfig{}, pool);
+        auto request = make_request();
+        request.problem = make_problem(77.0);
+        const auto result = prompt.serve(std::move(request));
+        EXPECT_EQ(result.outcome, serve::ServeOutcome::kOk);
+        EXPECT_NE(result.schedule, nullptr);
+    }  // ~prompt returns while `stuck`'s computation is still parked
+    gate->release_stalls();
+    EXPECT_EQ(parked.get().outcome, serve::ServeOutcome::kOk);
+}
+
+TEST(ServeEngineStress, CoalescedWaitersAndThrowingComputationSurviveDrainRace) {
+    // N identical requests coalesce onto one cursed computation (throws on
+    // every fp) parked at the gate; then drain() races release_stalls().
+    // Whoever claims the entry first resolves all N waiters — exactly once
+    // each, as either the injected error or kDraining.  TSan guards the
+    // claim; the accounting identity guards double/zero resolution.
+    constexpr int kWaiters = 8;
+    for (int round = 0; round < 10; ++round) {
+        ThreadPool pool(2);
+        serve::ChaosOptions options;
+        options.gate_stalls = true;
+        options.gate_all = true;
+        options.throw_prob = 1.0;  // every fp is cursed
+        auto gate = std::make_shared<serve::DeterministicChaos>(options);
+        serve::ServeConfig config;
+        config.chaos = gate;
+        serve::ServeEngine engine(config, pool);
+        std::vector<std::future<serve::ServeResult>> futures;
+        for (int i = 0; i < kWaiters; ++i) futures.push_back(engine.submit(make_request()));
+        ASSERT_TRUE(await_stalled(*gate, 1));
+        std::thread releaser([&gate] { gate->release_stalls(); });
+        const auto report = engine.drain(/*timeout_ms=*/1.0);
+        releaser.join();
+        std::size_t failed = 0;
+        std::size_t draining = 0;
+        for (auto& future : futures) {
+            try {
+                const auto result = future.get();
+                EXPECT_EQ(result.outcome, serve::ServeOutcome::kDraining);
+                ++draining;
+            } catch (const serve::ChaosError&) {
+                ++failed;
+            }
+        }
+        EXPECT_EQ(failed + draining, static_cast<std::size_t>(kWaiters));
+        // The entry was claimed exactly once: either the computation beat
+        // the drain (everyone got the error) or drain expropriated first
+        // (everyone drained).
+        EXPECT_TRUE(failed == 0 || draining == 0)
+            << "round " << round << ": " << failed << " failed, " << draining << " drained";
+        if (report.forced_waiters > 0) {
+            EXPECT_EQ(draining, static_cast<std::size_t>(kWaiters));
+        }
+        const auto stats = engine.stats();
+        EXPECT_EQ(outcome_total(stats), stats.requests);
+    }
+}
+
+TEST(ServeEngineChaos, FaultPredicatesArePureFunctionsOfSeedAndFingerprint) {
+    serve::ChaosOptions options;
+    options.seed = 41;
+    options.stall_prob = 0.3;
+    options.throw_prob = 0.3;
+    options.submit_fail_prob = 0.3;
+    const serve::DeterministicChaos a(options);
+    const serve::DeterministicChaos b(options);
+    options.seed = 42;
+    const serve::DeterministicChaos reseeded(options);
+    bool any_differs = false;
+    for (std::uint64_t fp = 1; fp <= 256; ++fp) {
+        EXPECT_EQ(a.will_stall(fp), b.will_stall(fp));
+        EXPECT_EQ(a.will_throw(fp), b.will_throw(fp));
+        EXPECT_EQ(a.will_fail_submit(fp), b.will_fail_submit(fp));
+        any_differs = any_differs || a.will_throw(fp) != reseeded.will_throw(fp);
+    }
+    EXPECT_TRUE(any_differs);  // the seed actually keys the decisions
+    const auto stats = a.stats();
+    EXPECT_EQ(stats.stalls + stats.throws + stats.submit_failures, 0u);  // predicates don't count
+}
+
+TEST(Replay, DeadlineAndOutcomeTalliesRideAlongInTheReport) {
+    ThreadPool pool(2);
+    serve::TraceGenParams params;
+    params.requests = 6;
+    params.repeat_frac = 0.0;
+    params.size = 24;
+    params.procs = 4;
+    const auto trace = serve::generate_trace(params);
+    // A 1 ns deadline on an unbounded engine: every completion is late, so
+    // every result is timed_out (late completions still carry schedules).
+    serve::ReplayOptions options;
+    options.deadline_ms = 1e-9;
+    const auto report = serve::replay_trace(trace, options, pool);
+    EXPECT_EQ(report.timed_out, report.requests);
+    EXPECT_EQ(report.ok, 0u);
+    EXPECT_DOUBLE_EQ(report.deadline_hit_rate(), 1.0);
+    EXPECT_DOUBLE_EQ(report.shed_rate(), 0.0);
+    // And with no deadline the same stream is all ok.
+    serve::ReplayOptions plain;
+    const auto healthy = serve::replay_trace(trace, plain, pool);
+    EXPECT_EQ(healthy.ok, healthy.requests);
+    EXPECT_EQ(healthy.timed_out, 0u);
 }
 
 TEST(ServeEngine, SubmitAfterPoolShutdownThrowsAndRollsBackInflight) {

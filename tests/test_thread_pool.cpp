@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -142,6 +143,21 @@ TEST(ThreadPool, ShutdownWakesWaitIdleWaiters) {
     pool.shutdown();
     waiter.join();
     EXPECT_TRUE(woke.load());
+}
+
+TEST(ThreadPool, WaitIdleForTimesOutWhileBlockedAndSucceedsOnceIdle) {
+    // The bounded variant backs ServeEngine::drain: it must report false
+    // (not hang) while a task blocks the pool, and true once the pool is
+    // actually idle.  A non-positive timeout degrades to the unbounded wait.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    auto blocked = pool.submit([&gate] { gate.get_future().wait(); });
+    EXPECT_FALSE(pool.wait_idle_for(20.0));  // the task is still parked
+    gate.set_value();
+    blocked.get();
+    EXPECT_TRUE(pool.wait_idle_for(1000.0));
+    EXPECT_TRUE(pool.wait_idle_for(0.0));   // <= 0 waits unbounded; idle now
+    EXPECT_TRUE(pool.wait_idle_for(-5.0));
 }
 
 }  // namespace

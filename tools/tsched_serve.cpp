@@ -29,6 +29,17 @@
 //   --batch=B         requests per submitted batch (default 16)
 //   --epochs=E        passes over the stream against one engine (default 1;
 //                     >1 measures steady-state serving with a warm cache)
+//   --deadline-ms=D   per-request latency budget (default 0 = none); expired
+//                     requests resolve as timed_out (DESIGN §16)
+//   --wait-budget-ms=W  per-batch wall budget; stragglers surface as
+//                     timed_out instead of hanging the replay (default 0)
+//   --max-inflight=N  admission budget: concurrent computations (default 0
+//                     = unbounded, admission control off)
+//   --max-pending=N   bounded backlog when saturated (default 0)
+//   --shed-policy=P   reject-new|drop-oldest|degrade (default reject-new)
+//   --degrade-algo=A  substitute algorithm for --shed-policy=degrade
+//                     (default heft)
+//   --drain-timeout-ms=D  engine teardown bound (default 0 = wait forever)
 //   --json=PATH       also write the report as JSON ('-' = stdout); includes
 //                     the engine obs metrics document under "metrics"
 //   --metrics-out=PATH        live metrics during the replay (obs/reporter):
@@ -48,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/serve_lints.hpp"
 #include "obs/export.hpp"
 #include "serve/replay.hpp"
 #include "serve/request_trace.hpp"
@@ -67,6 +79,10 @@ void print_usage(std::ostream& os) {
        << "       tsched_serve trace.tsr [--cache=on|off] [--dedup=on|off]\n"
        << "                    [--capacity=K] [--shards=S] [--threads=T]\n"
        << "                    [--batch=B] [--epochs=E] [--json=PATH] [--counters]\n"
+       << "                    [--deadline-ms=D] [--wait-budget-ms=W]\n"
+       << "                    [--max-inflight=N] [--max-pending=N]\n"
+       << "                    [--shed-policy=reject-new|drop-oldest|degrade]\n"
+       << "                    [--degrade-algo=A] [--drain-timeout-ms=D]\n"
        << "                    [--metrics-out=PATH] [--metrics-format=json|prometheus]\n"
        << "                    [--metrics-interval-ms=N] [--metrics-epoch]\n"
        << "Generate a scheduling-request trace, or replay one through the\n"
@@ -128,6 +144,15 @@ std::string report_json(const serve::ReplayReport& report, const serve::ReplayOp
        << "\"hist_latency_ms\":{\"p50\":" << report.hist_p50_ms << ",\"p95\":"
        << report.hist_p95_ms << ",\"p99\":" << report.hist_p99_ms << ",\"p999\":"
        << report.hist_p999_ms << "},"
+       << "\"outcomes\":{\"ok\":" << report.ok << ",\"shed\":" << report.shed
+       << ",\"degraded\":" << report.degraded << ",\"timed_out\":" << report.timed_out
+       << ",\"draining\":" << report.draining << "},"
+       << "\"shed_rate\":" << report.shed_rate() << ','
+       << "\"deadline_hit_rate\":" << report.deadline_hit_rate() << ','
+       << "\"shed_policy\":\"" << serve::shed_policy_name(options.config.shed_policy) << "\","
+       << "\"max_inflight\":" << options.config.max_inflight << ','
+       << "\"max_pending\":" << options.config.max_pending << ','
+       << "\"deadline_ms\":" << options.deadline_ms << ','
        << "\"computed\":" << report.stats.computed << ','
        << "\"coalesced\":" << report.stats.coalesced << ','
        << "\"hits\":" << report.stats.cache_hits << ','
@@ -146,6 +171,30 @@ int replay(const Args& args, const std::string& trace_path) {
     options.batch = static_cast<std::size_t>(args.get_int("batch", 16));
     options.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
     const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+
+    options.deadline_ms = args.get_double("deadline-ms", 0.0);
+    options.wait_budget_ms = args.get_double("wait-budget-ms", 0.0);
+    options.config.max_inflight = static_cast<std::size_t>(args.get_int("max-inflight", 0));
+    options.config.max_pending = static_cast<std::size_t>(args.get_int("max-pending", 0));
+    const std::string policy_name = args.get_string("shed-policy", "reject-new");
+    if (const auto policy = serve::shed_policy_from_name(policy_name)) {
+        options.config.shed_policy = *policy;
+    } else {
+        usage_error("--shed-policy expects reject-new|drop-oldest|degrade, got '" +
+                    policy_name + "'");
+    }
+    options.config.degrade_algo = args.get_string("degrade-algo", "heft");
+    options.config.drain_timeout_ms = args.get_double("drain-timeout-ms", 0.0);
+
+    // Config sanity lints (TS07xx, analysis/serve_lints.hpp): nonsense knob
+    // combinations are warnings on stderr, never a refusal to run.
+    {
+        analysis::Diagnostics diags;
+        analysis::lint_serve_config(options.config, options.deadline_ms, diags);
+        for (const auto& d : diags.all())
+            std::cerr << "tsched_serve: " << analysis::severity_name(d.severity) << '['
+                      << analysis::code_name(d.code) << "] " << d.message << '\n';
+    }
 
     options.metrics.path = args.get_string("metrics-out", "");
     const std::string metrics_format = args.get_string("metrics-format", "json");
@@ -186,6 +235,16 @@ int replay(const Args& args, const std::string& trace_path) {
               << " evictions (hit rate " << report.stats.hit_rate() * 100 << "%)\n"
               << "  computed  " << report.stats.computed << " cold runs, "
               << report.stats.coalesced << " coalesced\n";
+    if (options.config.max_inflight > 0 || options.deadline_ms > 0.0 ||
+        options.wait_budget_ms > 0.0) {
+        std::cout << "  overload  policy=" << serve::shed_policy_name(options.config.shed_policy)
+                  << " inflight<=" << options.config.max_inflight << " pending<="
+                  << options.config.max_pending << " | ok " << report.ok << " shed "
+                  << report.shed << " degraded " << report.degraded << " timed_out "
+                  << report.timed_out << " draining " << report.draining << '\n'
+                  << "  rates     shed " << report.shed_rate() * 100 << "% | deadline-hit "
+                  << report.deadline_hit_rate() * 100 << "%\n";
+    }
 
     const std::string json_path = args.get_string("json", "");
     if (!json_path.empty()) {
@@ -245,9 +304,10 @@ int main(int argc, char** argv) {
     try {
         args.check_known({"gen", "requests", "repeat-frac", "algos", "shapes", "n", "procs",
                           "net", "ccr", "beta", "seed", "cache", "dedup", "capacity", "shards",
-                          "threads", "batch", "epochs", "json", "counters", "metrics-out",
-                          "metrics-format", "metrics-interval-ms", "metrics-epoch", "version",
-                          "help"});
+                          "threads", "batch", "epochs", "json", "counters", "deadline-ms",
+                          "wait-budget-ms", "max-inflight", "max-pending", "shed-policy",
+                          "degrade-algo", "drain-timeout-ms", "metrics-out", "metrics-format",
+                          "metrics-interval-ms", "metrics-epoch", "version", "help"});
     } catch (const std::exception& e) {
         usage_error(e.what());
     }
