@@ -58,6 +58,25 @@
 //                        equal — tools/serve_chaos_smoke.sh gates exactly
 //                        that.
 //
+//   --net                E21: network serving sweep — an in-process
+//                        ServeServer on an ephemeral loopback port, replayed
+//                        over --conns=a,b concurrent connections (window
+//                        --window pipelined requests each) per repeat
+//                        fraction.  With --json=PATH also measures the
+//                        steady-state serve perf point
+//                        {"schema":1,"serve":{qps,p50_ms,p99_ms,...}} that
+//                        tools/perf_check.sh gates in CI.
+//
+//   --net-check          wire acceptance gates (ctest bench_net_check):
+//                        N1. accounting identity over 8 live connections:
+//                            ok+shed+degraded+timed_out+draining+failed ==
+//                            requests, zero failures on healthy loopback;
+//                        N2. schedule payloads byte-identical across reruns,
+//                            pool widths (2 vs 8), and connection counts —
+//                            the order-independent payload digest matches;
+//                        N3. drain under client fire keeps the identity and
+//                            the engine drain stays clean.
+//
 // Exit status: 0 success (check included), 1 check/chaos failure, 2 usage
 // errors.
 #include <algorithm>
@@ -76,6 +95,8 @@
 
 #include "common.hpp"
 #include "core/registry.hpp"
+#include "net/net_replay.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "sched/schedule_io.hpp"
@@ -103,6 +124,9 @@ struct ServeBenchConfig {
     std::uint64_t seed = 2007;
     std::string csv_path;
     std::string metrics_path;
+    std::vector<std::size_t> conns = {1, 4, 8};  ///< connection counts (--net sweep)
+    std::size_t window = 16;                     ///< pipelined requests per connection
+    std::string json_path;                       ///< serve perf point (perf_check.sh)
 };
 
 serve::TraceGenParams trace_params(const ServeBenchConfig& config, double repeat_frac) {
@@ -220,6 +244,181 @@ serve::ChaosOptions storm_options(std::uint64_t seed) {
                                .stall_ms = 2.0,
                                .throw_prob = 0.25,
                                .submit_fail_prob = 0.15};
+}
+
+// ---------------------------------------------------------------------------
+// E21: network serving (src/net front-end; in-process server, real sockets).
+
+net::ServerConfig net_server_config(const ServeBenchConfig& config) {
+    net::ServerConfig server;
+    server.port = 0;  // ephemeral: the bench never collides with itself
+    server.max_conns = 64;
+    server.per_conn_queue = 64;
+    return server;
+}
+
+net::NetReplayOptions net_replay_options(const ServeBenchConfig& config, std::uint16_t port,
+                                         std::size_t conns) {
+    net::NetReplayOptions options;
+    options.port = port;
+    options.conns = conns;
+    options.window = config.window;
+    options.epochs = config.epochs;
+    options.client_name = "bench_serve";
+    return options;
+}
+
+/// One steady-state measurement: fresh server on `pool`, full replay.
+net::NetReplayReport measure_net(const ServeBenchConfig& config,
+                                 const std::vector<serve::TraceRequest>& trace,
+                                 std::size_t conns, ThreadPool& pool) {
+    net::ServeServer server(net_server_config(config), pool);
+    server.start();
+    const auto report = replay_net(trace, net_replay_options(config, server.port(), conns));
+    server.stop();
+    return report;
+}
+
+int run_net_sweep(const ServeBenchConfig& config) {
+    std::cout << "== E21: network serving (" << config.algo << ", n=" << config.n << ", P="
+              << config.procs << ", " << config.requests << " requests x " << config.epochs
+              << " epochs, window=" << config.window << ", threads="
+              << (config.threads ? std::to_string(config.threads) : std::string("hw"))
+              << ") ==\n";
+    ThreadPool pool(config.threads);
+    Table table({"repeat", "conns", "qps", "p50 ms", "p95 ms", "p99 ms", "ok", "shed",
+                 "failed", "hit %"});
+    for (const double frac : config.repeat_fracs) {
+        const auto trace = serve::generate_trace(trace_params(config, frac));
+        for (const std::size_t conns : config.conns) {
+            const auto report = measure_net(config, trace, conns, pool);
+            const double hit_rate =
+                report.replies > 0
+                    ? static_cast<double>(report.cache_hits) / static_cast<double>(report.replies)
+                    : 0.0;
+            table.new_row()
+                .add(frac, 2)
+                .add(conns)
+                .add(report.qps, 1)
+                .add(report.latency_p50_ms, 3)
+                .add(report.latency_p95_ms, 3)
+                .add(report.latency_p99_ms, 3)
+                .add(static_cast<std::size_t>(report.ok))
+                .add(static_cast<std::size_t>(report.shed))
+                .add(static_cast<std::size_t>(report.failed))
+                .add(hit_rate * 100.0, 1);
+            if (!report.accounting_ok())
+                std::cerr << "bench_serve: WARNING: accounting identity violated at conns="
+                          << conns << '\n';
+        }
+    }
+    std::cout << table.to_markdown();
+    if (!config.csv_path.empty() && !table.write_csv(config.csv_path))
+        std::cerr << "bench_serve: could not write " << config.csv_path << '\n';
+
+    // The serve-path perf point tools/perf_check.sh gates: steady-state
+    // replay at the largest swept connection count, 50% repeats.
+    if (!config.json_path.empty()) {
+        const auto trace = serve::generate_trace(trace_params(config, 0.5));
+        const std::size_t conns = config.conns.back();
+        const auto report = measure_net(config, trace, conns, pool);
+        std::ostringstream os;
+        os.precision(6);
+        os << std::fixed;
+        os << "{\"schema\":1,\"serve\":{\"qps\":" << report.qps << ",\"p50_ms\":"
+           << report.latency_p50_ms << ",\"p99_ms\":" << report.latency_p99_ms << ",\"conns\":"
+           << conns << ",\"window\":" << config.window << ",\"requests\":" << report.requests
+           << "}}";
+        std::ofstream out(config.json_path);
+        out << os.str() << '\n';
+        if (!out) {
+            std::cerr << "bench_serve: could not write " << config.json_path << '\n';
+            return 2;
+        }
+        std::cout << "serve point: " << os.str() << '\n';
+    }
+    return 0;
+}
+
+int net_fail(const std::string& what) {
+    std::cout << "net-check: FAIL — " << what << '\n';
+    return 1;
+}
+
+int run_net_check(const ServeBenchConfig& config) {
+    const auto trace = serve::generate_trace(trace_params(config, 0.5));
+
+    // Gate N1 — wire accounting identity: every request sent over N
+    // concurrent connections is answered and classified; nothing is lost.
+    {
+        ThreadPool pool(config.threads);
+        const auto report = measure_net(config, trace, 8, pool);
+        if (!report.accounting_ok())
+            return net_fail("accounting identity: ok+shed+degraded+timed_out+draining+failed "
+                            "!= requests");
+        if (report.replies != report.requests)
+            return net_fail("replies " + std::to_string(report.replies) + " != requests " +
+                            std::to_string(report.requests));
+        if (report.failed != 0)
+            return net_fail(std::to_string(report.failed) + " transport failures on a healthy "
+                            "loopback");
+        if (report.ok != report.requests)
+            return net_fail("an unloaded server answered " + std::to_string(report.ok) + "/" +
+                            std::to_string(report.requests) + " ok");
+    }
+    std::cout << "net-check: wire accounting identity holds over 8 connections\n";
+
+    // Gate N2 — byte-identity across reruns and pool widths: the digest is
+    // an order-independent fold of every schedule payload; equal traces must
+    // produce equal digests no matter the pool width, connection count, or
+    // arrival order (response payloads carry no timing).
+    {
+        std::uint64_t reference = 0;
+        bool first = true;
+        for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+            for (int rerun = 0; rerun < 2; ++rerun) {
+                ThreadPool pool(threads);
+                const auto report = measure_net(config, trace, rerun == 0 ? 8 : 4, pool);
+                if (!report.payload_consistent)
+                    return net_fail("equal fingerprints carried different schedule bytes");
+                if (report.schedule_digest == 0)
+                    return net_fail("schedule digest is zero (no payloads hashed?)");
+                if (first) {
+                    reference = report.schedule_digest;
+                    first = false;
+                } else if (report.schedule_digest != reference) {
+                    return net_fail("schedule digest differs across reruns/pool widths");
+                }
+            }
+        }
+    }
+    std::cout << "net-check: schedule payloads byte-identical across reruns and pool widths\n";
+
+    // Gate N3 — drain under fire: stopping the server mid-replay must still
+    // account for every request (delivered, typed kDraining, or counted
+    // failed) and drain the engine cleanly.
+    {
+        ThreadPool pool(config.threads);
+        net::ServeServer server(net_server_config(config), pool);
+        server.start();
+        auto options = net_replay_options(config, server.port(), 4);
+        options.epochs = config.epochs * 4;  // enough traffic to straddle the stop
+        auto replay = std::async(std::launch::async,
+                                 [&] { return net::replay_net(trace, options); });
+        // No sleep: stop immediately — the race lands differently every
+        // run, but the identity below must hold wherever it lands.
+        server.request_stop();
+        const net::NetDrainReport drain = server.stop();
+        const auto report = replay.get();
+        if (!report.accounting_ok())
+            return net_fail("accounting identity broken by drain-under-fire");
+        if (!drain.engine.clean)
+            return net_fail("engine drain not clean under client fire");
+    }
+    std::cout << "net-check: drain under fire keeps the accounting identity\n";
+
+    std::cout << "net-check: PASS\n";
+    return 0;
 }
 
 int run_sweep(const ServeBenchConfig& config) {
@@ -697,7 +896,8 @@ int main(int argc, char** argv) {
     try {
         args.check_known({"requests", "n", "procs", "algo", "threads", "epochs", "batches",
                           "capacities", "repeat-fracs", "seed", "csv", "metrics-out", "check",
-                          "chaos", "help", "version"});
+                          "chaos", "net", "net-check", "conns", "window", "json", "help",
+                          "version"});
     } catch (const std::exception& e) {
         std::cerr << "bench_serve: " << e.what() << '\n';
         return 2;
@@ -707,10 +907,12 @@ int main(int argc, char** argv) {
         return 0;
     }
     if (args.has("help")) {
-        std::cout << "usage: bench_serve [--check] [--chaos] [--requests=N] [--n=N] [--procs=P]\n"
+        std::cout << "usage: bench_serve [--check] [--chaos] [--net] [--net-check]\n"
+                     "                   [--requests=N] [--n=N] [--procs=P]\n"
                      "                   [--algo=NAME] [--threads=T] [--epochs=E]\n"
                      "                   [--batches=a,b] [--capacities=a,b]\n"
-                     "                   [--repeat-fracs=a,b] [--seed=S] [--csv=PATH]\n"
+                     "                   [--repeat-fracs=a,b] [--conns=a,b] [--window=W]\n"
+                     "                   [--seed=S] [--csv=PATH] [--json=PATH]\n"
                      "                   [--metrics-out=PATH]\n";
         return 0;
     }
@@ -732,10 +934,17 @@ int main(int argc, char** argv) {
     for (const auto c : args.get_int_list("capacities", {8, 1024}))
         config.capacities.push_back(static_cast<std::size_t>(c));
     config.repeat_fracs = args.get_double_list("repeat-fracs", {0.0, 0.5, 0.9});
+    config.conns.clear();
+    for (const auto c : args.get_int_list("conns", {1, 4, 8}))
+        config.conns.push_back(static_cast<std::size_t>(c));
+    config.window = static_cast<std::size_t>(args.get_int("window", 16));
+    config.json_path = args.get_string("json", "");
 
     try {
         if (args.has("check")) return run_check(config);
         if (args.has("chaos")) return run_chaos(config);
+        if (args.has("net-check")) return run_net_check(config);
+        if (args.has("net")) return run_net_sweep(config);
         return run_sweep(config);
     } catch (const std::exception& e) {
         std::cerr << "bench_serve: " << e.what() << '\n';

@@ -63,6 +63,16 @@ constexpr CodeInfo kCodes[] = {
      "request deadline is negative or non-finite"},
     {Code::kServeBadDrainTimeout, Severity::kWarning,
      "drain timeout is negative or non-finite"},
+    {Code::kNetNoBackpressure, Severity::kWarning,
+     "per-connection queue unbounded; read backpressure is disabled"},
+    {Code::kNetFrameCapTiny, Severity::kError,
+     "frame payload cap too small to carry a schedule response"},
+    {Code::kNetDispatchStarved, Severity::kError,
+     "per-tick request budget is zero; no request is ever dispatched"},
+    {Code::kNetBadFlushTimeout, Severity::kWarning,
+     "post-drain flush timeout is negative or non-finite"},
+    {Code::kNetQueueExceedsGate, Severity::kWarning,
+     "aggregate connection queues far exceed the admission gate"},
 };
 
 }  // namespace

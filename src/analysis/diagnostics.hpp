@@ -12,6 +12,7 @@
 //   TS05xx  schedule quality             (schedule lints; warnings/info)
 //   TS06xx  runtime faults & repair      (fault lints; all errors)
 //   TS07xx  serving overload config      (serve lints; see serve_lints.hpp)
+//   TS08xx  network serving config       (net lints; see net_lints.hpp)
 //
 // Codes are append-only: a code, once shipped, never changes meaning, so
 // tooling that filters on "TS0406" keeps working across versions.  The text
@@ -86,6 +87,13 @@ enum class Code : std::uint16_t {
     kServeDegradeUnknownAlgo = 703,  ///< degrade substitute algorithm not in the registry
     kServeBadDeadline = 704,         ///< negative or non-finite request deadline
     kServeBadDrainTimeout = 705,     ///< negative or non-finite drain timeout
+
+    // --- TS08xx: network serving config -----------------------------------
+    kNetNoBackpressure = 801,     ///< per-connection queue unbounded; backpressure disabled
+    kNetFrameCapTiny = 802,       ///< frame payload cap too small for a schedule response
+    kNetDispatchStarved = 803,    ///< per-tick request budget is zero; nothing ever dispatches
+    kNetBadFlushTimeout = 804,    ///< negative or non-finite post-drain flush bound
+    kNetQueueExceedsGate = 805,   ///< aggregate connection queues dwarf the admission gate
 };
 
 /// "TS0406"-style stable name.

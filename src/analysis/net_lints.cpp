@@ -1,0 +1,58 @@
+#include "analysis/net_lints.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "net/frame.hpp"
+
+namespace tsched::analysis {
+
+void lint_net_config(const net::ServerConfig& config, Diagnostics& diags) {
+    if (config.per_conn_queue == 0) {
+        diags.add(Code::kNetNoBackpressure, {},
+                  "per_conn_queue=0 removes the per-connection bound: a pipelining client "
+                  "can park unbounded replies in server memory (read backpressure never "
+                  "engages)");
+    }
+    // The smallest useful response carries a one-task schedule: 16 bytes of
+    // frame header plus a response body whose schedule payload alone is
+    // 3*8 (dims) + 32 (one placement) bytes.  Anything below 256 cannot
+    // answer a real request.
+    constexpr std::size_t kMinUsefulFrame = 256;
+    if (config.max_frame_bytes < kMinUsefulFrame) {
+        std::ostringstream os;
+        os << "max_frame_bytes=" << config.max_frame_bytes << " is below the " << kMinUsefulFrame
+           << "-byte floor of a minimal schedule response; the server could accept requests "
+              "it can never answer";
+        diags.add(Code::kNetFrameCapTiny, {}, os.str());
+    }
+    if (config.max_requests_per_tick == 0) {
+        diags.add(Code::kNetDispatchStarved, {},
+                  "max_requests_per_tick=0 gives every session a zero dispatch budget; "
+                  "request frames are read but never decoded");
+    }
+    if (config.flush_timeout_ms < 0.0 || !std::isfinite(config.flush_timeout_ms)) {
+        std::ostringstream os;
+        os << "flush_timeout_ms=" << config.flush_timeout_ms
+           << " is not a usable bound (drain would force-close sessions immediately); use a "
+              "positive value";
+        diags.add(Code::kNetBadFlushTimeout, {}, os.str());
+    }
+    // Aggregate wire-side queueing vs the engine's admission gate: if every
+    // connection can pipeline its full queue and the sum is far beyond what
+    // admission will ever hold, steady-state overload sheds nearly all of
+    // it.  Only meaningful when both sides are actually bounded.
+    const std::size_t gate = config.engine.max_inflight + config.engine.max_pending;
+    if (config.engine.max_inflight > 0 && config.max_conns > 0 && config.per_conn_queue > 0) {
+        const std::size_t aggregate = config.max_conns * config.per_conn_queue;
+        if (aggregate > gate * 16) {
+            std::ostringstream os;
+            os << "max_conns*per_conn_queue=" << aggregate << " exceeds 16x the admission gate "
+               << "(max_inflight+max_pending=" << gate
+               << "); under load most pipelined requests will be shed";
+            diags.add(Code::kNetQueueExceedsGate, {}, os.str());
+        }
+    }
+}
+
+}  // namespace tsched::analysis

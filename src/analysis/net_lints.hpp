@@ -1,0 +1,28 @@
+// Static analysis of network serving configuration (TS08xx).
+//
+// A ServerConfig is operator input (tsched_served flags), and some knob
+// combinations are legal to construct but wrong to run: an unbounded
+// per-connection queue turns off the read-backpressure discipline entirely
+// (TS0801), a frame cap smaller than a minimal schedule response makes the
+// server unable to answer anything (TS0802), a zero fair-dispatch budget
+// never decodes a request (TS0803), a negative flush timeout reads like a
+// bound but closes sessions instantly on drain (TS0804), and connection
+// queues that dwarf the engine's admission gate mean almost everything a
+// client can pipeline gets shed (TS0805).  tsched_served prints these on
+// stderr before binding; tests pin every trigger.
+//
+// Like serve_lints.hpp, this header reads plain config data only —
+// tsched_analysis includes net/server.hpp but does not link tsched_net.
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "net/server.hpp"
+
+namespace tsched::analysis {
+
+/// Append a TS08xx diagnostic for every defect found in `config` (the
+/// engine-level knobs inside it go through lint_serve_config separately).
+/// Purely additive; callers decide whether errors are fatal.
+void lint_net_config(const net::ServerConfig& config, Diagnostics& diags);
+
+}  // namespace tsched::analysis

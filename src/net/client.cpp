@@ -1,0 +1,117 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace tsched::net {
+
+namespace {
+
+/// Blocking full-buffer send (client sockets stay in blocking mode).
+void send_all(int fd, const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+        if (n > 0) {
+            written += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        throw std::system_error(errno, std::generic_category(), "send");
+    }
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const ClientConfig& config)
+    : fd_(connect_tcp(config.host, config.port)), decoder_(config.max_frame_bytes) {
+    WireHello hello;
+    hello.client_name = config.client_name;
+    const std::string frame =
+        encode_frame(FrameType::kHello, encode_hello(hello), config.max_frame_bytes);
+    send_all(fd_.get(), frame.data(), frame.size());
+
+    const Frame reply = read_frame();
+    if (reply.type == FrameType::kError) {
+        const WireError err = decode_error(reply.payload);
+        throw std::runtime_error(std::string("handshake rejected: ") +
+                                 wire_error_code_name(static_cast<WireErrorCode>(err.code)) +
+                                 ": " + err.message);
+    }
+    if (reply.type != FrameType::kHelloAck)
+        throw std::runtime_error(std::string("handshake: expected hello_ack, got ") +
+                                 frame_type_name(reply.type));
+    ack_ = decode_hello_ack(reply.payload);
+    if (ack_.codec_version != kCodecVersion)
+        throw std::runtime_error("handshake: server codec version " +
+                                 std::to_string(ack_.codec_version) + " != " +
+                                 std::to_string(kCodecVersion));
+}
+
+std::uint64_t ServeClient::send(const serve::TraceRequest& trace, double deadline_ms,
+                                const std::string& options) {
+    WireRequest request;
+    request.id = next_id_++;
+    request.trace = trace;
+    request.deadline_ms = deadline_ms;
+    request.options = options;
+    const std::string frame =
+        encode_frame(FrameType::kRequest, encode_request(request), ack_.max_frame_bytes);
+    send_all(fd_.get(), frame.data(), frame.size());
+    return request.id;
+}
+
+ClientReply ServeClient::recv() {
+    const Frame frame = read_frame();
+    ClientReply reply;
+    switch (frame.type) {
+        case FrameType::kResponse:
+            reply.response = decode_response(frame.payload);
+            reply.id = reply.response->id;
+            return reply;
+        case FrameType::kError:
+            reply.error = decode_error(frame.payload);
+            reply.id = reply.error->request_id;
+            return reply;
+        default:
+            throw std::runtime_error(std::string("unexpected frame type from server: ") +
+                                     frame_type_name(frame.type));
+    }
+}
+
+ClientReply ServeClient::call(const serve::TraceRequest& trace, double deadline_ms,
+                              const std::string& options) {
+    const std::uint64_t id = send(trace, deadline_ms, options);
+    while (true) {
+        ClientReply reply = recv();
+        // Session-level errors (id 0) abort the call too: the server is
+        // about to close this connection.
+        if (reply.id == id || reply.id == 0) return reply;
+    }
+}
+
+void ServeClient::send_raw(std::string_view bytes) {
+    send_all(fd_.get(), bytes.data(), bytes.size());
+}
+
+Frame ServeClient::read_frame() {
+    while (true) {
+        if (auto frame = decoder_.next()) return std::move(*frame);
+        if (decoder_.failed())
+            throw std::runtime_error(std::string("malformed frame from server: ") +
+                                     frame_error_name(decoder_.error()));
+        char buf[16 * 1024];
+        ssize_t n = 0;
+        do {
+            n = ::recv(fd_.get(), buf, sizeof buf, 0);
+        } while (n < 0 && errno == EINTR);
+        if (n < 0) throw std::system_error(errno, std::generic_category(), "recv");
+        if (n == 0) throw std::runtime_error("connection closed by server");
+        decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+}
+
+}  // namespace tsched::net

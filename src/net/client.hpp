@@ -1,0 +1,90 @@
+// ServeClient: blocking client for the tsched wire protocol (DESIGN §17).
+//
+// One client owns one connection.  The constructor connects and completes
+// the Hello/HelloAck handshake; after that the client supports two styles:
+//
+//   - call(trace): send one request and block for its reply — the simple
+//     synchronous path used by examples and smoke tests.
+//   - send(trace) / recv(): pipelined.  send() queues a request frame and
+//     returns the client-chosen id immediately; recv() blocks for the next
+//     reply frame (replies may arrive out of request order — correlate by
+//     ClientReply::id).  The replay driver keeps a sliding window of
+//     outstanding sends per connection this way.
+//
+// Every reply is a ClientReply: either a decoded WireResponse or a typed
+// WireError relayed from the server (ok() distinguishes them).  Transport
+// failures — connection reset, malformed bytes from the server, frame
+// decode errors — throw; protocol-level errors do not.
+//
+// Not thread-safe: one ServeClient per thread (the replay driver follows
+// exactly this rule — N connections means N threads each owning one).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/codec.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace tsched::net {
+
+/// One reply off the wire: a response or a typed server-side error.
+struct ClientReply {
+    std::uint64_t id = 0;  ///< request id (0 for session-level errors)
+    std::optional<WireResponse> response;
+    std::optional<WireError> error;
+
+    [[nodiscard]] bool ok() const noexcept { return response.has_value(); }
+};
+
+struct ClientConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::string client_name = "tsched_client";
+    std::size_t max_frame_bytes = kDefaultMaxPayloadBytes;
+};
+
+class ServeClient {
+public:
+    /// Connect + handshake.  Throws std::system_error (connect failure) or
+    /// std::runtime_error (handshake rejected / protocol violation).
+    explicit ServeClient(const ClientConfig& config);
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+    ServeClient(ServeClient&&) = default;
+    ServeClient& operator=(ServeClient&&) = default;
+
+    /// Queue one request; returns the id to correlate the reply with.
+    std::uint64_t send(const serve::TraceRequest& trace, double deadline_ms = 0.0,
+                       const std::string& options = {});
+
+    /// Block for the next reply frame (any outstanding id).
+    [[nodiscard]] ClientReply recv();
+
+    /// send() + recv-until-this-id.  Convenience for synchronous callers
+    /// with no other outstanding requests.
+    [[nodiscard]] ClientReply call(const serve::TraceRequest& trace, double deadline_ms = 0.0,
+                                   const std::string& options = {});
+
+    /// What the server advertised in its HelloAck.
+    [[nodiscard]] const WireHelloAck& server_info() const noexcept { return ack_; }
+
+    /// Escape hatch for hostile-input tests: write raw bytes to the socket.
+    void send_raw(std::string_view bytes);
+
+    /// Orderly close (tests use this to provoke server-side EOF handling).
+    void close() noexcept { fd_.reset(); }
+
+private:
+    [[nodiscard]] Frame read_frame();
+
+    FdHandle fd_;
+    FrameDecoder decoder_;
+    WireHelloAck ack_;
+    std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tsched::net

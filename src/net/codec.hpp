@@ -1,0 +1,164 @@
+// Message codec for the tsched serving protocol (DESIGN §17).
+//
+// Frame payloads (net/frame.hpp) carry versioned binary messages encoded
+// with the same canonical conventions the PR 5 fingerprint contract pinned
+// (util/fingerprint.hpp): integers are 8-byte little-endian, doubles are the
+// canonicalized IEEE-754 bit pattern (-0 -> +0, every NaN -> one quiet NaN)
+// little-endian, strings are u64-length-prefixed raw bytes.  Because both
+// sides of the wire share the fingerprint's canonicalization, an encoded
+// message is a pure function of its value — the determinism battery keeps
+// golden byte vectors for fixed requests and responses, and repeated
+// requests produce byte-identical response payloads across reruns and pool
+// widths.
+//
+// Request bodies are *workload descriptors* (the `.tsr` line: algorithm +
+// shape/size/procs/net/ccr/beta/seed), not materialized graphs: the server
+// expands a descriptor with serve::materialize(), exactly like trace replay,
+// so a request frame is ~100 bytes regardless of task count and identical
+// descriptors hit one cached computation.  The body starts with a format
+// byte so a future inline-problem encoding can coexist; unknown formats are
+// a typed decode error, never a crash.
+//
+// Decoding throws CodecError (with a stable CodecStatus) on truncated,
+// oversized, or trailing bytes — a reader must consume its payload exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sched/schedule.hpp"
+#include "serve/request.hpp"
+#include "serve/request_trace.hpp"
+
+namespace tsched::net {
+
+/// Bump when any message layout below changes (append-only, like the
+/// fingerprint version).  Carried in the Hello payload; a server refuses a
+/// client speaking a different codec.
+inline constexpr std::uint64_t kCodecVersion = 1;
+
+/// Request body formats (first payload byte after the request id).
+inline constexpr std::uint8_t kRequestBodyDescriptor = 1;
+
+enum class CodecStatus : std::uint8_t {
+    kOk = 0,
+    kTruncated = 1,      ///< payload ended before the message did
+    kTrailingBytes = 2,  ///< payload longer than the message
+    kBadBodyFormat = 3,  ///< unknown request body format byte
+    kBadEnum = 4,        ///< outcome/shape/net name not recognized
+    kBadValue = 5,       ///< field value out of its documented range
+};
+
+[[nodiscard]] const char* codec_status_name(CodecStatus status) noexcept;
+
+class CodecError : public std::runtime_error {
+public:
+    CodecError(CodecStatus status, const std::string& what)
+        : std::runtime_error(what), status_(status) {}
+    [[nodiscard]] CodecStatus status() const noexcept { return status_; }
+
+private:
+    CodecStatus status_;
+};
+
+// ---------------------------------------------------------------------------
+// Messages.
+// ---------------------------------------------------------------------------
+
+/// Client's opening frame.  The server checks both versions and answers
+/// HelloAck or a kBadHandshake error.
+struct WireHello {
+    std::uint64_t codec_version = kCodecVersion;
+    std::string client_name;  ///< cosmetic, for server logs
+};
+
+struct WireHelloAck {
+    std::uint64_t codec_version = kCodecVersion;
+    std::uint64_t max_frame_bytes = 0;  ///< server's payload cap for this session
+    std::string server_name;
+};
+
+/// One scheduling request.  `id` is a client-chosen correlation token echoed
+/// verbatim in the response; responses on a connection may complete out of
+/// order (the engine answers cache hits immediately), so the id — not
+/// arrival order — pairs them up.
+struct WireRequest {
+    std::uint64_t id = 0;
+    serve::TraceRequest trace;  ///< workload descriptor (materialized server-side)
+    double deadline_ms = 0.0;   ///< <= 0 = no deadline (serve/request.hpp semantics)
+    std::string options;        ///< canonical option string (fingerprinted)
+};
+
+/// One served answer.  Carries the outcome taxonomy of DESIGN §16 over the
+/// wire: shed/degraded/timed-out/draining answers are typed statuses, not
+/// errors.  `schedule_bytes` is the canonical encoding produced by
+/// encode_schedule() below — kept encoded so byte-identity checks can
+/// compare payloads directly; decode_schedule() expands it on demand.
+struct WireResponse {
+    std::uint64_t id = 0;
+    serve::ServeOutcome outcome = serve::ServeOutcome::kOk;
+    bool cache_hit = false;
+    bool coalesced = false;
+    std::uint64_t fingerprint = 0;
+    std::string schedule_bytes;  ///< empty when the outcome carries no schedule
+
+    [[nodiscard]] bool has_schedule() const noexcept { return !schedule_bytes.empty(); }
+};
+
+/// Typed error message (FrameType::kError).  `request_id` == 0 marks a
+/// session-level error (handshake violation, malformed frame) after which
+/// the sender closes the connection; non-zero ids are request-level (e.g. an
+/// unknown algorithm) and leave the session open.
+struct WireError {
+    std::uint64_t request_id = 0;
+    std::uint32_t code = 0;  ///< WireErrorCode below
+    std::string message;
+};
+
+/// Stable error codes for WireError::code.
+enum class WireErrorCode : std::uint32_t {
+    kUnknown = 0,
+    kMalformedFrame = 1,   ///< FrameDecoder failed; detail names the FrameError
+    kBadHandshake = 2,     ///< first frame was not Hello, or version mismatch
+    kBadMessage = 3,       ///< frame payload failed to decode (CodecError)
+    kRequestFailed = 4,    ///< engine raised an exception for this request
+    kTooManyConnections = 5,  ///< connection cap reached; sent before close
+    kServerDraining = 6,   ///< server is shutting down; no new requests
+};
+
+[[nodiscard]] const char* wire_error_code_name(WireErrorCode code) noexcept;
+
+// ---------------------------------------------------------------------------
+// Encode / decode.  Every decode throws CodecError on malformed payloads.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string encode_hello(const WireHello& hello);
+[[nodiscard]] WireHello decode_hello(std::string_view payload);
+
+[[nodiscard]] std::string encode_hello_ack(const WireHelloAck& ack);
+[[nodiscard]] WireHelloAck decode_hello_ack(std::string_view payload);
+
+[[nodiscard]] std::string encode_request(const WireRequest& request);
+[[nodiscard]] WireRequest decode_request(std::string_view payload);
+
+[[nodiscard]] std::string encode_response(const WireResponse& response);
+[[nodiscard]] WireResponse decode_response(std::string_view payload);
+
+[[nodiscard]] std::string encode_error(const WireError& error);
+[[nodiscard]] WireError decode_error(std::string_view payload);
+
+/// Canonical schedule encoding: num_tasks, num_procs, num_placements, then
+/// every placement in (task-id, insertion) order as (task, proc, start,
+/// finish).  A deterministic scheduler therefore yields byte-identical
+/// encodings for fingerprint-identical requests — the wire-level version of
+/// the cache-hit bit-identity guarantee.
+[[nodiscard]] std::string encode_schedule(const Schedule& schedule);
+[[nodiscard]] Schedule decode_schedule(std::string_view bytes);
+
+/// Build the response for a served result (schedule encoded iff present).
+[[nodiscard]] WireResponse make_response(std::uint64_t id, const serve::ServeResult& result);
+
+}  // namespace tsched::net

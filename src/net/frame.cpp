@@ -1,0 +1,149 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace tsched::net {
+
+namespace {
+
+// Reflected CRC-32 lookup table, generated once at static-init time.
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() noexcept {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    return table;
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    return v;
+}
+
+}  // namespace
+
+bool frame_type_known(std::uint8_t value) noexcept {
+    return value >= static_cast<std::uint8_t>(FrameType::kHello) &&
+           value <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+const char* frame_type_name(FrameType type) noexcept {
+    switch (type) {
+        case FrameType::kHello: return "hello";
+        case FrameType::kHelloAck: return "hello_ack";
+        case FrameType::kRequest: return "request";
+        case FrameType::kResponse: return "response";
+        case FrameType::kError: return "error";
+    }
+    return "unknown";
+}
+
+const char* frame_error_name(FrameError error) noexcept {
+    switch (error) {
+        case FrameError::kNone: return "none";
+        case FrameError::kBadMagic: return "bad_magic";
+        case FrameError::kBadVersion: return "bad_version";
+        case FrameError::kBadType: return "bad_type";
+        case FrameError::kBadReserved: return "bad_reserved";
+        case FrameError::kOversized: return "oversized";
+        case FrameError::kBadCrc: return "bad_crc";
+    }
+    return "unknown";
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+    const auto& table = crc_table();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data)
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encode_frame(FrameType type, std::string_view payload, std::size_t max_payload) {
+    if (payload.size() > max_payload)
+        throw std::length_error("net::encode_frame: payload of " +
+                                std::to_string(payload.size()) + " bytes exceeds the cap of " +
+                                std::to_string(max_payload));
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    put_u32le(out, kFrameMagic);
+    out.push_back(static_cast<char>(kProtocolVersion));
+    out.push_back(static_cast<char>(type));
+    out.push_back(0);
+    out.push_back(0);
+    put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+    put_u32le(out, crc32(payload));
+    out.append(payload);
+    return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+    if (failed()) return;
+    // Compact lazily: drop the consumed prefix before growing the buffer so
+    // a long-lived session does not accrete every frame it ever decoded.
+    if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 4096)) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+    if (failed()) return std::nullopt;
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes) return std::nullopt;
+    const char* header = buffer_.data() + consumed_;
+
+    if (get_u32le(header) != kFrameMagic) {
+        error_ = FrameError::kBadMagic;
+        return std::nullopt;
+    }
+    if (static_cast<std::uint8_t>(header[4]) != kProtocolVersion) {
+        error_ = FrameError::kBadVersion;
+        return std::nullopt;
+    }
+    const auto raw_type = static_cast<std::uint8_t>(header[5]);
+    if (!frame_type_known(raw_type)) {
+        error_ = FrameError::kBadType;
+        return std::nullopt;
+    }
+    if (header[6] != 0 || header[7] != 0) {
+        error_ = FrameError::kBadReserved;
+        return std::nullopt;
+    }
+    const std::uint32_t declared = get_u32le(header + 8);
+    // Validate the declared length against the cap *before* waiting for (or
+    // allocating) any payload bytes: a hostile length field must cost O(1).
+    if (declared > max_payload_) {
+        error_ = FrameError::kOversized;
+        return std::nullopt;
+    }
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + declared) return std::nullopt;
+
+    const std::string_view payload(buffer_.data() + consumed_ + kFrameHeaderBytes, declared);
+    if (crc32(payload) != get_u32le(header + 12)) {
+        error_ = FrameError::kBadCrc;
+        return std::nullopt;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(raw_type);
+    frame.payload.assign(payload);
+    consumed_ += kFrameHeaderBytes + declared;
+    return frame;
+}
+
+}  // namespace tsched::net

@@ -1,0 +1,94 @@
+// Multi-connection replay driver: E21's measurement loop (DESIGN §17).
+//
+// Replays a .tsr request stream against a *live* server over N concurrent
+// connections: one thread per connection, each owning one ServeClient, each
+// replaying its round-robin slice of the stream with a sliding window of
+// `window` outstanding pipelined requests.  Latency is the client-observed
+// round trip (send -> matching reply), recorded both as an exact vector
+// (order statistics) and through per-thread obs::LatencyHistograms that
+// merge into one aggregate — merge order cannot change the snapshot, so the
+// report is deterministic given the per-request samples.
+//
+// The wire-level accounting identity extends the engine's (DESIGN §16) with
+// a transport failure class:
+//
+//   ok + shed + degraded + timed_out + draining + failed == requests
+//
+// `failed` counts requests answered by a typed Error frame or lost to a
+// connection drop; nothing is silently dropped.
+//
+// Byte-identity is audited on the fly: every kOk/kDegraded response's
+// schedule payload is hashed, and
+//   * payload_consistent — within the run, equal fingerprints always
+//     carried byte-identical schedule payloads;
+//   * schedule_digest    — XOR over *distinct* fingerprints of
+//     fnv1a(fingerprint || payload).  XOR makes the digest independent of
+//     arrival order and of how many cache hits repeated a payload, so two
+//     runs of the same trace — different pool widths, different connection
+//     counts, cache on or off — must produce the same digest (the
+//     determinism battery and net_smoke.sh assert exactly this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/request_trace.hpp"
+
+namespace tsched::net {
+
+struct NetReplayOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::size_t conns = 8;    ///< concurrent connections (threads); >= 1
+    std::size_t window = 16;  ///< outstanding pipelined requests per connection; >= 1
+    std::size_t epochs = 1;   ///< full passes over the stream (>= 1)
+    double deadline_ms = 0.0;  ///< stamped on every request (<= 0 = none)
+    std::string client_name = "net_replay";
+};
+
+struct NetReplayReport {
+    std::size_t conns = 0;
+    std::size_t requests = 0;  ///< sent (stream length x epochs)
+    std::size_t replies = 0;   ///< received (== requests unless connections died)
+    double wall_ms = 0.0;
+    double qps = 0.0;
+
+    // Exact order statistics over all per-request round-trip latencies.
+    double latency_mean_ms = 0.0;
+    double latency_p50_ms = 0.0;
+    double latency_p95_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_p999_ms = 0.0;
+    double latency_max_ms = 0.0;
+    // The merged per-thread histogram view of the same samples.
+    double hist_p50_ms = 0.0;
+    double hist_p95_ms = 0.0;
+    double hist_p99_ms = 0.0;
+    obs::HistogramSnapshot latency_hist;
+
+    // Outcome tally (see accounting identity above).
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t draining = 0;
+    std::uint64_t failed = 0;  ///< typed Error replies + connection drops
+    std::uint64_t cache_hits = 0;
+
+    std::uint64_t schedule_digest = 0;  ///< order-independent payload digest
+    bool payload_consistent = true;     ///< equal fingerprints -> equal bytes
+
+    [[nodiscard]] bool accounting_ok() const noexcept {
+        return ok + shed + degraded + timed_out + draining + failed == requests;
+    }
+};
+
+/// Replay `trace` x epochs against a live server.  Throws std::system_error
+/// if the initial connections cannot be established; per-connection failures
+/// after that surface as `failed` replies, not exceptions.
+[[nodiscard]] NetReplayReport replay_net(const std::vector<serve::TraceRequest>& trace,
+                                         const NetReplayOptions& options);
+
+}  // namespace tsched::net

@@ -83,6 +83,16 @@ TEST(Diagnostics, ValidityCodesDefaultToError) {
                 EXPECT_EQ(default_severity(code), Severity::kWarning) << code_name(code);
             }
         }
+        // TS08xx net-config lints: warnings for odd-but-runnable knobs; the
+        // two configs that can never answer a request (frame cap below a
+        // minimal response, zero dispatch budget) are errors.
+        if (value >= 800 && value < 900) {
+            if (code == Code::kNetFrameCapTiny || code == Code::kNetDispatchStarved) {
+                EXPECT_EQ(default_severity(code), Severity::kError) << code_name(code);
+            } else {
+                EXPECT_EQ(default_severity(code), Severity::kWarning) << code_name(code);
+            }
+        }
     }
 }
 

@@ -21,9 +21,12 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "net/codec.hpp"
+#include "net/frame.hpp"
 #include "sched/repair.hpp"
 #include "sched/schedule_io.hpp"
 #include "serve/request.hpp"
+#include "serve/request_trace.hpp"
 #include "serve/serve_engine.hpp"
 #include "sim/faults.hpp"
 #include "util/thread_pool.hpp"
@@ -477,6 +480,109 @@ TEST(Determinism, ServeCacheHitsAreByteIdenticalToColdRuns) {
         EXPECT_TRUE(second.cache_hit) << algo;
         EXPECT_EQ(to_tss(*second.schedule), cold) << algo;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Network codec goldens (DESIGN §17): the wire encoding is a compatibility
+// contract.  These vectors were recorded from the canonical encoder; any
+// codec change that alters a single byte breaks every deployed peer and must
+// bump kCodecVersion instead of silently shifting bytes.
+// ---------------------------------------------------------------------------
+
+std::string hex_of(std::string_view bytes) {
+    static const char* digits = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const auto b = static_cast<unsigned char>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xF]);
+    }
+    return out;
+}
+
+net::WireRequest codec_golden_request() {
+    net::WireRequest request;
+    request.id = 7;
+    request.trace.algo = "heft";
+    request.trace.shape = workload::Shape::kLayered;
+    request.trace.size = 30;
+    request.trace.procs = 4;
+    request.trace.net = workload::Net::kUniform;
+    request.trace.ccr = 1.0;
+    request.trace.beta = 0.5;
+    request.trace.seed = 11;
+    request.deadline_ms = 2.5;
+    request.options = "k=3";
+    return request;
+}
+
+TEST(Determinism, NetCodecRequestBytesAreGolden) {
+    const std::string bytes = net::encode_request(codec_golden_request());
+    EXPECT_EQ(hex_of(bytes),
+              "0700000000000000"                  // id = 7 (u64 LE)
+              "01"                                // body format: descriptor
+              "0400000000000000" "68656674"       // "heft"
+              "0700000000000000" "6c617965726564" // "layered"
+              "1e00000000000000"                  // size = 30
+              "0400000000000000"                  // procs = 4
+              "0700000000000000" "756e69666f726d" // "uniform"
+              "000000000000f03f"                  // ccr = 1.0
+              "000000000000e03f"                  // beta = 0.5
+              "0b00000000000000"                  // seed = 11
+              "0000000000000440"                  // deadline = 2.5 ms
+              "0300000000000000" "6b3d33");       // "k=3"
+    // And the framed form: a 16-byte header whose trailing CRC guards the
+    // payload above.
+    const std::string framed = net::encode_frame(net::FrameType::kRequest, bytes);
+    EXPECT_EQ(hex_of(framed.substr(0, net::kFrameHeaderBytes)),
+              "54534e46"   // magic "TSNF" (LE 0x464E5354)
+              "01"         // protocol version
+              "03"         // type = kRequest
+              "0000"       // reserved
+              "6e000000"   // payload length = 110
+              "3ba6346b"); // CRC-32 of the payload
+}
+
+TEST(Determinism, NetCodecResponseBytesAreGolden) {
+    Schedule schedule(3, 2);
+    schedule.add(0, 0, 0.0, 1.5);
+    schedule.add(1, 1, 1.5, 3.25);
+    schedule.add(2, 0, 3.25, 4.0);
+    net::WireResponse response;
+    response.id = 9;
+    response.outcome = serve::ServeOutcome::kOk;
+    response.cache_hit = true;
+    response.fingerprint = 0x1122334455667788ULL;
+    response.schedule_bytes = net::encode_schedule(schedule);
+    EXPECT_EQ(hex_of(net::encode_response(response)),
+              "0900000000000000"   // id = 9
+              "00"                 // outcome = kOk
+              "01"                 // flags: cache_hit
+              "8877665544332211"   // fingerprint (u64 LE)
+              "7800000000000000"   // schedule_bytes length = 120
+              "0300000000000000"   // num_tasks = 3
+              "0200000000000000"   // num_procs = 2
+              "0300000000000000"   // num_placements = 3
+              "0000000000000000" "0000000000000000"  // task 0 on proc 0
+              "0000000000000000" "000000000000f83f"  // [0, 1.5)
+              "0100000000000000" "0100000000000000"  // task 1 on proc 1
+              "000000000000f83f" "0000000000000a40"  // [1.5, 3.25)
+              "0200000000000000" "0000000000000000"  // task 2 on proc 0
+              "0000000000000a40" "0000000000001040"); // [3.25, 4)
+}
+
+// The descriptor round trip underlying the wire cache contract: a request
+// decoded from golden bytes materializes to the same fingerprint as the
+// original, so a cache warmed by one client serves byte-identical responses
+// to every other.
+TEST(Determinism, NetCodecDescriptorRoundTripPreservesFingerprint) {
+    const net::WireRequest original = codec_golden_request();
+    const auto decoded = net::decode_request(net::encode_request(original));
+    EXPECT_EQ(serve::fingerprint_request(serve::materialize(original.trace)),
+              serve::fingerprint_request(serve::materialize(decoded.trace)));
+    // Canonical: decode -> encode reproduces the input bytes exactly.
+    EXPECT_EQ(net::encode_request(decoded), net::encode_request(original));
 }
 
 }  // namespace

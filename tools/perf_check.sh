@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# perf_check.sh — compare a fresh bench_runtime --json dump against the
-# committed perf baseline (BENCH_runtime.json) and fail on scheduling-time
-# regressions.
+# perf_check.sh — compare a fresh perf dump against the committed perf
+# baseline (BENCH_runtime.json) and fail on regressions.
 #
 # Usage: perf_check.sh CURRENT.json [BASELINE.json]
 #
-# A point regresses when current mean_ms > threshold * baseline mean_ms.
-# The threshold is deliberately generous (default 4.0, override with
-# PERF_CHECK_THRESHOLD) because baseline and CI machines differ; the check
-# exists to catch the order-of-magnitude regressions that reintroducing
-# clone-per-candidate trial evaluation (or similar) would cause, not 10%
-# noise.  Points present in only one file are reported but never fatal, so
-# adding an algorithm or sweep size does not break the gate.
+# Two kinds of measurement live in the same schema-1 document, each
+# optional, each compared only when both files carry it:
+#
+#   "points" — scheduling-time points from bench_runtime --json
+#              ({algo, n, mean_ms}).  A point regresses when current
+#              mean_ms > threshold * baseline mean_ms (default 4.0,
+#              override with PERF_CHECK_THRESHOLD).
+#   "serve"  — the steady-state network serving point from
+#              bench_serve --net --json ({qps, p50_ms, p99_ms, ...}).
+#              Regresses when current qps < baseline qps / serve_threshold
+#              or current p99_ms > serve_threshold * baseline p99_ms
+#              (default 4.0, override with PERF_CHECK_SERVE_THRESHOLD).
+#
+# Thresholds are deliberately generous because baseline and CI machines
+# differ; the check exists to catch the order-of-magnitude regressions that
+# reintroducing clone-per-candidate trial evaluation (or an accidental
+# per-request syscall storm in the serve path) would cause, not 10% noise.
+# Points present in only one file are reported but never fatal, so adding an
+# algorithm, sweep size, or measurement family does not break the gate.
 #
 # The big-n points (n = 2000/10000/50000, rep-capped in bench_runtime) are
 # the noisiest: a single run is 3–12 reps on a possibly-contended host, and
@@ -30,44 +41,73 @@ fi
 CURRENT=$1
 BASELINE=${2:-"$(dirname "$0")/../BENCH_runtime.json"}
 THRESHOLD=${PERF_CHECK_THRESHOLD:-4.0}
+SERVE_THRESHOLD=${PERF_CHECK_SERVE_THRESHOLD:-4.0}
 
 [ -f "$CURRENT" ] || { echo "perf_check: missing $CURRENT" >&2; exit 2; }
 [ -f "$BASELINE" ] || { echo "perf_check: missing baseline $BASELINE" >&2; exit 2; }
 
-python3 - "$CURRENT" "$BASELINE" "$THRESHOLD" <<'PYEOF'
+python3 - "$CURRENT" "$BASELINE" "$THRESHOLD" "$SERVE_THRESHOLD" <<'PYEOF'
 import json
 import sys
 
-current_path, baseline_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+current_path, baseline_path = sys.argv[1], sys.argv[2]
+threshold, serve_threshold = float(sys.argv[3]), float(sys.argv[4])
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
     assert doc.get("schema") == 1, f"{path}: unknown schema {doc.get('schema')}"
-    return {(p["algo"], p["n"]): p["mean_ms"] for p in doc["points"]}
+    points = {(p["algo"], p["n"]): p["mean_ms"] for p in doc.get("points", [])}
+    return points, doc.get("serve")
 
-current = load(current_path)
-baseline = load(baseline_path)
+current, current_serve = load(current_path)
+baseline, baseline_serve = load(baseline_path)
 
 failures = []
-print(f"perf_check: threshold {threshold:g}x against {baseline_path}")
-for key in sorted(baseline, key=lambda k: (k[0], k[1])):
-    if key not in current:
-        print(f"  [skip] {key[0]}/{key[1]}: not measured in current run")
-        continue
-    cur, base = current[key], baseline[key]
-    ratio = cur / base if base > 0 else float("inf")
-    status = "FAIL" if ratio > threshold else "ok"
-    print(f"  [{status:4}] {key[0]}/{key[1]}: {cur:.3f} ms vs baseline {base:.3f} ms "
-          f"({ratio:.2f}x)")
-    if ratio > threshold:
-        failures.append(key)
-for key in sorted(set(current) - set(baseline)):
-    print(f"  [new ] {key[0]}/{key[1]}: {current[key]:.3f} ms (no baseline)")
+
+if current and baseline:
+    print(f"perf_check: threshold {threshold:g}x against {baseline_path}")
+    for key in sorted(baseline, key=lambda k: (k[0], k[1])):
+        if key not in current:
+            print(f"  [skip] {key[0]}/{key[1]}: not measured in current run")
+            continue
+        cur, base = current[key], baseline[key]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > threshold else "ok"
+        print(f"  [{status:4}] {key[0]}/{key[1]}: {cur:.3f} ms vs baseline {base:.3f} ms "
+              f"({ratio:.2f}x)")
+        if ratio > threshold:
+            failures.append(f"{key[0]}/{key[1]}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new ] {key[0]}/{key[1]}: {current[key]:.3f} ms (no baseline)")
+
+if current_serve and baseline_serve:
+    print(f"perf_check: serve threshold {serve_threshold:g}x against {baseline_path}")
+    cur_qps, base_qps = current_serve["qps"], baseline_serve["qps"]
+    qps_ratio = base_qps / cur_qps if cur_qps > 0 else float("inf")
+    status = "FAIL" if qps_ratio > serve_threshold else "ok"
+    print(f"  [{status:4}] serve/qps: {cur_qps:.1f} vs baseline {base_qps:.1f} "
+          f"({qps_ratio:.2f}x slower)")
+    if qps_ratio > serve_threshold:
+        failures.append("serve/qps")
+    cur_p99, base_p99 = current_serve["p99_ms"], baseline_serve["p99_ms"]
+    p99_ratio = cur_p99 / base_p99 if base_p99 > 0 else float("inf")
+    status = "FAIL" if p99_ratio > serve_threshold else "ok"
+    print(f"  [{status:4}] serve/p99_ms: {cur_p99:.3f} ms vs baseline {base_p99:.3f} ms "
+          f"({p99_ratio:.2f}x)")
+    if p99_ratio > serve_threshold:
+        failures.append("serve/p99_ms")
+elif current_serve or baseline_serve:
+    side = "current" if current_serve else "baseline"
+    print(f"perf_check: serve point only in {side} file — skipped")
+
+if not current and not baseline and not (current_serve and baseline_serve):
+    print("perf_check: nothing comparable between the two files", file=sys.stderr)
+    sys.exit(2)
 
 if failures:
-    names = ", ".join(f"{a}/{n}" for a, n in failures)
-    print(f"perf_check: FAILED — regression beyond {threshold:g}x on: {names}")
+    names = ", ".join(failures)
+    print(f"perf_check: FAILED — regression beyond threshold on: {names}")
     sys.exit(1)
 print("perf_check: OK")
 PYEOF

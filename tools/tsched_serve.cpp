@@ -52,7 +52,18 @@
 //                     metrics after the replay
 //   --version/--help  print and exit 0
 //
-// Exit status: 0 success, 2 usage or file errors.
+// Network replay flags (with --connect; drives a live tsched_served over
+// N concurrent connections instead of an in-process engine — E21):
+//   --connect=HOST:PORT  replay the trace over the wire against this server
+//   --conns=N            concurrent connections, one thread each (default 8)
+//   --window=W           outstanding pipelined requests per connection
+//                        (default 16)
+//   --epochs/--deadline-ms/--json as above; the JSON report adds the
+//   accounting identity fields (ok+shed+degraded+timed_out+draining+failed
+//   == requests) and the order-independent schedule payload digest.
+//
+// Exit status: 0 success, 2 usage or file errors; network replay exits 1
+// if the accounting identity fails or a schedule payload was inconsistent.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -60,6 +71,7 @@
 #include <vector>
 
 #include "analysis/serve_lints.hpp"
+#include "net/net_replay.hpp"
 #include "obs/export.hpp"
 #include "serve/replay.hpp"
 #include "serve/request_trace.hpp"
@@ -85,8 +97,10 @@ void print_usage(std::ostream& os) {
        << "                    [--degrade-algo=A] [--drain-timeout-ms=D]\n"
        << "                    [--metrics-out=PATH] [--metrics-format=json|prometheus]\n"
        << "                    [--metrics-interval-ms=N] [--metrics-epoch]\n"
-       << "Generate a scheduling-request trace, or replay one through the\n"
-       << "serving core and report QPS / latency percentiles / cache hit rate.\n";
+       << "       tsched_serve trace.tsr --connect=HOST:PORT [--conns=N] [--window=W]\n"
+       << "                    [--epochs=E] [--deadline-ms=D] [--json=PATH]\n"
+       << "Generate a scheduling-request trace, replay one through the serving\n"
+       << "core, or replay one over the wire against a live tsched_served.\n";
 }
 
 [[noreturn]] void usage_error(const std::string& error) {
@@ -160,6 +174,104 @@ std::string report_json(const serve::ReplayReport& report, const serve::ReplayOp
        << "\"hit_rate\":" << report.stats.hit_rate() << ','
        << "\"metrics\":" << obs::to_json(report.metrics) << '}';
     return os.str();
+}
+
+std::string net_report_json(const net::NetReplayReport& report,
+                            const net::NetReplayOptions& options) {
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\"schema\":1,"
+       << "\"mode\":\"net\","
+       << "\"conns\":" << report.conns << ','
+       << "\"window\":" << options.window << ','
+       << "\"epochs\":" << options.epochs << ','
+       << "\"requests\":" << report.requests << ','
+       << "\"replies\":" << report.replies << ','
+       << "\"wall_ms\":" << report.wall_ms << ','
+       << "\"qps\":" << report.qps << ','
+       << "\"latency_ms\":{\"mean\":" << report.latency_mean_ms << ",\"p50\":"
+       << report.latency_p50_ms << ",\"p95\":" << report.latency_p95_ms << ",\"p99\":"
+       << report.latency_p99_ms << ",\"p999\":" << report.latency_p999_ms << ",\"max\":"
+       << report.latency_max_ms << "},"
+       << "\"hist_latency_ms\":{\"p50\":" << report.hist_p50_ms << ",\"p95\":"
+       << report.hist_p95_ms << ",\"p99\":" << report.hist_p99_ms << "},"
+       << "\"outcomes\":{\"ok\":" << report.ok << ",\"shed\":" << report.shed
+       << ",\"degraded\":" << report.degraded << ",\"timed_out\":" << report.timed_out
+       << ",\"draining\":" << report.draining << ",\"failed\":" << report.failed << "},"
+       << "\"cache_hits\":" << report.cache_hits << ','
+       << "\"accounting_ok\":" << (report.accounting_ok() ? "true" : "false") << ','
+       << "\"schedule_digest\":\"" << std::hex << report.schedule_digest << std::dec << "\","
+       << "\"payload_consistent\":" << (report.payload_consistent ? "true" : "false") << '}';
+    return os.str();
+}
+
+int replay_over_wire(const Args& args, const std::string& trace_path) {
+    net::NetReplayOptions options;
+    const std::string endpoint = args.get_string("connect", "");
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint.size())
+        usage_error("--connect expects HOST:PORT, got '" + endpoint + "'");
+    options.host = endpoint.substr(0, colon);
+    const int port = std::stoi(endpoint.substr(colon + 1));
+    if (port <= 0 || port > 65535) usage_error("--connect port must be in [1, 65535]");
+    options.port = static_cast<std::uint16_t>(port);
+    options.conns = static_cast<std::size_t>(args.get_int("conns", 8));
+    options.window = static_cast<std::size_t>(args.get_int("window", 16));
+    options.epochs = static_cast<std::size_t>(args.get_int("epochs", 1));
+    options.deadline_ms = args.get_double("deadline-ms", 0.0);
+
+    const auto trace = serve::load_tsr(trace_path);
+    if (trace.empty()) {
+        std::cerr << "tsched_serve: trace " << trace_path << " has no requests\n";
+        return 2;
+    }
+
+    const auto report = net::replay_net(trace, options);
+
+    std::cout << "tsched_serve: replayed " << trace.size() << " requests x " << options.epochs
+              << " epoch(s) over " << options.conns << " connection(s) to " << options.host
+              << ':' << options.port << " (window=" << options.window << ")\n";
+    std::cout.precision(3);
+    std::cout << std::fixed;
+    std::cout << "  wall      " << report.wall_ms << " ms\n"
+              << "  qps       " << report.qps << '\n'
+              << "  latency   mean " << report.latency_mean_ms << " ms | p50 "
+              << report.latency_p50_ms << " | p95 " << report.latency_p95_ms << " | p99 "
+              << report.latency_p99_ms << " | max " << report.latency_max_ms << '\n'
+              << "  outcomes  ok " << report.ok << " shed " << report.shed << " degraded "
+              << report.degraded << " timed_out " << report.timed_out << " draining "
+              << report.draining << " failed " << report.failed << " (of " << report.requests
+              << ")\n"
+              << "  cache     " << report.cache_hits << " hits | digest " << std::hex
+              << report.schedule_digest << std::dec << " | payload "
+              << (report.payload_consistent ? "consistent" : "INCONSISTENT") << '\n';
+
+    const std::string json_path = args.get_string("json", "");
+    if (!json_path.empty()) {
+        const std::string doc = net_report_json(report, options);
+        if (json_path == "-") {
+            std::cout << doc << '\n';
+        } else {
+            std::ofstream out(json_path);
+            out << doc << '\n';
+            if (!out) {
+                std::cerr << "tsched_serve: could not write " << json_path << '\n';
+                return 2;
+            }
+        }
+    }
+
+    if (!report.accounting_ok()) {
+        std::cerr << "tsched_serve: accounting identity FAILED: ok+shed+degraded+timed_out"
+                     "+draining+failed != requests\n";
+        return 1;
+    }
+    if (!report.payload_consistent) {
+        std::cerr << "tsched_serve: schedule payloads INCONSISTENT for equal fingerprints\n";
+        return 1;
+    }
+    return 0;
 }
 
 int replay(const Args& args, const std::string& trace_path) {
@@ -307,7 +419,8 @@ int main(int argc, char** argv) {
                           "threads", "batch", "epochs", "json", "counters", "deadline-ms",
                           "wait-budget-ms", "max-inflight", "max-pending", "shed-policy",
                           "degrade-algo", "drain-timeout-ms", "metrics-out", "metrics-format",
-                          "metrics-interval-ms", "metrics-epoch", "version", "help"});
+                          "metrics-interval-ms", "metrics-epoch", "connect", "conns", "window",
+                          "version", "help"});
     } catch (const std::exception& e) {
         usage_error(e.what());
     }
@@ -315,6 +428,7 @@ int main(int argc, char** argv) {
         if (args.has("gen")) return generate(args);
         if (args.positional().size() != 1)
             usage_error("expected exactly one trace.tsr argument (or --gen=PATH)");
+        if (args.has("connect")) return replay_over_wire(args, args.positional().front());
         return replay(args, args.positional().front());
     } catch (const std::exception& e) {
         std::cerr << "tsched_serve: " << e.what() << '\n';
